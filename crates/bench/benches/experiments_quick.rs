@@ -1,0 +1,22 @@
+//! Criterion wrapper running each paper experiment (E1–E12) in quick mode,
+//! so `cargo bench` regenerates every validated claim end to end.
+//!
+//! The slot-count tables themselves are printed by the `experiments`
+//! binary; this bench tracks the wall-time of regenerating them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::experiments::{run_by_id, ALL};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_quick");
+    group.sample_size(10);
+    for id in ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id), id, |b, id| {
+            b.iter(|| run_by_id(id, true).expect("known experiment id"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for per-slot reception resolution (S2): SINR vs
+//! graph-based vs ideal model, across transmitter counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_model::{GraphModel, IdealModel, InterferenceModel, SinrConfig, SinrModel};
+
+fn setup(n: usize) -> UnitDiskGraph {
+    let pts = placement::uniform_with_expected_degree(n, 1.0, 15.0, 7);
+    UnitDiskGraph::new(pts, 1.0)
+}
+
+fn transmitters(n: usize, k: usize) -> Vec<usize> {
+    // Deterministic spread-out subset.
+    (0..k).map(|i| i * n / k).collect()
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let g = setup(1024);
+    let cfg = SinrConfig::default_unit();
+    let mut group = c.benchmark_group("resolve_slot_n1024");
+    for &k in &[4usize, 16, 64] {
+        let tx = transmitters(1024, k);
+        group.bench_with_input(BenchmarkId::new("sinr", k), &tx, |b, tx| {
+            let model = SinrModel::new(cfg);
+            b.iter(|| model.resolve(black_box(&g), black_box(tx)));
+        });
+        group.bench_with_input(BenchmarkId::new("graph", k), &tx, |b, tx| {
+            let model = GraphModel::new();
+            b.iter(|| model.resolve(black_box(&g), black_box(tx)));
+        });
+        group.bench_with_input(BenchmarkId::new("ideal", k), &tx, |b, tx| {
+            let model = IdealModel::new();
+            b.iter(|| model.resolve(black_box(&g), black_box(tx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolve);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the MAC layer (S5): TDMA broadcast audits and
+//! SRS rounds — the machinery behind experiments E6/E7.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sinr_coloring::distance_d::color_at_distance;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_mac::guard::theorem3_distance_factor;
+use sinr_mac::mp::Flooding;
+use sinr_mac::srs::simulate_uniform;
+use sinr_mac::tdma::{broadcast_audit, TdmaSchedule};
+use sinr_model::SinrConfig;
+use sinr_radiosim::WakeupSchedule;
+
+struct MacFixture {
+    graph: UnitDiskGraph,
+    cfg: SinrConfig,
+    schedule: TdmaSchedule,
+}
+
+fn fixture(n: usize) -> MacFixture {
+    let cfg = SinrConfig::default_unit();
+    let pts = placement::uniform_with_expected_degree(n, cfg.r_t(), 10.0, 55);
+    let graph = UnitDiskGraph::new(pts.clone(), cfg.r_t());
+    let factor = theorem3_distance_factor(&cfg);
+    let colored = color_at_distance(&pts, &cfg, factor, 5, WakeupSchedule::Synchronous);
+    let schedule = TdmaSchedule::from_colors(colored.colors().expect("coloring completed"));
+    MacFixture {
+        graph,
+        cfg,
+        schedule,
+    }
+}
+
+fn bench_broadcast_audit(c: &mut Criterion) {
+    let fx = fixture(96);
+    c.bench_function("tdma_broadcast_audit_n96", |b| {
+        b.iter(|| broadcast_audit(black_box(&fx.graph), &fx.cfg, &fx.schedule));
+    });
+}
+
+fn bench_srs_flooding(c: &mut Criterion) {
+    let fx = fixture(96);
+    let mut group = c.benchmark_group("srs_flooding_n96");
+    group.sample_size(20);
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let mut nodes: Vec<Flooding> =
+                (0..fx.graph.len()).map(|v| Flooding::new(v == 0)).collect();
+            simulate_uniform(&fx.graph, &fx.cfg, &fx.schedule, &mut nodes, 200)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast_audit, bench_srs_flooding);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for full MW coloring runs (S4) — the wall-time cost
+//! behind experiments E1/E2/E5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sinr_bench::workload::Instance;
+use sinr_model::{GraphModel, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+fn bench_mw_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mw_full_run");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let inst = Instance::uniform(n, 10.0, 77);
+        group.bench_with_input(BenchmarkId::new("sinr", n), &inst, |b, inst| {
+            b.iter(|| inst.run_with(SinrModel::new(inst.cfg), 1, WakeupSchedule::Synchronous));
+        });
+        group.bench_with_input(BenchmarkId::new("graph", n), &inst, |b, inst| {
+            b.iter(|| inst.run_with(GraphModel::new(), 1, WakeupSchedule::Synchronous));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mw_slots_per_second(c: &mut Criterion) {
+    // Throughput of the simulator loop itself: slots per wall-second on a
+    // mid-size instance (bounded run).
+    let inst = Instance::uniform(256, 15.0, 78);
+    let mut group = c.benchmark_group("mw_bounded_2000_slots");
+    group.sample_size(10);
+    group.bench_function("n256", |b| {
+        b.iter(|| {
+            let cfg = sinr_coloring::MwConfig::new(inst.params)
+                .with_seed(3)
+                .with_max_slots(2000);
+            sinr_coloring::mw::run_mw(
+                &inst.graph,
+                SinrModel::new(inst.cfg),
+                &cfg,
+                WakeupSchedule::Synchronous,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mw_run, bench_mw_slots_per_second);
+criterion_main!(benches);

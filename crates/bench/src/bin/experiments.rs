@@ -1,0 +1,50 @@
+//! CLI entry point for the experiment suite.
+//!
+//! ```text
+//! experiments [IDS...] [--quick] [--markdown]
+//!
+//!   IDS        experiment ids (e1..e21) or `all` (default: all)
+//!   --quick    reduced sizes/seeds
+//!   --markdown emit GitHub-flavored markdown instead of aligned text
+//! ```
+
+use sinr_bench::experiments::{run_by_id, ALL};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut unknown = Vec::new();
+    for id in &ids {
+        let start = Instant::now();
+        match run_by_id(id, quick) {
+            Some(report) => {
+                if markdown {
+                    println!("{}", report.to_markdown());
+                } else {
+                    println!("{report}");
+                }
+                eprintln!("[{} finished in {:.1?}]", id, start.elapsed());
+                println!();
+            }
+            None => unknown.push(id.clone()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment ids: {} (valid: e1..e21, all)",
+            unknown.join(", ")
+        );
+        std::process::exit(2);
+    }
+}

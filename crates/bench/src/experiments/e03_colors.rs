@@ -1,0 +1,73 @@
+//! E3 — number of colors is `O(Δ)` within the `(φ(2R_T)+1)Δ` bound
+//! (Theorem 2), compared against the centralized greedy `Δ+1` floor.
+
+use crate::report::{f2, mean, ExpReport};
+use crate::workload::{par_seeds, Instance};
+use sinr_geometry::greedy::greedy_coloring;
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs E3.
+pub fn run(quick: bool) -> ExpReport {
+    let n = if quick { 128 } else { 256 };
+    let seeds = if quick { 2 } else { 5 };
+    let degrees: &[f64] = if quick {
+        &[6.0, 12.0, 20.0]
+    } else {
+        &[6.0, 10.0, 14.0, 20.0, 26.0]
+    };
+
+    let mut report = ExpReport::new(
+        "E3",
+        "colors used vs Delta",
+        "Theorem 2: the algorithm produces a (1, (φ(2R_T)+1)Δ)-coloring — \
+         O(Δ) colors; a centralized greedy needs ≤ Δ+1",
+    )
+    .headers([
+        "Delta",
+        "MW colors",
+        "MW palette",
+        "bound (Δ+1)·spread",
+        "greedy",
+        "Δ+1",
+        "colors/Δ",
+    ]);
+
+    for &deg in degrees {
+        let inst = Instance::uniform(n, deg, 2000 + deg as u64);
+        let delta = inst.graph.max_degree();
+        let greedy = greedy_coloring(&inst.graph).palette_size();
+        let outs = par_seeds(seeds, |s| inst.run_sinr(s, WakeupSchedule::Synchronous));
+        let colors: Vec<f64> = outs
+            .iter()
+            .filter(|o| o.all_done)
+            .map(|o| o.colors_used as f64)
+            .collect();
+        let palettes: Vec<f64> = outs
+            .iter()
+            .filter(|o| o.all_done)
+            .map(|o| o.palette as f64)
+            .collect();
+        // Every realized palette must respect the theorem bound.
+        let bound = inst.params.palette_bound();
+        for p in &palettes {
+            assert!(
+                *p <= bound as f64,
+                "palette {p} exceeds Theorem-2 bound {bound}"
+            );
+        }
+        report.push_row([
+            delta.to_string(),
+            f2(mean(&colors)),
+            f2(mean(&palettes)),
+            bound.to_string(),
+            greedy.to_string(),
+            (delta + 1).to_string(),
+            f2(mean(&colors) / delta as f64),
+        ]);
+    }
+    report.note(
+        "Distinct colors grow linearly in Δ (constant colors/Δ), far below \
+         the worst-case palette bound; E9 reduces them to Δ+1.",
+    );
+    report
+}

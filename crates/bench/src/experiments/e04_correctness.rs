@@ -1,0 +1,106 @@
+//! E4 — Theorem 1: every color class `C_i` stays an independent set
+//! throughout the execution, and the final coloring is proper, w.h.p.
+//!
+//! Audits *every* decision slot incrementally (not just the final state),
+//! so transient violations would be caught even if later masked.
+
+use crate::report::{pct, ExpReport};
+use crate::workload::{par_seeds, Instance};
+use sinr_coloring::mw::{run_mw_observed, MwConfig, MwNode};
+use sinr_coloring::verify::{distance_violations, incremental_independence_violations};
+use sinr_model::SinrModel;
+use sinr_radiosim::WakeupSchedule;
+
+/// Per-run audit result.
+#[derive(Debug, Clone, Copy)]
+struct Audit {
+    all_done: bool,
+    transient_violations: usize,
+    final_violations: usize,
+}
+
+fn audited_run(inst: &Instance, seed: u64) -> Audit {
+    let positions = inst.graph.positions().to_vec();
+    let r_t = inst.graph.radius();
+    let mut colors: Vec<Option<usize>> = vec![None; inst.graph.len()];
+    let mut transient = 0usize;
+    let out = run_mw_observed(
+        &inst.graph,
+        SinrModel::new(inst.cfg),
+        &MwConfig::new(inst.params).with_seed(seed),
+        WakeupSchedule::Synchronous,
+        |sim, view| {
+            if view.newly_done.is_empty() {
+                return;
+            }
+            for &v in &view.newly_done {
+                colors[v] = MwNode::color(sim.node(v));
+            }
+            transient +=
+                incremental_independence_violations(&positions, &colors, &view.newly_done, r_t)
+                    .len();
+        },
+    );
+    let final_violations = out
+        .coloring
+        .as_ref()
+        .map(|c| distance_violations(&positions, c.as_slice(), r_t).len())
+        .unwrap_or(0);
+    Audit {
+        all_done: out.all_done,
+        transient_violations: transient,
+        final_violations,
+    }
+}
+
+/// Runs E4.
+pub fn run(quick: bool) -> ExpReport {
+    let seeds = if quick { 8 } else { 40 };
+    let cases: &[(usize, f64)] = if quick {
+        &[(64, 12.0)]
+    } else {
+        &[(64, 12.0), (256, 15.0)]
+    };
+
+    let mut report = ExpReport::new(
+        "E4",
+        "independence of color classes & properness (w.h.p.)",
+        "Theorem 1: each C_i forms an independent set throughout the \
+         execution with probability 1 − O(n^{2−c})",
+    )
+    .headers([
+        "n",
+        "deg",
+        "runs",
+        "clean runs",
+        "violation rate",
+        "transient pairs",
+        "incomplete",
+    ]);
+
+    for &(n, deg) in cases {
+        let inst = Instance::uniform(n, deg, 4000 + n as u64);
+        let audits = par_seeds(seeds, |s| audited_run(&inst, s));
+        let incomplete = audits.iter().filter(|a| !a.all_done).count();
+        let dirty = audits
+            .iter()
+            .filter(|a| a.transient_violations > 0 || a.final_violations > 0)
+            .count();
+        let transient: usize = audits.iter().map(|a| a.transient_violations).sum();
+        report.push_row([
+            n.to_string(),
+            format!("{deg}"),
+            seeds.to_string(),
+            format!("{}", seeds as usize - dirty),
+            pct(dirty as f64 / seeds as f64),
+            transient.to_string(),
+            incomplete.to_string(),
+        ]);
+    }
+    report.note(
+        "With the practical constants the violation rate is ~0 at these \
+         sizes; the paper's rigorous constants drive it to n^{-c}. E10/E11 \
+         show the rate climbing when the constants are weakened.",
+    );
+    report
+}

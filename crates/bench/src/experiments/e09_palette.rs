@@ -1,0 +1,69 @@
+//! E9 — the §V palette reduction brings MW colorings down to `Δ+1` colors
+//! while preserving properness.
+
+use crate::report::ExpReport;
+use crate::workload::Instance;
+use sinr_coloring::palette::{reduce_palette, reduction_slot_cost};
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs E9.
+pub fn run(quick: bool) -> ExpReport {
+    let n = if quick { 96 } else { 192 };
+    let degrees: &[f64] = if quick {
+        &[8.0, 16.0]
+    } else {
+        &[6.0, 10.0, 14.0, 20.0, 26.0]
+    };
+
+    let mut report = ExpReport::new(
+        "E9",
+        "palette reduction to Δ+1 colors",
+        "§V: starting from a (d, O(Δ))-coloring, a standard \
+         palette-reduction yields a (1, Δ+1)-coloring in O(Δ log n) time",
+    )
+    .headers([
+        "Delta",
+        "MW palette",
+        "MW colors",
+        "reduced palette",
+        "Δ+1",
+        "proper",
+        "extra slots (2V)",
+    ]);
+
+    for &deg in degrees {
+        let inst = Instance::uniform(n, deg, 9000 + deg as u64);
+        let out = inst.run_sinr(9, WakeupSchedule::Synchronous);
+        let Some(coloring) = out.coloring else {
+            report.push_row([
+                "-".to_string(),
+                "incomplete".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
+        let delta = inst.graph.max_degree();
+        let reduced = reduce_palette(&inst.graph, &coloring);
+        assert!(reduced.is_proper(&inst.graph));
+        assert!(reduced.palette_size() <= delta + 1);
+        report.push_row([
+            delta.to_string(),
+            out.palette.to_string(),
+            out.colors_used.to_string(),
+            reduced.palette_size().to_string(),
+            (delta + 1).to_string(),
+            "yes".to_string(),
+            reduction_slot_cost(out.colors_used).to_string(),
+        ]);
+    }
+    report.note(
+        "The reduction always lands within Δ+1 colors and stays proper; \
+         run over the Theorem-3 TDMA schedule it costs 2 slots per old \
+         color, i.e. O(Δ) frames — the O(Δ log n) total of §V.",
+    );
+    report
+}

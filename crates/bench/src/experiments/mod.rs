@@ -1,0 +1,85 @@
+//! The experiment suite E1–E17 (see DESIGN.md §4 for the index).
+//!
+//! Every experiment validates one claim of the paper and returns an
+//! [`ExpReport`]. `quick = true` shrinks sizes
+//! and seed counts for CI-speed runs.
+
+pub mod e01_time_vs_n;
+pub mod e02_time_vs_delta;
+pub mod e03_colors;
+pub mod e04_correctness;
+pub mod e05_model_overhead;
+pub mod e06_mac_guard;
+pub mod e07_srs;
+pub mod e08_lemma3;
+pub mod e09_palette;
+pub mod e10_ablation_qs;
+pub mod e11_ablation_gamma;
+pub mod e12_wakeup;
+pub mod e13_aloha;
+pub mod e14_local_delta;
+pub mod e15_energy;
+pub mod e16_general_srs;
+pub mod e17_johansson;
+pub mod e18_fading;
+pub mod e19_time_breakdown;
+pub mod e20_crossover;
+pub mod e21_clustering;
+
+use crate::report::ExpReport;
+
+/// All experiment ids in order.
+pub const ALL: [&str; 21] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18", "e19", "e20", "e21",
+];
+
+/// Runs one experiment by id (`"e1"`…`"e12"`), or `None` for unknown ids.
+pub fn run_by_id(id: &str, quick: bool) -> Option<ExpReport> {
+    Some(match id {
+        "e1" => e01_time_vs_n::run(quick),
+        "e2" => e02_time_vs_delta::run(quick),
+        "e3" => e03_colors::run(quick),
+        "e4" => e04_correctness::run(quick),
+        "e5" => e05_model_overhead::run(quick),
+        "e6" => e06_mac_guard::run(quick),
+        "e7" => e07_srs::run(quick),
+        "e8" => e08_lemma3::run(quick),
+        "e9" => e09_palette::run(quick),
+        "e10" => e10_ablation_qs::run(quick),
+        "e11" => e11_ablation_gamma::run(quick),
+        "e12" => e12_wakeup::run(quick),
+        "e13" => e13_aloha::run(quick),
+        "e14" => e14_local_delta::run(quick),
+        "e15" => e15_energy::run(quick),
+        "e16" => e16_general_srs::run(quick),
+        "e17" => e17_johansson::run(quick),
+        "e18" => e18_fading::run(quick),
+        "e19" => e19_time_breakdown::run(quick),
+        "e20" => e20_crossover::run(quick),
+        "e21" => e21_clustering::run(quick),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every id listed in ALL must dispatch (and unknown ids must not) —
+    /// guards against the registration drifting from the module list
+    /// (this exact bug once silently dropped four experiments from
+    /// `-- all` runs).
+    #[test]
+    fn all_ids_are_contiguous_and_dispatchable() {
+        for (i, id) in ALL.iter().enumerate() {
+            assert_eq!(*id, format!("e{}", i + 1), "ALL must stay ordered");
+        }
+        assert!(run_by_id("e0", true).is_none());
+        assert!(run_by_id(&format!("e{}", ALL.len() + 1), true).is_none());
+        // Dispatch (not execution) check via a cheap unknown-id contrast is
+        // insufficient; actually run the fastest experiment to keep this
+        // test honest without paying for all of them.
+        assert!(run_by_id(ALL[ALL.len() - 1], true).is_some());
+    }
+}

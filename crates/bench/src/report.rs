@@ -1,0 +1,183 @@
+//! Tabular experiment reports.
+
+use std::fmt;
+
+/// A rendered experiment: identifier, the paper claim it validates, a
+/// table of measurements, and free-form notes.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// The paper claim being validated (with its reference).
+    pub claim: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Interpretation notes appended below the table.
+    pub notes: Vec<String>,
+}
+
+impl ExpReport {
+    /// Creates an empty report shell.
+    pub fn new(id: &'static str, title: &'static str, claim: &'static str) -> Self {
+        ExpReport {
+            id,
+            title,
+            claim,
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<I: IntoIterator<Item = S>, S: Into<String>>(mut self, headers: I) -> Self {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn push_row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends an interpretation note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        s.push_str(&format!("*Paper claim:* {}\n\n", self.claim));
+        s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        s.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            s.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            s.push_str(&format!("\n> {}\n", note));
+        }
+        s
+    }
+}
+
+impl fmt::Display for ExpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Aligned plain-text rendering for terminals.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "claim: {}", self.claim)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExpReport {
+        let mut r = ExpReport::new("E0", "demo", "x grows").headers(["a", "bb"]);
+        r.push_row(["1", "2"]);
+        r.push_row(["30", "4"]);
+        r.note("fine");
+        r
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("| 30 | 4 |"));
+        assert!(md.contains("> fine"));
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = format!("{}", sample());
+        assert!(text.contains("E0"));
+        assert!(text.contains("30"));
+        assert!(text.contains("note: fine"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = ExpReport::new("E0", "demo", "c").headers(["a"]);
+        r.push_row(["1", "2"]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234"); // rounds toward nearest
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Small statistics toolkit for the experiment harness: summaries,
+//! percentiles, and least-squares fits used to quantify the `O(Δ log n)`
+//! shape claims (slope + R² instead of eyeballing a flat column).
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (mean of middle pair for even n).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample; `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+}
+
+/// The `q`-th percentile (0 ≤ q ≤ 100) by nearest-rank; `None` for an
+/// empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0, 100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank])
+}
+
+/// A least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 = perfect linear fit).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over `(x, y)` pairs; `None` for fewer than two
+/// points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (slope * p.0 + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Least-squares fit through the origin, `y ≈ slope·x`, with R² measured
+/// against the zero-intercept model. Right for scaling laws like
+/// `latency ≈ c·Δ ln n` where a zero input must give zero output.
+pub fn proportional_fit(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.is_empty() {
+        return None;
+    }
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = sxy / sxx;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - slope * p.0;
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LineFit {
+        slope,
+        intercept: 0.0,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_singleton_and_empty() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn median_of_odd_sample() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 50.0), Some(30.0));
+        assert_eq!(percentile(&xs, 100.0), Some(50.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_r2() {
+        let pts = vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 4.0)];
+        let fit = linear_fit(&pts).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.0);
+    }
+
+    #[test]
+    fn degenerate_fits_are_none() {
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+        assert!(proportional_fit(&[]).is_none());
+        assert!(proportional_fit(&[(0.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn proportional_fit_through_origin() {
+        let pts: Vec<(f64, f64)> = (1..8).map(|i| (i as f64, 5.0 * i as f64)).collect();
+        let fit = proportional_fit(&pts).unwrap();
+        assert!((fit.slope - 5.0).abs() < 1e-12);
+        assert_eq!(fit.intercept, 0.0);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use crate::{err, CliError};
+use std::collections::BTreeMap;
+
+/// Parsed arguments: a subcommand name plus `--key value` options and
+/// bare `--flag` switches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses a raw argument list (without the binary name).
+    ///
+    /// Grammar: `COMMAND (--key VALUE | --switch)*` where a `--switch` is
+    /// any `--name` immediately followed by another `--…` or the end.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no subcommand is present or a positional argument appears
+    /// after the subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, CliError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        match iter.next() {
+            Some(cmd) if !cmd.starts_with("--") => args.command = cmd,
+            Some(other) => return Err(err(format!("expected a subcommand, got {other}"))),
+            None => return Err(err("missing subcommand")),
+        }
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(err(format!("unexpected positional argument {token}")));
+            };
+            let takes_value = iter.peek().is_some_and(|v| !v.starts_with("--"));
+            if takes_value {
+                let value = iter.next().expect("peeked");
+                args.options.insert(name.to_string(), value);
+            } else {
+                args.flags.push(name.to_string());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The string value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// The string value of `--name` or an error naming the flag.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| err(format!("missing required option --{name}")))
+    }
+
+    /// Whether the bare switch `--name` was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses `--name` as `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("invalid value for --{name}: {v}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, CliError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["color", "--input", "pts.txt", "--seed", "7", "--quiet"]).unwrap();
+        assert_eq!(a.command, "color");
+        assert_eq!(a.get("input"), Some("pts.txt"));
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 7);
+        assert!(a.has_flag("quiet"));
+        assert!(!a.has_flag("loud"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&["color"]).unwrap();
+        assert_eq!(a.get_parsed("seed", 42u64).unwrap(), 42);
+        assert!(a.get("input").is_none());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&["color"]).unwrap();
+        let e = a.require("input").unwrap_err();
+        assert!(e.0.contains("--input"));
+    }
+
+    #[test]
+    fn bad_numeric_value_is_an_error() {
+        let a = parse(&["color", "--seed", "abc"]).unwrap();
+        assert!(a.get_parsed("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--input", "x"]).is_err());
+    }
+
+    #[test]
+    fn positional_after_command_is_an_error() {
+        assert!(parse(&["color", "stray"]).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // "-3" does not start with "--", so it binds as a value.
+        let a = parse(&["gen", "--offset", "-3"]).unwrap();
+        assert_eq!(a.get_parsed("offset", 0i64).unwrap(), -3);
+    }
+}

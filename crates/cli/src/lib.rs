@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Library backing the `sinrcolor` command-line tool.
+//!
+//! Everything is implemented against `Write` sinks and parsed argument
+//! structs so the whole tool is unit-testable without a process spawn:
+//!
+//! * [`args`] — hand-rolled flag parsing (`--key value` pairs).
+//! * [`io`] — the plain-text position/color file formats.
+//! * [`commands`] — one function per subcommand.
+//!
+//! # File formats
+//!
+//! *Positions*: one `x y` pair per line; blank lines and `#` comments are
+//! ignored. *Colors / slots*: one `node value` pair per line, same rules.
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+/// Exit status of a subcommand (0 = success).
+pub type CliResult = Result<(), CliError>;
+
+/// An error presented to the CLI user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+/// Convenience constructor used across the crate.
+pub fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}

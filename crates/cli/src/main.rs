@@ -1,0 +1,21 @@
+//! `sinrcolor` binary entry point: parse, dispatch, report.
+
+use sinr_cli::args::Args;
+use sinr_cli::commands::{dispatch, USAGE};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut out = std::io::stdout().lock();
+    let mut log = std::io::stderr().lock();
+    if let Err(e) = dispatch(&args, &mut out, &mut log) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

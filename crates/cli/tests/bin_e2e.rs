@@ -1,0 +1,71 @@
+//! End-to-end tests driving the actual `sinrcolor` binary.
+
+use std::process::Command;
+
+fn sinrcolor(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sinrcolor"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("sinrcolor-e2e-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = sinrcolor(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = sinrcolor(&["transmogrify"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_then_color_pipeline() {
+    let gen = sinrcolor(&["generate", "--kind", "uniform", "--n", "25", "--seed", "1"]);
+    assert!(gen.status.success());
+    let pts_file = tmp("pts.txt", &String::from_utf8_lossy(&gen.stdout));
+
+    let color = sinrcolor(&[
+        "color",
+        "--input",
+        pts_file.to_str().unwrap(),
+        "--seed",
+        "2",
+    ]);
+    assert!(
+        color.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&color.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&color.stdout);
+    assert_eq!(stdout.lines().count(), 25);
+    assert!(String::from_utf8_lossy(&color.stderr).contains("0 violations"));
+
+    let _ = std::fs::remove_file(pts_file);
+}
+
+#[test]
+fn malformed_input_reports_line_number() {
+    let bad = tmp("bad.txt", "1 2\nnot numbers\n");
+    let out = sinrcolor(&["info", "--input", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = sinrcolor(&["info", "--input", "/nonexistent/nowhere.txt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,135 @@
+//! The counter-reset function `χ(P_v)` of Fig. 1 line 6.
+//!
+//! `χ(P_v)` is "the maximum value such that
+//! `χ(P_v) ∉ {d_v(w) − ⌈γζ_i ln n⌉, …, d_v(w) + ⌈γζ_i ln n⌉}` for each
+//! `w ∈ P_v`, and `χ(P_v) ≤ 0`" — i.e. the largest non-positive integer
+//! outside every known competitor's forbidden window.
+
+/// Computes `χ` for the forbidden windows `[d − window, d + window]`
+/// centered at each estimate in `estimates`.
+///
+/// Returns the largest integer `x ≤ 0` such that `|x − d| > window` for
+/// every `d` in `estimates`.
+///
+/// # Panics
+///
+/// Panics if `window` is negative.
+///
+/// # Example
+///
+/// ```
+/// use sinr_coloring::chi::chi;
+///
+/// // No competitors: take 0.
+/// assert_eq!(chi(&[], 5), 0);
+/// // A competitor at 3 with window 5 forbids [-2, 8]: take -3.
+/// assert_eq!(chi(&[3], 5), -3);
+/// ```
+pub fn chi(estimates: &[i64], window: i64) -> i64 {
+    assert!(window >= 0, "forbidden window must be non-negative");
+    // Sort intervals by upper bound, descending; a single downward sweep
+    // then finds the maximum admissible value. (Candidate only decreases;
+    // an interval processed earlier can never re-contain it — its lower
+    // bound would have pushed the candidate below already.)
+    let mut intervals: Vec<(i64, i64)> = estimates
+        .iter()
+        .map(|&d| (d.saturating_sub(window), d.saturating_add(window)))
+        .collect();
+    intervals.sort_unstable_by_key(|&(_, hi)| std::cmp::Reverse(hi));
+    let mut candidate: i64 = 0;
+    for (lo, hi) in intervals {
+        if lo <= candidate && candidate <= hi {
+            candidate = lo - 1;
+        }
+    }
+    candidate
+}
+
+/// Whether `value` lies outside every forbidden window
+/// `[d − window, d + window]` — the admissibility predicate `χ` maximizes
+/// over.
+pub fn is_admissible(value: i64, estimates: &[i64], window: i64) -> bool {
+    value <= 0 && estimates.iter().all(|&d| (value - d).abs() > window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_give_zero() {
+        assert_eq!(chi(&[], 0), 0);
+        assert_eq!(chi(&[], 100), 0);
+    }
+
+    #[test]
+    fn positive_estimates_far_away_do_not_matter() {
+        assert_eq!(chi(&[100], 5), 0);
+    }
+
+    #[test]
+    fn window_straddling_zero_pushes_down() {
+        assert_eq!(chi(&[0], 2), -3);
+        assert_eq!(chi(&[2], 2), -1);
+        assert_eq!(chi(&[-1], 2), -4);
+    }
+
+    #[test]
+    fn stacked_windows_cascade() {
+        // Windows [-2,2] and [-7,-3] are contiguous: must go below both.
+        assert_eq!(chi(&[0, -5], 2), -8);
+        // A gap remains between [-2,2] and [-9,-5]: take -3.
+        assert_eq!(chi(&[0, -7], 2), -3);
+    }
+
+    #[test]
+    fn duplicates_are_harmless() {
+        assert_eq!(chi(&[0, 0, 0], 2), -3);
+    }
+
+    #[test]
+    fn zero_window_forbids_single_points() {
+        assert_eq!(chi(&[0], 0), -1);
+        assert_eq!(chi(&[0, -1, -2], 0), -3);
+        assert_eq!(chi(&[-2], 0), 0);
+    }
+
+    #[test]
+    fn result_is_admissible_and_maximal() {
+        // Exhaustive check against a brute-force maximum on small cases.
+        let cases: Vec<(Vec<i64>, i64)> = vec![
+            (vec![], 3),
+            (vec![0], 3),
+            (vec![5, -5], 3),
+            (vec![1, -2, -9], 2),
+            (vec![-1, -1, -8, 4], 1),
+            (vec![0, -4, -8, -12], 1),
+            (vec![0, -4, -8, -12], 2),
+            (vec![30, -30], 10),
+        ];
+        for (est, w) in cases {
+            let x = chi(&est, w);
+            assert!(
+                is_admissible(x, &est, w),
+                "chi {x} inadmissible for {est:?} w={w}"
+            );
+            // Maximality: brute force from 0 downward.
+            let mut best = None;
+            let mut v = 0i64;
+            while v > -200 {
+                if is_admissible(v, &est, w) {
+                    best = Some(v);
+                    break;
+                }
+                v -= 1;
+            }
+            assert_eq!(Some(x), best, "chi not maximal for {est:?} w={w}");
+        }
+    }
+
+    #[test]
+    fn admissibility_rejects_positive() {
+        assert!(!is_admissible(1, &[], 0));
+        assert!(is_admissible(0, &[], 0));
+    }
+}

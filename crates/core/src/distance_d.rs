@@ -1,0 +1,150 @@
+//! Distance-`d` colorings via the §V power-scaling transformation.
+//!
+//! The paper (§V, after Theorem 3): "a distance-1 coloring of
+//! `G^d = (V, E', d·R_T)` is also a `(d, O(Δ_{G^d}))`-coloring of `G` …
+//! A simple idea to compute a coloring of `G^d` is to set the transmission
+//! power of every node to `O(d^α·P)` before switching again to `P` once the
+//! network is initialized. … all the parameters used by the algorithm have
+//! to be tuned for `R_T' = d·R_T` and `Δ' = Δ_{G^d}`."
+
+use crate::mw::{run_mw, MwConfig, MwOutcome};
+use crate::params::MwParams;
+use sinr_geometry::{Point, UnitDiskGraph};
+use sinr_model::{SinrConfig, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+/// The result of a distance-`d` coloring run.
+#[derive(Debug, Clone)]
+pub struct DistanceDColoring {
+    /// The distance factor `d` (colors differ within `d·R_T`).
+    pub d: f64,
+    /// The power-scaled physical configuration used for the run
+    /// (`R_T' = d·R_T`).
+    pub scaled_cfg: SinrConfig,
+    /// The scaled communication graph `G^d` the algorithm actually ran on.
+    pub graph_d: UnitDiskGraph,
+    /// The raw MW outcome on `G^d`.
+    pub outcome: MwOutcome,
+}
+
+impl DistanceDColoring {
+    /// The color assignment, if the run completed.
+    pub fn colors(&self) -> Option<&[usize]> {
+        self.outcome.coloring.as_ref().map(|c| c.as_slice())
+    }
+}
+
+/// Computes a `(d, O(d²Δ))`-coloring of the network at `positions` under
+/// base configuration `cfg` by running the MW algorithm on `G^d` with
+/// power scaled to `d^α·P` (which makes `R_T' = d·R_T`).
+///
+/// Uses the practical parameter profile tuned for `Δ' = Δ_{G^d}`, exactly
+/// as §V prescribes.
+///
+/// # Panics
+///
+/// Panics if `d < 1` or the position set has fewer than 2 nodes.
+///
+/// # Example
+///
+/// ```
+/// use sinr_coloring::distance_d::color_at_distance;
+/// use sinr_coloring::verify::is_distance_coloring;
+/// use sinr_geometry::placement;
+/// use sinr_model::SinrConfig;
+/// use sinr_radiosim::WakeupSchedule;
+///
+/// let cfg = SinrConfig::default_unit();
+/// let pts = placement::uniform(25, 4.0, 4.0, 3);
+/// let result = color_at_distance(&pts, &cfg, 2.0, 1, WakeupSchedule::Synchronous);
+/// let colors = result.colors().expect("run completed");
+/// assert!(is_distance_coloring(&pts, colors, 2.0 * cfg.r_t()));
+/// ```
+pub fn color_at_distance(
+    positions: &[Point],
+    cfg: &SinrConfig,
+    d: f64,
+    seed: u64,
+    schedule: WakeupSchedule,
+) -> DistanceDColoring {
+    assert!(d >= 1.0, "distance factor must be at least 1");
+    assert!(positions.len() >= 2, "need at least two nodes");
+    // §V: power := d^α · P, so every derived radius scales by d.
+    let scaled_cfg = cfg.scaled_range(d);
+    let graph_d = UnitDiskGraph::new(positions.to_vec(), scaled_cfg.r_t());
+    let params = MwParams::practical(&scaled_cfg, graph_d.len(), graph_d.max_degree());
+    let outcome = run_mw(
+        &graph_d,
+        SinrModel::new(scaled_cfg),
+        &MwConfig::new(params).with_seed(seed),
+        schedule,
+    );
+    DistanceDColoring {
+        d,
+        scaled_cfg,
+        graph_d,
+        outcome,
+    }
+}
+
+/// The §V bound `Δ_{G^d} ≤ (2d+1)²·Δ` on the maximum degree of the scaled
+/// graph (via `φ(d·R_T) ≤ (2d+1)²`).
+pub fn scaled_degree_bound(delta: usize, d: f64) -> usize {
+    let f = 2.0 * d + 1.0;
+    ((f * f) * delta as f64).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_distance_coloring;
+    use sinr_geometry::placement;
+
+    fn cfg() -> SinrConfig {
+        SinrConfig::default_unit()
+    }
+
+    #[test]
+    fn produces_valid_distance_d_coloring() {
+        let pts = placement::uniform(30, 4.0, 4.0, 9);
+        for &d in &[1.0, 2.0] {
+            let result = color_at_distance(&pts, &cfg(), d, 4, WakeupSchedule::Synchronous);
+            assert!(result.outcome.all_done, "d = {d}");
+            let colors = result.colors().unwrap();
+            assert!(
+                is_distance_coloring(&pts, colors, d * cfg().r_t()),
+                "violations at d = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_graph_has_scaled_radius() {
+        let pts = placement::uniform(10, 3.0, 3.0, 1);
+        let result = color_at_distance(&pts, &cfg(), 3.0, 0, WakeupSchedule::Synchronous);
+        assert!((result.graph_d.radius() - 3.0 * cfg().r_t()).abs() < 1e-9);
+        assert!((result.scaled_cfg.r_t() - 3.0 * cfg().r_t()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_bound_formula() {
+        assert_eq!(scaled_degree_bound(10, 1.0), 90);
+        assert_eq!(scaled_degree_bound(10, 2.0), 250);
+    }
+
+    #[test]
+    fn degree_bound_holds_empirically() {
+        let pts = placement::uniform(200, 5.0, 5.0, 21);
+        let g1 = UnitDiskGraph::new(pts.clone(), 1.0);
+        let d = 2.0;
+        let gd = UnitDiskGraph::new(pts, d);
+        assert!(gd.max_degree() <= scaled_degree_bound(g1.max_degree().max(1), d));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_d_below_one() {
+        let pts = placement::uniform(5, 2.0, 2.0, 0);
+        let _ = color_at_distance(&pts, &cfg(), 0.5, 0, WakeupSchedule::Synchronous);
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! Distributed `O(Δ)`-coloring of unit disk graphs under the SINR physical
+//! model — a reproduction of Derbel & Talbi, *Distributed Node Coloring in
+//! the SINR Model*, ICDCS 2010.
+//!
+//! The paper re-tunes the Moscibroda–Wattenhofer (MW) coloring algorithm
+//! (SPAA'05 / Distributed Computing 2008) so that it is correct under the
+//! *physical* SINR interference model instead of the graph-based model, and
+//! proves (Theorem 2) that w.h.p. it produces a `(1, (φ(2R_T)+1)Δ)`-coloring
+//! in `O(Δ log n)` time slots.
+//!
+//! # Crate layout
+//!
+//! * [`params`] — the algorithm constants of §II (`λ, λ', σ, γ, η, μ, q_ℓ,
+//!   q_s`), as the literal *rigorous* formulas and as a *practical* profile
+//!   that keeps every functional form but shrinks the constants to
+//!   simulation scale.
+//! * [`chi`] — the counter-reset function `χ(P_v)` of Fig. 1 line 6.
+//! * [`mw`] — the three-state automaton of Figs. 1–3 and a driver that runs
+//!   it in the [`sinr_radiosim`] simulator under any interference model.
+//! * [`verify`] — `(d, V)`-coloring and independence verifiers.
+//! * [`distance_d`] — distance-`d` colorings via the §V power-scaling
+//!   transformation.
+//! * [`palette`] — the §V palette-reduction step down to `Δ+1` colors.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sinr_coloring::mw::{run_mw, MwConfig};
+//! use sinr_coloring::params::MwParams;
+//! use sinr_geometry::{placement, UnitDiskGraph};
+//! use sinr_model::{SinrConfig, SinrModel};
+//! use sinr_radiosim::WakeupSchedule;
+//!
+//! let cfg = SinrConfig::default_unit();
+//! let graph = UnitDiskGraph::new(placement::uniform(60, 4.0, 4.0, 1), cfg.r_t());
+//! let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+//! let outcome = run_mw(
+//!     &graph,
+//!     SinrModel::new(cfg),
+//!     &MwConfig::new(params).with_seed(1),
+//!     WakeupSchedule::Synchronous,
+//! );
+//! assert!(outcome.all_done);
+//! let coloring = outcome.coloring.expect("all nodes colored");
+//! assert!(coloring.is_proper(&graph));
+//! ```
+
+pub mod chi;
+pub mod distance_d;
+pub mod mis;
+pub mod mw;
+pub mod palette;
+pub mod params;
+pub mod render;
+pub mod verify;
+
+pub use mw::{run_mw, MwConfig, MwOutcome};
+pub use params::MwParams;

@@ -1,0 +1,175 @@
+//! The clustering stage of the MW algorithm as a standalone primitive:
+//! distributed maximal-independent-set / dominating-set computation under
+//! SINR.
+//!
+//! The `A_0`/`C_0` phase of the coloring algorithm *is* a distributed MIS
+//! election (the paper builds on exactly this structure; its reference
+//! \[20] studies the dominating-set problem under SINR in isolation).
+//! Running only this stage gives an `O(Δ log n)` SINR MIS algorithm —
+//! useful on its own for clustering, backbone formation, and as the seed
+//! of the full coloring.
+
+use crate::mw::node::{MwNode, MwPhase};
+use crate::mw::run::MwConfig;
+use sinr_geometry::{NodeId, UnitDiskGraph};
+use sinr_model::InterferenceModel;
+use sinr_radiosim::{Simulator, WakeupSchedule};
+
+/// Result of running the clustering stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusteringOutcome {
+    /// Whether every node was clustered before the slot cap.
+    pub all_clustered: bool,
+    /// Slots executed.
+    pub slots: u64,
+    /// The elected leaders (`C_0` members), ascending.
+    pub leaders: Vec<NodeId>,
+    /// For each node: the leader it joined (`None` for leaders
+    /// themselves, or for unfinished nodes in a capped run).
+    pub assignment: Vec<Option<NodeId>>,
+}
+
+impl ClusteringOutcome {
+    /// Whether the leader set is independent in `g` and every node is a
+    /// leader or adjacent to its leader — the MIS/dominating property.
+    pub fn is_maximal_independent(&self, g: &UnitDiskGraph) -> bool {
+        if !sinr_geometry::packing::is_independent(g, &self.leaders) {
+            return false;
+        }
+        (0..g.len()).all(|v| {
+            self.leaders.binary_search(&v).is_ok()
+                || self.assignment[v].is_some_and(|l| g.are_adjacent(v, l))
+        })
+    }
+}
+
+/// Runs only the clustering stage: stops as soon as every node is a
+/// leader or has joined one (entered state `R` or beyond), instead of
+/// waiting for full color decisions.
+///
+/// # Panics
+///
+/// Panics if the parameters fail validation.
+pub fn run_clustering<M: InterferenceModel>(
+    graph: &UnitDiskGraph,
+    model: M,
+    config: &MwConfig,
+    schedule: WakeupSchedule,
+) -> ClusteringOutcome {
+    config.params.validate().expect("invalid MW parameters");
+    let params = config.params;
+    let mut sim = Simulator::new(graph.clone(), model, schedule, config.seed, |id| {
+        MwNode::new(id, params)
+    });
+
+    let clustered = |node: &MwNode| -> bool {
+        // A node is "clustered" once it leads or knows its leader: state
+        // R, a granted A_i (i > 0), or any colored state.
+        matches!(node.phase(), MwPhase::Leader | MwPhase::Colored { .. }) || node.leader().is_some()
+    };
+
+    let cap = config.slot_cap();
+    let mut slots = 0;
+    while slots < cap && !sim.nodes().iter().all(clustered) {
+        let _ = sim.step();
+        slots += 1;
+    }
+
+    let leaders: Vec<NodeId> = (0..graph.len())
+        .filter(|&v| matches!(sim.node(v).phase(), MwPhase::Leader))
+        .collect();
+    let assignment = (0..graph.len()).map(|v| sim.node(v).leader()).collect();
+    ClusteringOutcome {
+        all_clustered: sim.nodes().iter().all(clustered),
+        slots,
+        leaders,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MwParams;
+    use sinr_geometry::{placement, Point};
+    use sinr_model::{SinrConfig, SinrModel};
+
+    fn cfg() -> SinrConfig {
+        SinrConfig::default_unit()
+    }
+
+    fn cluster(points: Vec<Point>, seed: u64) -> (UnitDiskGraph, ClusteringOutcome) {
+        let c = cfg();
+        let graph = UnitDiskGraph::new(points, c.r_t());
+        let params = MwParams::practical(&c, graph.len().max(2), graph.max_degree());
+        let out = run_clustering(
+            &graph,
+            SinrModel::new(c),
+            &MwConfig::new(params).with_seed(seed),
+            WakeupSchedule::Synchronous,
+        );
+        (graph, out)
+    }
+
+    #[test]
+    fn produces_a_maximal_independent_set() {
+        for seed in 0..4 {
+            let (g, out) = cluster(placement::uniform(50, 4.0, 4.0, 20 + seed), seed);
+            assert!(out.all_clustered, "seed {seed}");
+            assert!(out.is_maximal_independent(&g), "seed {seed}");
+            assert!(!out.leaders.is_empty());
+        }
+    }
+
+    #[test]
+    fn clustering_is_faster_than_full_coloring() {
+        let c = cfg();
+        let graph = UnitDiskGraph::new(placement::uniform(50, 4.0, 4.0, 31), c.r_t());
+        let params = MwParams::practical(&c, graph.len(), graph.max_degree());
+        let config = MwConfig::new(params).with_seed(7);
+        let mis = run_clustering(
+            &graph,
+            SinrModel::new(c),
+            &config,
+            WakeupSchedule::Synchronous,
+        );
+        let full = crate::mw::run_mw(
+            &graph,
+            SinrModel::new(c),
+            &config,
+            WakeupSchedule::Synchronous,
+        );
+        assert!(mis.all_clustered && full.all_done);
+        assert!(
+            mis.slots < full.slots,
+            "clustering ({}) should finish before coloring ({})",
+            mis.slots,
+            full.slots
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_lead_themselves() {
+        let (_, out) = cluster(vec![Point::new(0.0, 0.0), Point::new(9.0, 0.0)], 1);
+        assert!(out.all_clustered);
+        assert_eq!(out.leaders, vec![0, 1]);
+        assert_eq!(out.assignment, vec![None, None]);
+    }
+
+    #[test]
+    fn leaders_and_assignments_are_consistent() {
+        let (g, out) = cluster(placement::uniform(40, 3.5, 3.5, 5), 3);
+        for v in 0..g.len() {
+            match out.assignment[v] {
+                Some(l) => {
+                    assert!(out.leaders.binary_search(&l).is_ok(), "L({v}) must lead");
+                    assert!(g.are_adjacent(v, l));
+                }
+                None => assert!(
+                    out.leaders.binary_search(&v).is_ok(),
+                    "unassigned node {v} must be a leader"
+                ),
+            }
+        }
+    }
+}

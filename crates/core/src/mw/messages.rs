@@ -1,0 +1,98 @@
+//! The message alphabet of the MW algorithm.
+//!
+//! The paper uses four message forms; the sender's id is carried by the
+//! channel (the simulator delivers `(sender, message)` pairs), so it is not
+//! duplicated inside the message:
+//!
+//! | Paper               | Here                                    |
+//! |---------------------|-----------------------------------------|
+//! | `M_A^i(v, c_v)`     | [`MwMessage::Compete`]                  |
+//! | `M_C^i(v)`          | [`MwMessage::ColorTaken`]               |
+//! | `M_C^0(v, w, tc)`   | [`MwMessage::Grant`]                    |
+//! | `M_R(v, L(v))`      | [`MwMessage::Request`]                  |
+//!
+//! Note that a [`MwMessage::Grant`] *is* an `M_C^0` message: nodes in state
+//! `A_0` treat it as proof that the sender is a leader (Fig. 1 line 5),
+//! exactly like the queue-empty beacon `M_C^0(v)`.
+
+use sinr_geometry::NodeId;
+
+/// A message of the MW coloring protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MwMessage {
+    /// `M_A^i(v, c_v)`: the sender competes in `A_level` with the given
+    /// counter value (Fig. 1 line 11).
+    Compete {
+        /// The color level `i` being competed for.
+        level: usize,
+        /// The sender's counter `c_v` at transmission time.
+        counter: i64,
+    },
+    /// `M_C^i(v)`: the sender holds color `level`. For `level = 0` this is
+    /// the leader's queue-empty beacon (Fig. 2 line 9); for `level > 0`
+    /// the perpetual announcement of Fig. 2 line 3.
+    ColorTaken {
+        /// The color held by the sender.
+        level: usize,
+    },
+    /// `M_C^0(v, w, tc)`: the sending leader grants cluster color `tc` to
+    /// node `to` (Fig. 2 line 13).
+    Grant {
+        /// The requester being served.
+        to: NodeId,
+        /// The granted cluster color (`1 ≤ tc ≤` cluster size).
+        tc: usize,
+    },
+    /// `M_R(v, L(v))`: the sender requests a cluster color from its leader
+    /// (Fig. 3 line 2).
+    Request {
+        /// The leader the request is addressed to.
+        leader: NodeId,
+    },
+}
+
+impl MwMessage {
+    /// Whether this message proves its sender is in `C_level` — i.e.
+    /// whether a node competing in `A_level` must treat the color as taken
+    /// (Fig. 1 lines 5 and 12).
+    ///
+    /// For `level = 0` both the beacon and a grant qualify (grants are
+    /// `M_C^0` messages).
+    pub fn announces_color(&self, level: usize) -> bool {
+        match *self {
+            MwMessage::ColorTaken { level: l } => l == level,
+            MwMessage::Grant { .. } => level == 0,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_taken_matches_its_level_only() {
+        let m = MwMessage::ColorTaken { level: 3 };
+        assert!(m.announces_color(3));
+        assert!(!m.announces_color(0));
+        assert!(!m.announces_color(2));
+    }
+
+    #[test]
+    fn grant_is_a_level_zero_announcement() {
+        let m = MwMessage::Grant { to: 7, tc: 2 };
+        assert!(m.announces_color(0));
+        assert!(!m.announces_color(1));
+    }
+
+    #[test]
+    fn compete_and_request_announce_nothing() {
+        assert!(!MwMessage::Compete {
+            level: 0,
+            counter: 5
+        }
+        .announces_color(0));
+        assert!(!MwMessage::Request { leader: 1 }.announces_color(0));
+    }
+}

@@ -1,0 +1,27 @@
+//! The MW coloring automaton (Figs. 1–3 of the paper) and its driver.
+//!
+//! Each node cycles through three state classes:
+//!
+//! * **`A_i`** (Fig. 1) — *competing* for color `i`: first listen for
+//!   `⌈ηΔ ln n⌉` slots building counter estimates of already-active
+//!   competitors, then race a counter to `⌈σΔ ln n⌉`, resetting via
+//!   `χ(P_v)` whenever a nearby competitor's counter is too close.
+//! * **`C_i`** (Fig. 2) — *colored* with `i`. `C_0` nodes are the cluster
+//!   *leaders*: they beacon, queue color requests, and grant cluster colors
+//!   `tc = 1, 2, …` to their cluster members. `C_i` for `i > 0` keep
+//!   announcing `M_C^i` so that later competitors move on.
+//! * **`R`** (Fig. 3) — *requesting* a cluster color from the leader
+//!   `L(v)`; on grant `tc`, compete in `A_{tc·(φ(2R_T)+1)}`.
+//!
+//! The module is split into [`messages`] (the four message types), [`node`]
+//! (the per-node automaton implementing
+//! [`Protocol`](sinr_radiosim::Protocol)), and [`run`] (a driver executing
+//! the automaton in the simulator and packaging the outcome).
+
+pub mod messages;
+pub mod node;
+pub mod run;
+
+pub use messages::MwMessage;
+pub use node::{MwNode, MwPhase};
+pub use run::{run_mw, run_mw_local_delta, run_mw_observed, run_mw_per_node, MwConfig, MwOutcome};

@@ -1,0 +1,815 @@
+//! The per-node MW automaton: a line-by-line implementation of Figs. 1–3.
+
+use crate::chi::chi;
+use crate::mw::messages::MwMessage;
+use crate::params::MwParams;
+use sinr_geometry::NodeId;
+use sinr_radiosim::{Action, NodeCtx, Protocol, SlotRng};
+use std::collections::VecDeque;
+
+/// Which state class the node currently occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MwPhase {
+    /// `A_level`, initial listen loop (Fig. 1 lines 2–5): silent for
+    /// `remaining` more slots while tracking competitor counters.
+    Listen {
+        /// The color being competed for.
+        level: usize,
+        /// Slots left before the node starts counting (Fig. 1 line 6).
+        remaining: u64,
+    },
+    /// `A_level`, counter race (Fig. 1 lines 7–15).
+    Compete {
+        /// The color being competed for.
+        level: usize,
+    },
+    /// `R` (Fig. 3): requesting a cluster color from `leader`.
+    Request {
+        /// The leader `L(v)` chosen when the node was covered.
+        leader: NodeId,
+    },
+    /// `C_0` (Fig. 2, `i = 0`): the node is a cluster leader with color 0.
+    Leader,
+    /// `C_level` for `level > 0` (Fig. 2, `i > 0`): colored, forever
+    /// announcing `M_C^level`.
+    Colored {
+        /// The final color.
+        level: usize,
+    },
+}
+
+impl MwPhase {
+    /// The `A_i` level if the node is in state class `A`, else `None`.
+    pub fn competing_level(&self) -> Option<usize> {
+        match *self {
+            MwPhase::Listen { level, .. } | MwPhase::Compete { level } => Some(level),
+            _ => None,
+        }
+    }
+
+    /// A stable index into per-phase accounting arrays (see
+    /// [`MwNode::phase_slots`]).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            MwPhase::Listen { .. } => 0,
+            MwPhase::Compete { .. } => 1,
+            MwPhase::Request { .. } => 2,
+            MwPhase::Leader => 3,
+            MwPhase::Colored { .. } => 4,
+        }
+    }
+
+    /// Human-readable names matching [`MwPhase::kind_index`].
+    pub const KIND_NAMES: [&'static str; 5] = ["listen", "compete", "request", "leader", "colored"];
+}
+
+/// Leader-side bookkeeping (Fig. 2, `i = 0`).
+#[derive(Debug, Clone, Default)]
+struct LeaderState {
+    /// Pending requesters, FIFO (Fig. 2: the queue `Q`). The node being
+    /// served stays at the front until its grant window ends ("Remove w
+    /// from Q" happens after the `⌈μ ln n⌉` repetitions).
+    queue: VecDeque<NodeId>,
+    /// Next cluster color to hand out, pre-increment (Fig. 2: `tc`).
+    tc: usize,
+    /// `(granted tc, remaining grant slots)` for the front of the queue.
+    serving: Option<(usize, u64)>,
+    /// Cluster colors already granted, per requester. A node whose whole
+    /// grant window was lost re-requests and is re-served with the *same*
+    /// `tc` — this keeps `tc ≤` cluster size `≤ Δ` deterministically, so
+    /// the Theorem-2 palette bound holds surely instead of w.h.p. (the
+    /// literal pseudocode would burn a fresh color on every re-request).
+    granted: Vec<(NodeId, usize)>,
+}
+
+/// The MW automaton for one node.
+///
+/// Implements [`Protocol`]; drive it with the
+/// [`Simulator`](sinr_radiosim::Simulator) or via
+/// [`run_mw`](crate::mw::run_mw).
+#[derive(Debug, Clone)]
+pub struct MwNode {
+    id: NodeId,
+    params: MwParams,
+    phase: MwPhase,
+    /// Final color, set on entering any `C_i`.
+    color: Option<usize>,
+    /// Counter `c_v` (meaningful in `Compete`).
+    counter: i64,
+    /// `P_v` with the local copies `d_v(w)`: competitor counter estimates
+    /// for the *current* level (cleared on every level entry, Fig. 1
+    /// line 1).
+    estimates: Vec<(NodeId, i64)>,
+    /// `L(v)`: the leader this node joined, once covered.
+    leader: Option<NodeId>,
+    /// The cluster color `tc_v` received from the leader.
+    cluster_color: Option<usize>,
+    /// Leader-side state, present iff `phase == Leader`.
+    leader_state: LeaderState,
+    /// Number of `A_i` levels entered (diagnostics; Lemma 4 bounds it).
+    levels_entered: u32,
+    /// Number of `χ` resets performed (diagnostics).
+    resets: u32,
+    /// Slots spent in each phase kind (indexed by `MwPhase::kind_index`).
+    phase_slots: [u64; 5],
+}
+
+impl MwNode {
+    /// Creates the automaton for node `id` with the given parameters.
+    /// The node starts in `A_0` on wake-up.
+    pub fn new(id: NodeId, params: MwParams) -> Self {
+        let mut node = MwNode {
+            id,
+            params,
+            phase: MwPhase::Listen {
+                level: 0,
+                remaining: 0,
+            },
+            color: None,
+            counter: 0,
+            estimates: Vec::new(),
+            leader: None,
+            cluster_color: None,
+            leader_state: LeaderState::default(),
+            levels_entered: 0,
+            resets: 0,
+            phase_slots: [0; 5],
+        };
+        node.enter_level(0);
+        node
+    }
+
+    /// The node's final color, once decided.
+    pub fn color(&self) -> Option<usize> {
+        self.color
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> &MwPhase {
+        &self.phase
+    }
+
+    /// The leader `L(v)` this node joined, if any.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// The cluster color `tc_v` granted by the leader, if any.
+    pub fn cluster_color(&self) -> Option<usize> {
+        self.cluster_color
+    }
+
+    /// How many `A_i` levels this node has entered (Lemma 4 bounds the
+    /// levels *above* the granted one by `φ(2R_T)`).
+    pub fn levels_entered(&self) -> u32 {
+        self.levels_entered
+    }
+
+    /// How many times the node reset its counter to `χ(P_v)`.
+    pub fn resets(&self) -> u32 {
+        self.resets
+    }
+
+    /// Slots spent in each phase kind, indexed by
+    /// [`MwPhase::kind_index`] / named by [`MwPhase::KIND_NAMES`] —
+    /// the decomposition of the node's running time.
+    pub fn phase_slots(&self) -> [u64; 5] {
+        self.phase_slots
+    }
+
+    /// The send probability of this node in its current phase: `q_ℓ` for
+    /// leaders, `q_s` otherwise (§IV, proof of Lemma 3). Used by the
+    /// experiment harness to evaluate the probabilistic interference `Ψ`.
+    pub fn send_probability(&self) -> f64 {
+        match self.phase {
+            MwPhase::Leader => self.params.q_leader,
+            MwPhase::Listen { .. } => 0.0,
+            _ => self.params.q_small,
+        }
+    }
+
+    /// Enters state `A_level` (Fig. 1 line 1): clear `P_v`, start the
+    /// listen loop of `⌈ηΔ ln n⌉` slots.
+    fn enter_level(&mut self, level: usize) {
+        self.estimates.clear();
+        self.counter = 0;
+        self.levels_entered += 1;
+        self.phase = MwPhase::Listen {
+            level,
+            remaining: self.params.listen_slots(),
+        };
+    }
+
+    /// Becomes colored with `level` (Fig. 2 line 1): `C_0` ⇒ leader,
+    /// `C_i` ⇒ colored announcer.
+    fn enter_colored(&mut self, level: usize) {
+        self.color = Some(level);
+        self.phase = if level == 0 {
+            self.leader_state = LeaderState::default();
+            MwPhase::Leader
+        } else {
+            MwPhase::Colored { level }
+        };
+    }
+
+    /// `d_v(w) := d_v(w) + 1` for each `w ∈ P_v` (Fig. 1 lines 3 and 9).
+    fn bump_estimates(&mut self) {
+        for (_, d) in &mut self.estimates {
+            *d += 1;
+        }
+    }
+
+    /// `P_v := P_v ∪ {w}; d_v(w) := c_w` (Fig. 1 lines 4 and 14).
+    fn record_estimate(&mut self, w: NodeId, c_w: i64) {
+        if let Some(entry) = self.estimates.iter_mut().find(|(id, _)| *id == w) {
+            entry.1 = c_w;
+        } else {
+            self.estimates.push((w, c_w));
+        }
+    }
+
+    /// `χ(P_v)` for the current level's reset window (Fig. 1 line 6).
+    fn chi_value(&self, level: usize) -> i64 {
+        let window = self.params.reset_window(level);
+        let ds: Vec<i64> = self.estimates.iter().map(|&(_, d)| d).collect();
+        chi(&ds, window)
+    }
+
+    /// The leader's slot behaviour (Fig. 2, `i = 0`).
+    fn leader_begin_slot(&mut self, rng: &mut dyn SlotRng) -> Action<MwMessage> {
+        let st = &mut self.leader_state;
+        if st.serving.is_none() {
+            if let Some(&front) = st.queue.front() {
+                // Fig. 2 lines 11–13: tc := tc + 1; serve the first
+                // element — unless this requester was served before and
+                // lost its grant window, in which case re-serve its
+                // original tc (see `LeaderState::granted`).
+                let tc = match st.granted.iter().find(|&&(w, _)| w == front) {
+                    Some(&(_, tc)) => tc,
+                    None => {
+                        st.tc += 1;
+                        st.granted.push((front, st.tc));
+                        st.tc
+                    }
+                };
+                st.serving = Some((tc, self.params.response_slots()));
+            }
+        }
+        match st.serving {
+            Some((tc, ref mut remaining)) => {
+                let target = *st.queue.front().expect("serving implies non-empty queue");
+                *remaining -= 1;
+                let finished = *remaining == 0;
+                let action = if rng.chance(self.params.q_leader) {
+                    Action::Transmit(MwMessage::Grant { to: target, tc })
+                } else {
+                    Action::Listen
+                };
+                if finished {
+                    // Fig. 2 line 14: remove w from Q.
+                    st.queue.pop_front();
+                    st.serving = None;
+                }
+                action
+            }
+            None => {
+                // Fig. 2 lines 8–9: queue empty -> beacon with probability q_ℓ.
+                if rng.chance(self.params.q_leader) {
+                    Action::Transmit(MwMessage::ColorTaken { level: 0 })
+                } else {
+                    Action::Listen
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for MwNode {
+    type Message = MwMessage;
+
+    fn begin_slot(&mut self, _ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<MwMessage> {
+        self.phase_slots[self.phase.kind_index()] += 1;
+        match self.phase {
+            MwPhase::Listen { .. } => {
+                // Fig. 1 line 3: advance all local counter copies. The node
+                // is silent throughout the listen loop.
+                self.bump_estimates();
+                Action::Listen
+            }
+            MwPhase::Compete { level } => {
+                // Fig. 1 lines 8–9: increment own counter and all copies.
+                self.counter += 1;
+                self.bump_estimates();
+                // Fig. 1 line 10: threshold reached -> enter C_level.
+                if self.counter >= self.params.counter_threshold() {
+                    self.enter_colored(level);
+                    // The node acts as a C_level member from this very
+                    // slot (Fig. 2 starts immediately).
+                    return match self.phase {
+                        MwPhase::Leader => self.leader_begin_slot(rng),
+                        _ => {
+                            if rng.chance(self.params.q_small) {
+                                Action::Transmit(MwMessage::ColorTaken { level })
+                            } else {
+                                Action::Listen
+                            }
+                        }
+                    };
+                }
+                // Fig. 1 line 11: transmit M_A^i(v, c_v) with probability q_s.
+                if rng.chance(self.params.q_small) {
+                    Action::Transmit(MwMessage::Compete {
+                        level,
+                        counter: self.counter,
+                    })
+                } else {
+                    Action::Listen
+                }
+            }
+            MwPhase::Request { leader } => {
+                // Fig. 3 line 2: transmit M_R(v, L(v)) with probability q_s.
+                if rng.chance(self.params.q_small) {
+                    Action::Transmit(MwMessage::Request { leader })
+                } else {
+                    Action::Listen
+                }
+            }
+            MwPhase::Leader => self.leader_begin_slot(rng),
+            MwPhase::Colored { level } => {
+                // Fig. 2 line 3: transmit M_C^i(v) with probability q_s
+                // until the protocol stops.
+                if rng.chance(self.params.q_small) {
+                    Action::Transmit(MwMessage::ColorTaken { level })
+                } else {
+                    Action::Listen
+                }
+            }
+        }
+    }
+
+    fn end_slot(&mut self, _ctx: &NodeCtx, received: &[(NodeId, MwMessage)]) {
+        match self.phase {
+            MwPhase::Listen { level, remaining } => {
+                for &(w, msg) in received {
+                    if msg.announces_color(level) {
+                        // Fig. 1 line 5: covered -> A_suc (R for level 0,
+                        // A_{level+1} otherwise).
+                        if level == 0 {
+                            self.leader = Some(w);
+                            self.phase = MwPhase::Request { leader: w };
+                        } else {
+                            self.enter_level(level + 1);
+                        }
+                        return;
+                    }
+                    if let MwMessage::Compete {
+                        level: l,
+                        counter: c_w,
+                    } = msg
+                    {
+                        if l == level {
+                            // Fig. 1 line 4.
+                            self.record_estimate(w, c_w);
+                        }
+                    }
+                }
+                // Advance the listen loop; after the last iteration compute
+                // c_v := χ(P_v) and start competing (Fig. 1 lines 6–7).
+                let remaining = remaining - 1;
+                if remaining == 0 {
+                    self.counter = self.chi_value(level);
+                    self.phase = MwPhase::Compete { level };
+                } else {
+                    self.phase = MwPhase::Listen { level, remaining };
+                }
+            }
+            MwPhase::Compete { level } => {
+                for &(w, msg) in received {
+                    if msg.announces_color(level) {
+                        // Fig. 1 line 12.
+                        if level == 0 {
+                            self.leader = Some(w);
+                            self.phase = MwPhase::Request { leader: w };
+                        } else {
+                            self.enter_level(level + 1);
+                        }
+                        return;
+                    }
+                    if let MwMessage::Compete {
+                        level: l,
+                        counter: c_w,
+                    } = msg
+                    {
+                        if l == level {
+                            // Fig. 1 lines 13–15.
+                            self.record_estimate(w, c_w);
+                            if (self.counter - c_w).abs() <= self.params.reset_window(level) {
+                                self.counter = self.chi_value(level);
+                                self.resets += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            MwPhase::Request { leader } => {
+                for &(w, msg) in received {
+                    if let MwMessage::Grant { to, tc } = msg {
+                        // Fig. 3 lines 3–4: a grant from my leader
+                        // addressed to me.
+                        if w == leader && to == self.id {
+                            self.cluster_color = Some(tc);
+                            self.enter_level(tc * self.params.spread);
+                            return;
+                        }
+                    }
+                }
+            }
+            MwPhase::Leader => {
+                for &(w, msg) in received {
+                    if let MwMessage::Request { leader } = msg {
+                        // Fig. 2 line 7: enqueue unseen requesters.
+                        if leader == self.id && !self.leader_state.queue.contains(&w) {
+                            self.leader_state.queue.push_back(w);
+                        }
+                    }
+                }
+            }
+            MwPhase::Colored { .. } => {}
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.color.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_model::SinrConfig;
+
+    fn params() -> MwParams {
+        MwParams::practical(&SinrConfig::default_unit(), 64, 4)
+    }
+
+    fn ctx(id: NodeId, slot: u64) -> NodeCtx {
+        NodeCtx {
+            id,
+            global_slot: slot,
+            local_slot: slot,
+        }
+    }
+
+    /// A SlotRng with a fixed answer for `chance`.
+    struct FixedRng(bool);
+    impl SlotRng for FixedRng {
+        fn chance(&mut self, _p: f64) -> bool {
+            self.0
+        }
+        fn uniform(&mut self) -> f64 {
+            if self.0 {
+                0.0
+            } else {
+                0.999
+            }
+        }
+        fn pick(&mut self, _bound: u64) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn starts_listening_at_level_zero() {
+        let node = MwNode::new(3, params());
+        assert_eq!(
+            *node.phase(),
+            MwPhase::Listen {
+                level: 0,
+                remaining: params().listen_slots()
+            }
+        );
+        assert_eq!(node.color(), None);
+        assert!(!node.is_done());
+        assert_eq!(node.send_probability(), 0.0);
+    }
+
+    #[test]
+    fn listen_phase_is_silent_and_times_out_into_compete() {
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        let mut rng = FixedRng(true); // would transmit if allowed
+        for s in 0..p.listen_slots() {
+            let a = node.begin_slot(&ctx(0, s), &mut rng);
+            assert_eq!(a, Action::Listen, "listen phase must be silent");
+            node.end_slot(&ctx(0, s), &[]);
+        }
+        assert_eq!(*node.phase(), MwPhase::Compete { level: 0 });
+        // No competitors seen: χ(∅) = 0.
+        assert_eq!(node.counter, 0);
+    }
+
+    #[test]
+    fn lone_node_becomes_leader_after_threshold() {
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        let mut rng = FixedRng(false); // never transmit (q_s draws fail)
+        let mut slot = 0;
+        let budget = p.listen_slots() + p.counter_threshold() as u64 + 2;
+        while !node.is_done() && slot < budget {
+            let _ = node.begin_slot(&ctx(0, slot), &mut rng);
+            node.end_slot(&ctx(0, slot), &[]);
+            slot += 1;
+        }
+        assert_eq!(node.color(), Some(0));
+        assert_eq!(*node.phase(), MwPhase::Leader);
+        assert_eq!(node.send_probability(), p.q_leader);
+    }
+
+    #[test]
+    fn hearing_leader_in_listen_moves_to_request() {
+        let p = params();
+        let mut node = MwNode::new(5, p);
+        let mut rng = FixedRng(false);
+        let _ = node.begin_slot(&ctx(5, 0), &mut rng);
+        node.end_slot(&ctx(5, 0), &[(9, MwMessage::ColorTaken { level: 0 })]);
+        assert_eq!(*node.phase(), MwPhase::Request { leader: 9 });
+        assert_eq!(node.leader(), Some(9));
+    }
+
+    #[test]
+    fn grant_addressed_to_other_is_still_a_beacon_for_a0() {
+        let p = params();
+        let mut node = MwNode::new(5, p);
+        let mut rng = FixedRng(false);
+        let _ = node.begin_slot(&ctx(5, 0), &mut rng);
+        node.end_slot(&ctx(5, 0), &[(9, MwMessage::Grant { to: 2, tc: 1 })]);
+        assert_eq!(*node.phase(), MwPhase::Request { leader: 9 });
+    }
+
+    #[test]
+    fn request_ignores_foreign_grants_accepts_own() {
+        let p = params();
+        let mut node = MwNode::new(5, p);
+        node.phase = MwPhase::Request { leader: 9 };
+        node.leader = Some(9);
+        let mut rng = FixedRng(false);
+        // Grant from another leader to me: ignored.
+        let _ = node.begin_slot(&ctx(5, 0), &mut rng);
+        node.end_slot(&ctx(5, 0), &[(8, MwMessage::Grant { to: 5, tc: 1 })]);
+        assert!(matches!(*node.phase(), MwPhase::Request { .. }));
+        // Grant from my leader to someone else: ignored.
+        let _ = node.begin_slot(&ctx(5, 1), &mut rng);
+        node.end_slot(&ctx(5, 1), &[(9, MwMessage::Grant { to: 6, tc: 1 })]);
+        assert!(matches!(*node.phase(), MwPhase::Request { .. }));
+        // Grant from my leader to me: accepted, enter A_{tc·spread}.
+        let _ = node.begin_slot(&ctx(5, 2), &mut rng);
+        node.end_slot(&ctx(5, 2), &[(9, MwMessage::Grant { to: 5, tc: 2 })]);
+        assert_eq!(
+            node.phase().competing_level(),
+            Some(2 * p.spread),
+            "enters A_(tc*spread)"
+        );
+        assert_eq!(node.cluster_color(), Some(2));
+    }
+
+    #[test]
+    fn compete_resets_on_close_counter() {
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        node.phase = MwPhase::Compete { level: 0 };
+        node.counter = 10;
+        let mut rng = FixedRng(false);
+        let _ = node.begin_slot(&ctx(0, 0), &mut rng); // counter -> 11
+        let w = p.reset_window(0);
+        // Competitor counter within the window: reset to χ ≤ -(w+1)+...
+        node.end_slot(
+            &ctx(0, 0),
+            &[(
+                3,
+                MwMessage::Compete {
+                    level: 0,
+                    counter: 11,
+                },
+            )],
+        );
+        assert!(node.counter <= 0, "counter must reset to χ ≤ 0");
+        assert!(node.counter < 11 - w, "counter left the forbidden window");
+        assert_eq!(node.resets(), 1);
+    }
+
+    #[test]
+    fn compete_ignores_far_counter_and_other_levels() {
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        node.phase = MwPhase::Compete { level: 0 };
+        node.counter = 10;
+        let mut rng = FixedRng(false);
+        let _ = node.begin_slot(&ctx(0, 0), &mut rng); // 11
+        let far = 11 + p.reset_window(0) + 5;
+        node.end_slot(
+            &ctx(0, 0),
+            &[
+                (
+                    3,
+                    MwMessage::Compete {
+                        level: 0,
+                        counter: far,
+                    },
+                ),
+                (
+                    4,
+                    MwMessage::Compete {
+                        level: 7,
+                        counter: 11,
+                    },
+                ),
+                (5, MwMessage::ColorTaken { level: 2 }),
+            ],
+        );
+        assert_eq!(node.counter, 11, "no reset for far/foreign messages");
+        assert_eq!(*node.phase(), MwPhase::Compete { level: 0 });
+    }
+
+    #[test]
+    fn losing_level_i_moves_to_next_level() {
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        node.phase = MwPhase::Compete { level: 3 };
+        let mut rng = FixedRng(false);
+        let _ = node.begin_slot(&ctx(0, 0), &mut rng);
+        node.end_slot(&ctx(0, 0), &[(2, MwMessage::ColorTaken { level: 3 })]);
+        assert_eq!(
+            *node.phase(),
+            MwPhase::Listen {
+                level: 4,
+                remaining: p.listen_slots()
+            }
+        );
+    }
+
+    #[test]
+    fn threshold_transition_happens_before_transmit() {
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        node.phase = MwPhase::Compete { level: 2 };
+        node.counter = p.counter_threshold() - 1;
+        let mut rng = FixedRng(true); // all sends succeed
+        let action = node.begin_slot(&ctx(0, 0), &mut rng);
+        // The node crossed the threshold this slot: it must announce the
+        // color, not a compete message.
+        assert_eq!(action, Action::Transmit(MwMessage::ColorTaken { level: 2 }));
+        assert_eq!(node.color(), Some(2));
+        assert!(node.is_done());
+    }
+
+    #[test]
+    fn leader_serves_queue_in_fifo_order_with_incrementing_tc() {
+        let p = params();
+        let mut node = MwNode::new(9, p);
+        node.enter_colored(0);
+        let mut rng_tx = FixedRng(true);
+        // Two requests arrive (plus a duplicate).
+        node.end_slot(
+            &ctx(9, 0),
+            &[
+                (4, MwMessage::Request { leader: 9 }),
+                (7, MwMessage::Request { leader: 9 }),
+                (4, MwMessage::Request { leader: 9 }),
+            ],
+        );
+        assert_eq!(node.leader_state.queue.len(), 2);
+        // First grant window: tc = 1 for node 4, lasting response_slots.
+        for s in 0..p.response_slots() {
+            let a = node.begin_slot(&ctx(9, 1 + s), &mut rng_tx);
+            assert_eq!(a, Action::Transmit(MwMessage::Grant { to: 4, tc: 1 }));
+            node.end_slot(&ctx(9, 1 + s), &[]);
+        }
+        // Second grant window: tc = 2 for node 7.
+        let a = node.begin_slot(&ctx(9, 99), &mut rng_tx);
+        assert_eq!(a, Action::Transmit(MwMessage::Grant { to: 7, tc: 2 }));
+        // Requests received for a node already in the queue are dropped;
+        // the front is still being served.
+        node.end_slot(&ctx(9, 99), &[(7, MwMessage::Request { leader: 9 })]);
+        assert_eq!(node.leader_state.queue.len(), 1);
+    }
+
+    #[test]
+    fn leader_reserves_same_tc_on_rerequest() {
+        // A requester that lost its entire grant window re-requests; the
+        // leader must re-serve the original tc, keeping tc <= cluster
+        // size (the Theorem-2 palette bound depends on this).
+        let p = params();
+        let mut node = MwNode::new(9, p);
+        node.enter_colored(0);
+        let mut rng = FixedRng(true);
+        // First service cycle for node 4 (tc = 1).
+        node.end_slot(&ctx(9, 0), &[(4, MwMessage::Request { leader: 9 })]);
+        for s in 0..p.response_slots() {
+            let a = node.begin_slot(&ctx(9, 1 + s), &mut rng);
+            assert_eq!(a, Action::Transmit(MwMessage::Grant { to: 4, tc: 1 }));
+            node.end_slot(&ctx(9, 1 + s), &[]);
+        }
+        // Node 4 missed everything and requests again; a new node 6 also
+        // requests. Node 4 is re-served tc = 1; node 6 then gets tc = 2.
+        node.end_slot(
+            &ctx(9, 100),
+            &[
+                (4, MwMessage::Request { leader: 9 }),
+                (6, MwMessage::Request { leader: 9 }),
+            ],
+        );
+        for s in 0..p.response_slots() {
+            let a = node.begin_slot(&ctx(9, 101 + s), &mut rng);
+            assert_eq!(a, Action::Transmit(MwMessage::Grant { to: 4, tc: 1 }));
+            node.end_slot(&ctx(9, 101 + s), &[]);
+        }
+        let a = node.begin_slot(&ctx(9, 999), &mut rng);
+        assert_eq!(a, Action::Transmit(MwMessage::Grant { to: 6, tc: 2 }));
+    }
+
+    #[test]
+    fn leader_beacons_when_queue_empty() {
+        let p = params();
+        let mut node = MwNode::new(9, p);
+        node.enter_colored(0);
+        let mut rng = FixedRng(true);
+        let a = node.begin_slot(&ctx(9, 0), &mut rng);
+        assert_eq!(a, Action::Transmit(MwMessage::ColorTaken { level: 0 }));
+        // Foreign requests are ignored.
+        node.end_slot(&ctx(9, 0), &[(4, MwMessage::Request { leader: 8 })]);
+        assert!(node.leader_state.queue.is_empty());
+    }
+
+    #[test]
+    fn colored_node_announces_forever_with_q_small() {
+        let p = params();
+        let mut node = MwNode::new(1, p);
+        node.enter_colored(5);
+        assert_eq!(node.color(), Some(5));
+        assert_eq!(node.send_probability(), p.q_small);
+        let mut rng = FixedRng(true);
+        for s in 0..10 {
+            let a = node.begin_slot(&ctx(1, s), &mut rng);
+            assert_eq!(a, Action::Transmit(MwMessage::ColorTaken { level: 5 }));
+            node.end_slot(&ctx(1, s), &[]);
+        }
+    }
+
+    #[test]
+    fn estimates_are_updated_not_duplicated() {
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        node.phase = MwPhase::Compete { level: 0 };
+        node.counter = -1000; // avoid resets interfering
+        let mut rng = FixedRng(false);
+        let _ = node.begin_slot(&ctx(0, 0), &mut rng);
+        node.end_slot(
+            &ctx(0, 0),
+            &[(
+                3,
+                MwMessage::Compete {
+                    level: 0,
+                    counter: 50,
+                },
+            )],
+        );
+        let _ = node.begin_slot(&ctx(0, 1), &mut rng);
+        node.end_slot(
+            &ctx(0, 1),
+            &[(
+                3,
+                MwMessage::Compete {
+                    level: 0,
+                    counter: 60,
+                },
+            )],
+        );
+        assert_eq!(node.estimates.len(), 1);
+        assert_eq!(node.estimates[0], (3, 60));
+    }
+
+    #[test]
+    fn estimate_copies_advance_each_slot() {
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        node.phase = MwPhase::Compete { level: 0 };
+        node.counter = -1000;
+        let mut rng = FixedRng(false);
+        let _ = node.begin_slot(&ctx(0, 0), &mut rng);
+        node.end_slot(
+            &ctx(0, 0),
+            &[(
+                3,
+                MwMessage::Compete {
+                    level: 0,
+                    counter: 50,
+                },
+            )],
+        );
+        for s in 1..=4 {
+            let _ = node.begin_slot(&ctx(0, s), &mut rng);
+            node.end_slot(&ctx(0, s), &[]);
+        }
+        assert_eq!(node.estimates[0], (3, 54));
+    }
+}

@@ -1,0 +1,161 @@
+//! The §V palette-reduction step: from any proper coloring down to `Δ+1`
+//! colors.
+//!
+//! The paper (end of §V): "using a standard palette-reduction procedure
+//! \[Peleg], it is easy to see that it is possible to compute a
+//! `(1, Δ+1)`-coloring in the SINR model in `O(Δ log n)` distributed time …
+//! every node with color `c` first chooses a new legitimate color from
+//! `{1, …, Δ+1}`, and then communicates its new color to its neighbors."
+//!
+//! This module implements the color-class-ordered re-selection at the graph
+//! level: classes are processed in increasing old-color order; within a
+//! class all nodes act simultaneously (they are pairwise non-adjacent, so
+//! no conflict is possible), each picking the smallest color of
+//! `{0, …, Δ}` not already picked by a re-colored neighbor. The MAC-layer
+//! crate schedules exactly this procedure over the TDMA frames of
+//! Theorem 3 (each color ↔ one slot), realizing the `O(Δ log n)` bound.
+
+use sinr_geometry::greedy::Coloring;
+use sinr_geometry::UnitDiskGraph;
+
+/// Reduces a proper coloring of `g` to a proper coloring with at most
+/// `Δ+1` colors (palette `{0, …, Δ}`), processing old color classes in
+/// ascending order.
+///
+/// Returns the new coloring; properness is preserved, and the palette is
+/// at most `g.max_degree() + 1`.
+///
+/// # Panics
+///
+/// Panics if `coloring` does not cover every node of `g` or is not proper.
+pub fn reduce_palette(g: &UnitDiskGraph, coloring: &Coloring) -> Coloring {
+    assert_eq!(
+        coloring.as_slice().len(),
+        g.len(),
+        "coloring must cover every node"
+    );
+    assert!(coloring.is_proper(g), "input coloring must be proper");
+
+    const UNSET: usize = usize::MAX;
+    let mut new_colors = vec![UNSET; g.len()];
+
+    // Old color classes in ascending order. Nodes inside one class are
+    // pairwise non-adjacent (input is proper), so processing them "at the
+    // same time" cannot create conflicts among them.
+    let mut order: Vec<usize> = (0..g.len()).collect();
+    order.sort_by_key(|&v| coloring.color(v));
+
+    let mut forbidden: Vec<usize> = Vec::new();
+    for &v in &order {
+        forbidden.clear();
+        forbidden.extend(
+            g.neighbors(v)
+                .iter()
+                .map(|&u| new_colors[u])
+                .filter(|&c| c != UNSET),
+        );
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let mut c = 0;
+        for &f in &forbidden {
+            if f == c {
+                c += 1;
+            } else if f > c {
+                break;
+            }
+        }
+        new_colors[v] = c;
+    }
+    Coloring::from_vec(new_colors)
+}
+
+/// The number of *rounds* the distributed schedule of the reduction needs:
+/// one two-slot frame period per old color, i.e. `2·V_old` slots when run
+/// over a Theorem-3 TDMA schedule ("each color `c` being associated with 2
+/// time slots period `{t_c, t_c+1}`").
+pub fn reduction_slot_cost(old_palette: usize) -> u64 {
+    2 * old_palette as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::greedy::greedy_coloring;
+    use sinr_geometry::{placement, Point};
+
+    fn graph(seed: u64, n: usize) -> UnitDiskGraph {
+        UnitDiskGraph::new(placement::uniform(n, 4.0, 4.0, seed), 1.0)
+    }
+
+    /// A wasteful but proper coloring: every node its own color.
+    fn rainbow(g: &UnitDiskGraph) -> Coloring {
+        Coloring::from_vec((0..g.len()).collect())
+    }
+
+    #[test]
+    fn reduces_rainbow_to_delta_plus_one() {
+        for seed in 0..4 {
+            let g = graph(seed, 80);
+            let reduced = reduce_palette(&g, &rainbow(&g));
+            assert!(reduced.is_proper(&g), "seed {seed}");
+            assert!(
+                reduced.palette_size() <= g.max_degree() + 1,
+                "seed {seed}: {} > Δ+1 = {}",
+                reduced.palette_size(),
+                g.max_degree() + 1
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_properness_of_greedy_input() {
+        let g = graph(11, 60);
+        let input = greedy_coloring(&g);
+        let reduced = reduce_palette(&g, &input);
+        assert!(reduced.is_proper(&g));
+        assert!(reduced.palette_size() <= input.palette_size().max(g.max_degree() + 1));
+    }
+
+    #[test]
+    fn already_minimal_coloring_is_not_worsened() {
+        // Path of 3 nodes: 2 colors suffice and must remain 2.
+        let g = UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.9, 0.0),
+                Point::new(1.8, 0.0),
+            ],
+            1.0,
+        );
+        let input = Coloring::from_vec(vec![0, 1, 0]);
+        let reduced = reduce_palette(&g, &input);
+        assert!(reduced.is_proper(&g));
+        assert!(reduced.palette_size() <= 2);
+    }
+
+    #[test]
+    fn sparse_colorings_with_huge_palettes_shrink() {
+        // Simulates an MW output: palette spread over (Δ+1)·spread values.
+        let g = graph(5, 70);
+        let spread = 26;
+        let base = greedy_coloring(&g);
+        let spread_colors: Vec<usize> = base.as_slice().iter().map(|&c| c * spread + 3).collect();
+        let input = Coloring::from_vec(spread_colors);
+        assert!(input.is_proper(&g));
+        let reduced = reduce_palette(&g, &input);
+        assert!(reduced.is_proper(&g));
+        assert!(reduced.palette_size() <= g.max_degree() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "proper")]
+    fn rejects_improper_input() {
+        let g = UnitDiskGraph::new(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)], 1.0);
+        let _ = reduce_palette(&g, &Coloring::from_vec(vec![1, 1]));
+    }
+
+    #[test]
+    fn slot_cost_is_two_per_color() {
+        assert_eq!(reduction_slot_cost(10), 20);
+    }
+}

@@ -1,0 +1,184 @@
+//! SVG rendering of placements, graphs, and colorings.
+//!
+//! Produces self-contained SVG documents: edges as light segments, nodes
+//! as circles filled by color class. Useful for eyeballing experiment
+//! instances and for the `sinrcolor render` CLI subcommand.
+
+use sinr_geometry::{Bbox, Point, UnitDiskGraph};
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOptions {
+    /// Output width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Node radius in pixels.
+    pub node_radius_px: f64,
+    /// Whether to draw communication edges.
+    pub draw_edges: bool,
+    /// Whether to label nodes with their ids.
+    pub draw_labels: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width_px: 800.0,
+            node_radius_px: 6.0,
+            draw_edges: true,
+            draw_labels: false,
+        }
+    }
+}
+
+/// A fixed 12-hue palette cycled by color index (distinct enough for
+/// small palettes; classes `i` and `i+12` share a hue).
+const PALETTE: [&str; 12] = [
+    "#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4", "#46f0f0", "#f032e6", "#bcf60c",
+    "#fabebe", "#008080", "#9a6324", "#800000",
+];
+
+/// The fill color used for node color-class `c`.
+pub fn class_fill(c: usize) -> &'static str {
+    PALETTE[c % PALETTE.len()]
+}
+
+/// Renders the graph with an optional coloring (`colors[v]` = class of
+/// node `v`) as a self-contained SVG document.
+///
+/// # Panics
+///
+/// Panics if `colors` is `Some` and does not cover every node.
+pub fn render_svg(g: &UnitDiskGraph, colors: Option<&[usize]>, opts: &RenderOptions) -> String {
+    if let Some(cs) = colors {
+        assert_eq!(cs.len(), g.len(), "one color per node");
+    }
+    let bbox = Bbox::enclosing(g.positions())
+        .unwrap_or_else(|| Bbox::square(1.0))
+        .expanded(g.radius().max(0.5) / 2.0);
+    let scale = opts.width_px / bbox.width().max(1e-9);
+    let height_px = bbox.height().max(1e-9) * scale;
+    let tx = |p: Point| -> (f64, f64) {
+        (
+            (p.x - bbox.min().x) * scale,
+            // SVG y grows downward; flip so the plot is upright.
+            height_px - (p.y - bbox.min().y) * scale,
+        )
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        opts.width_px, height_px, opts.width_px, height_px
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    if opts.draw_edges {
+        let _ = writeln!(svg, r##"<g stroke="#cccccc" stroke-width="1">"##);
+        for (u, v) in g.edges() {
+            let (x1, y1) = tx(g.position(u));
+            let (x2, y2) = tx(g.position(v));
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}"/>"#
+            );
+        }
+        let _ = writeln!(svg, "</g>");
+    }
+
+    let _ = writeln!(svg, r##"<g stroke="#333333" stroke-width="1">"##);
+    for v in 0..g.len() {
+        let (x, y) = tx(g.position(v));
+        let fill = colors.map_or("#888888", |cs| class_fill(cs[v]));
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="{:.1}" fill="{fill}"/>"#,
+            opts.node_radius_px
+        );
+        if opts.draw_labels {
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="{:.0}" fill="black">{v}</text>"#,
+                x + opts.node_radius_px,
+                y - opts.node_radius_px,
+                opts.node_radius_px * 2.0
+            );
+        }
+    }
+    let _ = writeln!(svg, "</g>");
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::placement;
+
+    fn graph() -> UnitDiskGraph {
+        UnitDiskGraph::new(placement::uniform(20, 3.0, 3.0, 1), 1.0)
+    }
+
+    #[test]
+    fn svg_has_document_structure() {
+        let g = graph();
+        let svg = render_svg(&g, None, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), g.len());
+    }
+
+    #[test]
+    fn edges_render_when_enabled() {
+        let g = graph();
+        let with = render_svg(&g, None, &RenderOptions::default());
+        assert_eq!(with.matches("<line").count(), g.edge_count());
+        let without = render_svg(
+            &g,
+            None,
+            &RenderOptions {
+                draw_edges: false,
+                ..RenderOptions::default()
+            },
+        );
+        assert_eq!(without.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn colors_map_to_palette_fills() {
+        let g = graph();
+        let colors: Vec<usize> = (0..g.len()).map(|v| v % 3).collect();
+        let svg = render_svg(&g, Some(&colors), &RenderOptions::default());
+        for c in 0..3 {
+            assert!(svg.contains(class_fill(c)), "palette color {c} missing");
+        }
+    }
+
+    #[test]
+    fn labels_render_when_enabled() {
+        let g = graph();
+        let svg = render_svg(
+            &g,
+            None,
+            &RenderOptions {
+                draw_labels: true,
+                ..RenderOptions::default()
+            },
+        );
+        assert_eq!(svg.matches("<text").count(), g.len());
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(class_fill(0), class_fill(12));
+        assert_ne!(class_fill(0), class_fill(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one color per node")]
+    fn mismatched_colors_panic() {
+        let g = graph();
+        let _ = render_svg(&g, Some(&[0, 1]), &RenderOptions::default());
+    }
+}

@@ -1,0 +1,208 @@
+//! Axis-aligned bounding boxes describing deployment areas.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// Used to describe the deployment area of a node placement and to clamp
+/// generated points.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::{Bbox, Point};
+///
+/// let area = Bbox::new(0.0, 0.0, 10.0, 5.0);
+/// assert!(area.contains(Point::new(3.0, 4.0)));
+/// assert!(!area.contains(Point::new(3.0, 6.0)));
+/// assert_eq!(area.area(), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bbox {
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+}
+
+impl Bbox {
+    /// Creates a bounding box from its lower-left corner `(min_x, min_y)`
+    /// and upper-right corner `(max_x, max_y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_x > max_x` or `min_y > max_y`, or any bound is not
+    /// finite.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(
+            min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite(),
+            "bbox bounds must be finite"
+        );
+        assert!(min_x <= max_x && min_y <= max_y, "bbox bounds are inverted");
+        Bbox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// A square `[0, side] × [0, side]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is negative or not finite.
+    pub fn square(side: f64) -> Self {
+        Bbox::new(0.0, 0.0, side, side)
+    }
+
+    /// The smallest box containing every point of the (non-empty) slice.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn enclosing(points: &[Point]) -> Option<Self> {
+        let first = points.first()?;
+        let mut b = Bbox::new(first.x, first.y, first.x, first.y);
+        for p in &points[1..] {
+            b.min_x = b.min_x.min(p.x);
+            b.min_y = b.min_y.min(p.y);
+            b.max_x = b.max_x.max(p.x);
+            b.max_y = b.max_y.max(p.y);
+        }
+        Some(b)
+    }
+
+    /// Lower-left corner.
+    pub fn min(&self) -> Point {
+        Point::new(self.min_x, self.min_y)
+    }
+
+    /// Upper-right corner.
+    pub fn max(&self) -> Point {
+        Point::new(self.max_x, self.max_y)
+    }
+
+    /// Width along the x axis.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height along the y axis.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Surface area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// Whether the point lies inside the box (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// The nearest point of the box to `p` (i.e. `p` clamped to the box).
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min_x, self.max_x),
+            p.y.clamp(self.min_y, self.max_y),
+        )
+    }
+
+    /// Grows the box by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking (negative margin) would invert the box.
+    pub fn expanded(&self, margin: f64) -> Bbox {
+        Bbox::new(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+    }
+}
+
+impl fmt::Display for Bbox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.2}, {:.2}] x [{:.2}, {:.2}]",
+            self.min_x, self.max_x, self.min_y, self.max_y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_has_expected_geometry() {
+        let b = Bbox::square(4.0);
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 4.0);
+        assert_eq!(b.area(), 16.0);
+        assert_eq!(b.center(), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn contains_is_boundary_inclusive() {
+        let b = Bbox::new(0.0, 0.0, 1.0, 1.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(1.0, 1.0)));
+        assert!(!b.contains(Point::new(1.0 + 1e-9, 0.5)));
+    }
+
+    #[test]
+    fn clamp_projects_outside_points() {
+        let b = Bbox::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(b.clamp(Point::new(2.0, -1.0)), Point::new(1.0, 0.0));
+        let inside = Point::new(0.3, 0.7);
+        assert_eq!(b.clamp(inside), inside);
+    }
+
+    #[test]
+    fn enclosing_covers_all_points() {
+        let pts = vec![
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.5),
+            Point::new(3.0, 2.0),
+        ];
+        let b = Bbox::enclosing(&pts).unwrap();
+        for p in &pts {
+            assert!(b.contains(*p));
+        }
+        assert_eq!(b.min(), Point::new(-2.0, 0.5));
+        assert_eq!(b.max(), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn enclosing_empty_is_none() {
+        assert!(Bbox::enclosing(&[]).is_none());
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let b = Bbox::square(2.0).expanded(1.0);
+        assert_eq!(b.min(), Point::new(-1.0, -1.0));
+        assert_eq!(b.max(), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bounds_panic() {
+        let _ = Bbox::new(1.0, 0.0, 0.0, 1.0);
+    }
+}

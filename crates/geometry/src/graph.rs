@@ -1,0 +1,388 @@
+//! The unit-disk communication graph `G = (V, E, R_T)` of the paper (§II).
+
+use crate::grid::SpatialGrid;
+use crate::point::Point;
+use crate::NodeId;
+
+/// A unit-disk graph: nodes at fixed positions, an edge between `u` and `v`
+/// iff `δ(u, v) ≤ R_T`.
+///
+/// The paper models the network as the UDG induced by the transmission range
+/// `R_T`: "in absence of simultaneous transmissions node u can hear node v at
+/// distance δ(u, v) ≤ R_T" (§II). Adjacency lists are precomputed at
+/// construction (grid-accelerated, `O(n + Σ deg)` expected) and kept sorted.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::{Point, UnitDiskGraph};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.8, 0.0), Point::new(1.6, 0.0)];
+/// let g = UnitDiskGraph::new(pts, 1.0);
+/// assert!(g.are_adjacent(0, 1));
+/// assert!(!g.are_adjacent(0, 2));
+/// assert_eq!(g.max_degree(), 2); // node 1 sees both ends
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnitDiskGraph {
+    positions: Vec<Point>,
+    radius: f64,
+    adjacency: Vec<Vec<NodeId>>,
+    max_degree: usize,
+}
+
+impl UnitDiskGraph {
+    /// Builds the UDG over `positions` with communication radius `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not finite and strictly positive, or if any
+    /// position is non-finite.
+    pub fn new(positions: Vec<Point>, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "communication radius must be positive and finite"
+        );
+        let grid = SpatialGrid::build(&positions, radius);
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); positions.len()];
+        for (v, &p) in positions.iter().enumerate() {
+            grid.for_each_within(&positions, p, radius, |u| {
+                if u != v {
+                    adjacency[v].push(u);
+                }
+            });
+            adjacency[v].sort_unstable();
+        }
+        let max_degree = adjacency.iter().map(Vec::len).max().unwrap_or(0);
+        UnitDiskGraph {
+            positions,
+            radius,
+            adjacency,
+            max_degree,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The communication radius `R_T` the graph was built with.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// All node positions, indexed by [`NodeId`].
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Position of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn position(&self, v: NodeId) -> Point {
+        self.positions[v]
+    }
+
+    /// Euclidean distance `δ(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.positions[u].distance(self.positions[v])
+    }
+
+    /// Sorted neighbor list of `v` (nodes within `R_T`, excluding `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Maximum degree Δ of the graph.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Whether `u` and `v` are adjacent (`δ(u, v) ≤ R_T`, `u ≠ v`).
+    pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.adjacency[u].binary_search(&v).is_ok()
+    }
+
+    /// Total number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ns)| ns.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Nodes within Euclidean distance `r` of node `v`, *excluding* `v`,
+    /// in ascending id order.
+    ///
+    /// Unlike [`UnitDiskGraph::neighbors`] this supports arbitrary radii
+    /// (e.g. the `2R_T` and `R_I` disks of the analysis). Runs in `O(n)`;
+    /// for repeated queries at a fixed radius build a dedicated
+    /// [`SpatialGrid`].
+    pub fn nodes_within(&self, v: NodeId, r: f64) -> Vec<NodeId> {
+        let c = self.positions[v];
+        let r2 = r * r;
+        (0..self.len())
+            .filter(|&u| u != v && self.positions[u].distance_squared(c) <= r2)
+            .collect()
+    }
+
+    /// Whether the whole graph is connected (empty and singleton graphs are
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &u in self.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// BFS hop distances from `source`; `None` for unreachable nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.len()];
+        dist[source] = Some(0);
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v].expect("queued node has distance");
+            for &u in self.neighbors(v) {
+                if dist[u].is_none() {
+                    dist[u] = Some(dv + 1);
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The graph diameter in hops, or `None` if disconnected or empty.
+    pub fn diameter(&self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for v in 0..self.len() {
+            for d in self.bfs_distances(v) {
+                best = best.max(d?);
+            }
+        }
+        Some(best)
+    }
+
+    /// Rebuilds the graph with a different radius over the same positions.
+    ///
+    /// Used by the distance-`d` coloring construction, which runs the
+    /// algorithm on `G^d = (V, E', d·R_T)` (§V).
+    pub fn with_radius(&self, radius: f64) -> UnitDiskGraph {
+        UnitDiskGraph::new(self.positions.clone(), radius)
+    }
+
+    /// Connected components as sorted node-id lists, ordered by their
+    /// smallest member.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.len()];
+        let mut components = Vec::new();
+        for start in 0..self.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen[start] = true;
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                for &u in self.neighbors(v) {
+                    if !seen[u] {
+                        seen[u] = true;
+                        comp.push(u);
+                        stack.push(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Mean degree over all nodes (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.adjacency.iter().map(Vec::len).sum::<usize>() as f64 / self.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement;
+
+    fn path3() -> UnitDiskGraph {
+        UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.9, 0.0),
+                Point::new(1.8, 0.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive() {
+        let g = UnitDiskGraph::new(placement::uniform(80, 4.0, 4.0, 3), 1.0);
+        for v in 0..g.len() {
+            assert!(!g.are_adjacent(v, v));
+            for &u in g.neighbors(v) {
+                assert!(g.are_adjacent(u, v));
+                assert!(g.are_adjacent(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_matches_distance_threshold() {
+        let g = UnitDiskGraph::new(placement::uniform(60, 3.0, 3.0, 8), 1.0);
+        for u in 0..g.len() {
+            for v in 0..g.len() {
+                if u != v {
+                    assert_eq!(g.are_adjacent(u, v), g.distance(u, v) <= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = path3();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(2));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path3();
+        assert_eq!(g.bfs_distances(0), vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = UnitDiskGraph::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)], 1.0);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.bfs_distances(0)[1], None);
+    }
+
+    #[test]
+    fn edges_iterator_is_consistent() {
+        let g = UnitDiskGraph::new(placement::uniform(40, 3.0, 3.0, 5), 1.0);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for (u, v) in edges {
+            assert!(u < v);
+            assert!(g.are_adjacent(u, v));
+        }
+    }
+
+    #[test]
+    fn nodes_within_extends_beyond_neighbors() {
+        let g = path3();
+        assert_eq!(g.nodes_within(0, 1.0), vec![1]);
+        assert_eq!(g.nodes_within(0, 2.0), vec![1, 2]);
+    }
+
+    #[test]
+    fn with_radius_rebuilds() {
+        let g = path3();
+        let g2 = g.with_radius(2.0);
+        assert!(g2.are_adjacent(0, 2));
+        assert_eq!(g2.max_degree(), 2);
+        assert_eq!(g2.edge_count(), 3);
+    }
+
+    #[test]
+    fn components_partition_the_graph() {
+        let g = UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(10.5, 0.0),
+                Point::new(20.0, 0.0),
+            ],
+            1.0,
+        );
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert_eq!(comps.iter().map(Vec::len).sum::<usize>(), g.len());
+    }
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let g = path3();
+        assert_eq!(g.components().len(), 1);
+        assert!((g.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = UnitDiskGraph::new(vec![], 1.0);
+        assert!(e.is_empty());
+        assert!(e.is_connected());
+        assert_eq!(e.max_degree(), 0);
+        let s = UnitDiskGraph::new(vec![Point::ORIGIN], 1.0);
+        assert!(s.is_connected());
+        assert_eq!(s.diameter(), Some(0));
+    }
+}

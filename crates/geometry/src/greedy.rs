@@ -1,0 +1,187 @@
+//! Centralized greedy graph coloring — the classical `(Δ+1)` baseline.
+//!
+//! The MW algorithm's color count (`O(Δ)` with a `φ(2R_T)+1` constant) is
+//! compared in experiment E3 against the number of colors a *centralized*
+//! greedy first-fit coloring uses, which is at most `Δ+1` and serves as the
+//! practical floor for distributed algorithms.
+
+use crate::graph::UnitDiskGraph;
+use crate::NodeId;
+
+/// A proper node coloring: `colors[v]` is the color of node `v`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Coloring {
+    colors: Vec<usize>,
+}
+
+impl Coloring {
+    /// Wraps an explicit color assignment.
+    pub fn from_vec(colors: Vec<usize>) -> Self {
+        Coloring { colors }
+    }
+
+    /// Color of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn color(&self, v: NodeId) -> usize {
+        self.colors[v]
+    }
+
+    /// The color assignment as a slice indexed by node id.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Number of *distinct* colors used.
+    pub fn color_count(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        seen.extend(self.colors.iter().copied());
+        seen.len()
+    }
+
+    /// The largest color value used plus one (the palette size needed),
+    /// or 0 for an empty coloring.
+    pub fn palette_size(&self) -> usize {
+        self.colors.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Whether no two adjacent nodes of `g` share a color.
+    pub fn is_proper(&self, g: &UnitDiskGraph) -> bool {
+        g.edges().all(|(u, v)| self.colors[u] != self.colors[v])
+    }
+}
+
+/// First-fit greedy coloring in the given scan `order` (must be a
+/// permutation of the node ids).
+///
+/// Uses at most `Δ+1` colors.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..g.len()`.
+pub fn greedy_coloring_in_order(g: &UnitDiskGraph, order: &[NodeId]) -> Coloring {
+    assert_eq!(order.len(), g.len(), "order must cover every node");
+    let mut seen = vec![false; g.len()];
+    for &v in order {
+        assert!(!seen[v], "order contains node {v} twice");
+        seen[v] = true;
+    }
+
+    const UNSET: usize = usize::MAX;
+    let mut colors = vec![UNSET; g.len()];
+    let mut forbidden: Vec<usize> = Vec::new();
+    for &v in order {
+        forbidden.clear();
+        forbidden.extend(
+            g.neighbors(v)
+                .iter()
+                .map(|&u| colors[u])
+                .filter(|&c| c != UNSET),
+        );
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        // Smallest non-negative integer not in `forbidden`.
+        let mut c = 0;
+        for &f in &forbidden {
+            if f == c {
+                c += 1;
+            } else if f > c {
+                break;
+            }
+        }
+        colors[v] = c;
+    }
+    Coloring { colors }
+}
+
+/// First-fit greedy coloring in node-id order.
+pub fn greedy_coloring(g: &UnitDiskGraph) -> Coloring {
+    let order: Vec<NodeId> = (0..g.len()).collect();
+    greedy_coloring_in_order(g, &order)
+}
+
+/// Greedy coloring in descending-degree order (often fewer colors than
+/// id order; still at most `Δ+1`).
+pub fn greedy_coloring_by_degree(g: &UnitDiskGraph) -> Coloring {
+    let mut order: Vec<NodeId> = (0..g.len()).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    greedy_coloring_in_order(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement;
+    use crate::point::Point;
+
+    fn random_graph(seed: u64) -> UnitDiskGraph {
+        UnitDiskGraph::new(placement::uniform(120, 4.0, 4.0, seed), 1.0)
+    }
+
+    #[test]
+    fn greedy_is_proper_and_within_delta_plus_one() {
+        for seed in 0..5 {
+            let g = random_graph(seed);
+            let c = greedy_coloring(&g);
+            assert!(c.is_proper(&g));
+            assert!(c.palette_size() <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn degree_order_is_proper_and_within_delta_plus_one() {
+        let g = random_graph(99);
+        let c = greedy_coloring_by_degree(&g);
+        assert!(c.is_proper(&g));
+        assert!(c.palette_size() <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let g = UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 0.0),
+                Point::new(0.25, 0.4),
+            ],
+            1.0,
+        );
+        let c = greedy_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.color_count(), 3);
+    }
+
+    #[test]
+    fn independent_nodes_share_color_zero() {
+        let g = UnitDiskGraph::new(vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)], 1.0);
+        let c = greedy_coloring(&g);
+        assert_eq!(c.color(0), 0);
+        assert_eq!(c.color(1), 0);
+        assert_eq!(c.color_count(), 1);
+    }
+
+    #[test]
+    fn is_proper_detects_violation() {
+        let g = UnitDiskGraph::new(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)], 1.0);
+        assert!(!Coloring::from_vec(vec![2, 2]).is_proper(&g));
+        assert!(Coloring::from_vec(vec![0, 1]).is_proper(&g));
+    }
+
+    #[test]
+    fn palette_size_vs_color_count() {
+        let c = Coloring::from_vec(vec![0, 5, 5]);
+        assert_eq!(c.color_count(), 2);
+        assert_eq!(c.palette_size(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_order_panics() {
+        let g = random_graph(1);
+        let mut order: Vec<NodeId> = (0..g.len()).collect();
+        order[1] = 0;
+        let _ = greedy_coloring_in_order(&g, &order);
+    }
+}

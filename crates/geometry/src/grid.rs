@@ -1,0 +1,200 @@
+//! A uniform spatial hash grid for fast fixed-radius range queries.
+//!
+//! Both unit-disk-graph construction and SINR interference bookkeeping need
+//! "all nodes within distance r of p" queries. A uniform grid with cell side
+//! equal to the dominant query radius answers such queries in time
+//! proportional to the number of candidates, instead of `O(n)` per query.
+
+use crate::point::Point;
+use crate::NodeId;
+use std::collections::HashMap;
+
+/// A uniform spatial hash grid over a set of points.
+///
+/// Construction is `O(n)`; a range query visits only the grid cells that
+/// intersect the query disk.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::{Point, SpatialGrid};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(5.0, 5.0)];
+/// let grid = SpatialGrid::build(&pts, 1.0);
+/// let near = grid.within(&pts, Point::new(0.0, 0.0), 1.0);
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<NodeId>>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over `points` with the given cell side.
+    ///
+    /// `cell` should typically equal the most common query radius; any
+    /// positive value is correct, only performance differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not finite and strictly positive, or if any point
+    /// has a non-finite coordinate.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "grid cell side must be positive and finite"
+        );
+        let mut cells: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        for (id, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {id} has non-finite coordinates");
+            cells.entry(Self::key(*p, cell)).or_default().push(id);
+        }
+        SpatialGrid { cell, cells }
+    }
+
+    #[inline]
+    fn key(p: Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// The cell side the grid was built with.
+    pub fn cell_side(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Ids of all points within Euclidean distance `radius` (inclusive) of
+    /// `center`, in ascending id order.
+    ///
+    /// `points` must be the same slice the grid was built from.
+    pub fn within(&self, points: &[Point], center: Point, radius: f64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_within(points, center, radius, |id| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    /// Calls `f` for every point id within distance `radius` (inclusive) of
+    /// `center`, in unspecified order.
+    ///
+    /// `points` must be the same slice the grid was built from.
+    pub fn for_each_within<F: FnMut(NodeId)>(
+        &self,
+        points: &[Point],
+        center: Point,
+        radius: f64,
+        mut f: F,
+    ) {
+        assert!(radius >= 0.0, "query radius must be non-negative");
+        let r2 = radius * radius;
+        let reach = (radius / self.cell).ceil() as i64;
+        let (cx, cy) = Self::key(center, self.cell);
+        for gx in (cx - reach)..=(cx + reach) {
+            for gy in (cy - reach)..=(cy + reach) {
+                if let Some(ids) = self.cells.get(&(gx, gy)) {
+                    for &id in ids {
+                        if points[id].distance_squared(center) <= r2 {
+                            f(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts points within distance `radius` (inclusive) of `center`.
+    pub fn count_within(&self, points: &[Point], center: Point, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(points, center, radius, |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_within(points: &[Point], center: Point, radius: f64) -> Vec<NodeId> {
+        let r2 = radius * radius;
+        (0..points.len())
+            .filter(|&i| points[i].distance_squared(center) <= r2)
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.9, 0.0),
+            Point::new(1.1, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(-3.0, 4.0),
+            Point::new(2.0, 2.0),
+        ];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        for &r in &[0.0, 0.5, 1.0, 1.5, 10.0] {
+            for &c in &pts {
+                assert_eq!(grid.within(&pts, c, r), brute_within(&pts, c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn query_radius_larger_than_cell() {
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 0.3);
+        let center = Point::new(4.5, 4.5);
+        assert_eq!(
+            grid.within(&pts, center, 3.7),
+            brute_within(&pts, center, 3.7)
+        );
+    }
+
+    #[test]
+    fn negative_coordinates_hash_correctly() {
+        let pts = vec![Point::new(-0.5, -0.5), Point::new(-1.5, -1.5)];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.within(&pts, Point::new(-1.0, -1.0), 0.8), vec![0, 1]);
+    }
+
+    #[test]
+    fn inclusive_boundary() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert_eq!(grid.within(&pts, pts[0], 1.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn count_matches_within_len() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i as f64 * 0.37) % 5.0, (i as f64 * 0.71) % 5.0))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let c = Point::new(2.5, 2.5);
+        assert_eq!(
+            grid.count_within(&pts, c, 2.0),
+            grid.within(&pts, c, 2.0).len()
+        );
+    }
+
+    #[test]
+    fn empty_point_set() {
+        let pts: Vec<Point> = Vec::new();
+        let grid = SpatialGrid::build(&pts, 1.0);
+        assert!(grid.within(&pts, Point::ORIGIN, 100.0).is_empty());
+        assert_eq!(grid.occupied_cells(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_panics() {
+        let _ = SpatialGrid::build(&[], 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Packing bounds `φ(R)` and independent-set helpers.
+//!
+//! The paper's constants are all expressed in terms of `φ(R)`: "the size of
+//! the largest independent set in any disc of radius R > 0 around any node"
+//! (§II). Footnote 5 gives the closed-form bound used throughout:
+//!
+//! ```text
+//! φ(R) ≤ π (R + R_T/2)² / π (R_T/2)²  =  (2R/R_T + 1)²
+//! ```
+//!
+//! and notes that "knowing the exact value of φ(R) is not required" — an
+//! upper bound only shifts constants. We implement the bound, plus empirical
+//! greedy packings used by the test suite to confirm the bound really is an
+//! upper bound.
+
+use crate::graph::UnitDiskGraph;
+use crate::point::Point;
+use crate::NodeId;
+
+/// The paper's closed-form packing bound `φ(R) ≤ (2R/R_T + 1)²` (footnote 5),
+/// rounded down to an integer.
+///
+/// An *independent* set here means pairwise distances exceed `r_t` (the UDG
+/// independence of §II); disks of radius `r_t/2` around such nodes are
+/// disjoint, and all fit in a disk of radius `R + r_t/2`.
+///
+/// # Panics
+///
+/// Panics if `r` is negative or `r_t` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use sinr_geometry::packing::phi_bound;
+///
+/// assert_eq!(phi_bound(1.0, 1.0), 9);  // (2 + 1)²
+/// assert_eq!(phi_bound(2.0, 1.0), 25); // (4 + 1)²
+/// ```
+pub fn phi_bound(r: f64, r_t: f64) -> usize {
+    assert!(r >= 0.0, "packing radius must be non-negative");
+    assert!(r_t > 0.0, "transmission range must be positive");
+    let x = 2.0 * r / r_t + 1.0;
+    (x * x).floor() as usize
+}
+
+/// Greedily selects a maximal set of points that are pairwise more than
+/// `min_separation` apart, scanning candidates in index order.
+///
+/// Used to *witness* independent sets: the result is maximal (no remaining
+/// point can be added) but not necessarily maximum.
+pub fn greedy_packing(points: &[Point], min_separation: f64) -> Vec<NodeId> {
+    let mut chosen: Vec<NodeId> = Vec::new();
+    for (i, &p) in points.iter().enumerate() {
+        if chosen
+            .iter()
+            .all(|&j| points[j].distance(p) > min_separation)
+        {
+            chosen.push(i);
+        }
+    }
+    chosen
+}
+
+/// Size of the largest greedy packing (pairwise distance > `r_t`) found
+/// among points within distance `r` of `center` — an empirical lower bound
+/// on the true `φ(R)` of the instance.
+pub fn empirical_phi(points: &[Point], center: Point, r: f64, r_t: f64) -> usize {
+    let inside: Vec<Point> = points
+        .iter()
+        .copied()
+        .filter(|p| p.distance(center) <= r)
+        .collect();
+    greedy_packing(&inside, r_t).len()
+}
+
+/// Whether `set` is independent in `g`: pairwise distances exceed
+/// `g.radius()` (the paper's definition of an independent set, §II).
+pub fn is_independent(g: &UnitDiskGraph, set: &[NodeId]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if u == v || g.distance(u, v) <= g.radius() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Greedy maximal independent set of the UDG, scanning nodes in index order.
+pub fn greedy_mis(g: &UnitDiskGraph) -> Vec<NodeId> {
+    let mut in_mis = vec![false; g.len()];
+    let mut blocked = vec![false; g.len()];
+    let mut mis = Vec::new();
+    for v in 0..g.len() {
+        if !blocked[v] {
+            in_mis[v] = true;
+            mis.push(v);
+            for &u in g.neighbors(v) {
+                blocked[u] = true;
+            }
+            blocked[v] = true;
+        }
+    }
+    mis
+}
+
+/// The exact maximum independent set of a *small* graph (`n ≤ 64`) by
+/// branch and bound over a bitmask representation.
+///
+/// Exponential in the worst case; intended for validating the greedy
+/// heuristics and the `φ(R)` bound on test-sized instances.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 nodes.
+pub fn exact_max_independent_set(g: &UnitDiskGraph) -> Vec<NodeId> {
+    let n = g.len();
+    assert!(n <= 64, "exact MIS is for small instances (n <= 64)");
+    let masks: Vec<u64> = (0..n)
+        .map(|v| g.neighbors(v).iter().fold(0u64, |m, &u| m | (1u64 << u)))
+        .collect();
+
+    /// Returns `(size, bitmask)` of a maximum independent set within the
+    /// `available` vertices. Branches on the lowest available vertex: a
+    /// maximum IS either excludes it, or includes it and excludes its
+    /// neighborhood.
+    fn branch(available: u64, masks: &[u64]) -> (u32, u64) {
+        if available == 0 {
+            return (0, 0);
+        }
+        let v = available.trailing_zeros() as usize;
+        let rest = available & !(1u64 << v);
+        let (s_without, set_without) = branch(rest, masks);
+        let (s_with, set_with) = branch(rest & !masks[v], masks);
+        if 1 + s_with >= s_without {
+            (1 + s_with, set_with | (1u64 << v))
+        } else {
+            (s_without, set_without)
+        }
+    }
+
+    let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let (_, set) = branch(all, &masks);
+    (0..n).filter(|&v| set & (1u64 << v) != 0).collect()
+}
+
+/// Whether `set` is a *dominating* independent set: independent, and every
+/// node is in the set or adjacent to a member.
+pub fn is_maximal_independent(g: &UnitDiskGraph, set: &[NodeId]) -> bool {
+    if !is_independent(g, set) {
+        return false;
+    }
+    let mut covered = vec![false; g.len()];
+    for &v in set {
+        covered[v] = true;
+        for &u in g.neighbors(v) {
+            covered[u] = true;
+        }
+    }
+    covered.iter().all(|&c| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement;
+
+    #[test]
+    fn phi_bound_closed_form() {
+        assert_eq!(phi_bound(0.0, 1.0), 1);
+        assert_eq!(phi_bound(0.5, 1.0), 4);
+        assert_eq!(phi_bound(1.0, 2.0), 4);
+        assert_eq!(phi_bound(3.0, 1.0), 49);
+    }
+
+    #[test]
+    fn phi_bound_scales_with_ratio_only() {
+        assert_eq!(phi_bound(2.0, 1.0), phi_bound(4.0, 2.0));
+    }
+
+    #[test]
+    fn empirical_phi_never_exceeds_bound() {
+        // Dense instance: the greedy packing inside any disk must respect
+        // the closed-form bound.
+        let pts = placement::uniform(600, 4.0, 4.0, 17);
+        for &r in &[0.5, 1.0, 2.0] {
+            for &c in pts.iter().take(25) {
+                let emp = empirical_phi(&pts, c, r, 1.0);
+                assert!(
+                    emp <= phi_bound(r, 1.0),
+                    "empirical {emp} > bound {} at r={r}",
+                    phi_bound(r, 1.0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_packing_is_separated_and_maximal() {
+        let pts = placement::uniform(300, 3.0, 3.0, 23);
+        let sep = 0.7;
+        let chosen = greedy_packing(&pts, sep);
+        for (i, &a) in chosen.iter().enumerate() {
+            for &b in &chosen[i + 1..] {
+                assert!(pts[a].distance(pts[b]) > sep);
+            }
+        }
+        // Maximality: every point is within `sep` of some chosen point.
+        for p in &pts {
+            assert!(chosen.iter().any(|&c| pts[c].distance(*p) <= sep));
+        }
+    }
+
+    #[test]
+    fn greedy_mis_is_maximal_independent() {
+        let g = UnitDiskGraph::new(placement::uniform(150, 4.0, 4.0, 31), 1.0);
+        let mis = greedy_mis(&g);
+        assert!(is_maximal_independent(&g, &mis));
+    }
+
+    #[test]
+    fn is_independent_rejects_adjacent_pairs() {
+        let g = UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 0.0),
+                Point::new(3.0, 0.0),
+            ],
+            1.0,
+        );
+        assert!(is_independent(&g, &[0, 2]));
+        assert!(!is_independent(&g, &[0, 1]));
+        assert!(!is_independent(&g, &[0, 0]));
+        assert!(is_independent(&g, &[]));
+    }
+
+    #[test]
+    fn exact_mis_is_independent_and_at_least_greedy() {
+        for seed in 0..5 {
+            let g = UnitDiskGraph::new(placement::uniform(18, 2.5, 2.5, seed), 1.0);
+            let exact = exact_max_independent_set(&g);
+            assert!(is_independent(&g, &exact), "seed {seed}");
+            assert!(
+                exact.len() >= greedy_mis(&g).len(),
+                "seed {seed}: exact beats or ties greedy"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_mis_on_known_graphs() {
+        // Path of 5 (spacing 0.9): optimum is the 3 alternating nodes.
+        let g = UnitDiskGraph::new(
+            (0..5).map(|i| Point::new(i as f64 * 0.9, 0.0)).collect(),
+            1.0,
+        );
+        assert_eq!(exact_max_independent_set(&g).len(), 3);
+        // Triangle: optimum 1.
+        let t = UnitDiskGraph::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 0.0),
+                Point::new(0.25, 0.4),
+            ],
+            1.0,
+        );
+        assert_eq!(exact_max_independent_set(&t).len(), 1);
+    }
+
+    #[test]
+    fn exact_mis_validates_phi_bound() {
+        // The true packing number inside a radius-R disk never exceeds the
+        // closed-form φ(R): check on dense instances clipped to a disk.
+        let pts = placement::uniform(26, 1.6, 1.6, 9);
+        let g = UnitDiskGraph::new(pts, 1.0);
+        let exact = exact_max_independent_set(&g);
+        // All points fit in a disk of radius ~1.2 around the center.
+        assert!(exact.len() <= phi_bound(1.6, 1.0));
+    }
+
+    #[test]
+    fn mis_on_empty_graph() {
+        let g = UnitDiskGraph::new(vec![], 1.0);
+        assert!(greedy_mis(&g).is_empty());
+        assert!(is_maximal_independent(&g, &[]));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use sinr_geometry::greedy::{greedy_coloring, greedy_coloring_by_degree};
+use sinr_geometry::packing::{greedy_mis, is_independent, is_maximal_independent, phi_bound};
+use sinr_geometry::{Bbox, Point, SpatialGrid, UnitDiskGraph};
+
+fn arb_point(extent: f64) -> impl Strategy<Value = Point> {
+    (0.0..extent, 0.0..extent).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(max_n: usize, extent: f64) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(extent), 0..max_n)
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in arb_point(100.0), b in arb_point(100.0)) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality(
+        a in arb_point(100.0),
+        b in arb_point(100.0),
+        c in arb_point(100.0),
+    ) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn grid_query_matches_brute_force(
+        pts in arb_points(60, 8.0),
+        center in arb_point(8.0),
+        radius in 0.0..4.0f64,
+        cell in 0.2..2.0f64,
+    ) {
+        let grid = SpatialGrid::build(&pts, cell);
+        let fast = grid.within(&pts, center, radius);
+        let r2 = radius * radius;
+        let brute: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].distance_squared(center) <= r2)
+            .collect();
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn udg_adjacency_symmetric_and_threshold(
+        pts in arb_points(40, 5.0),
+        radius in 0.3..2.0f64,
+    ) {
+        let g = UnitDiskGraph::new(pts, radius);
+        for u in 0..g.len() {
+            for v in 0..g.len() {
+                if u == v {
+                    prop_assert!(!g.are_adjacent(u, v));
+                } else {
+                    prop_assert_eq!(g.are_adjacent(u, v), g.distance(u, v) <= radius);
+                    prop_assert_eq!(g.are_adjacent(u, v), g.are_adjacent(v, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_proper_and_bounded(
+        pts in arb_points(50, 4.0),
+        radius in 0.3..1.5f64,
+    ) {
+        let g = UnitDiskGraph::new(pts, radius);
+        for coloring in [greedy_coloring(&g), greedy_coloring_by_degree(&g)] {
+            prop_assert!(coloring.is_proper(&g));
+            if !g.is_empty() {
+                prop_assert!(coloring.palette_size() <= g.max_degree() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_mis_maximal_independent(
+        pts in arb_points(50, 4.0),
+        radius in 0.3..1.5f64,
+    ) {
+        let g = UnitDiskGraph::new(pts, radius);
+        let mis = greedy_mis(&g);
+        prop_assert!(is_independent(&g, &mis));
+        prop_assert!(is_maximal_independent(&g, &mis));
+    }
+
+    #[test]
+    fn phi_bound_monotone_in_radius(r1 in 0.0..10.0f64, r2 in 0.0..10.0f64, rt in 0.1..3.0f64) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(phi_bound(lo, rt) <= phi_bound(hi, rt));
+    }
+
+    #[test]
+    fn bbox_enclosing_contains_all(pts in arb_points(40, 50.0)) {
+        if let Some(b) = Bbox::enclosing(&pts) {
+            for p in &pts {
+                prop_assert!(b.contains(*p));
+            }
+        } else {
+            prop_assert!(pts.is_empty());
+        }
+    }
+
+    #[test]
+    fn bbox_clamp_is_idempotent_and_inside(
+        p in arb_point(100.0),
+        side in 0.1..50.0f64,
+    ) {
+        let b = Bbox::square(side);
+        let c = b.clamp(p);
+        prop_assert!(b.contains(c));
+        prop_assert_eq!(b.clamp(c), c);
+    }
+}

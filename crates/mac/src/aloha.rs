@@ -1,0 +1,152 @@
+//! Slotted-ALOHA baseline MAC.
+//!
+//! The natural contender to a coloring-based TDMA schedule is contention:
+//! every node transmits with a fixed probability each slot and hopes. This
+//! module measures how long slotted ALOHA needs until every node has
+//! achieved one *successful local broadcast* (reached all neighbors in a
+//! single slot) under the SINR model — the job a Theorem-3 TDMA frame
+//! finishes in exactly `V` slots, deterministically. Experiment E13
+//! compares the two.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sinr_geometry::{NodeId, UnitDiskGraph};
+use sinr_model::{InterferenceModel, SinrConfig, SinrModel};
+
+/// Result of an ALOHA broadcast race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlohaRun {
+    /// Slots simulated.
+    pub slots: u64,
+    /// Nodes that completed a full local broadcast at least once.
+    pub completed: usize,
+    /// Slot at which each node first broadcast successfully (`None` if it
+    /// never did within the budget).
+    pub first_success: Vec<Option<u64>>,
+    /// Total transmissions spent.
+    pub transmissions: u64,
+}
+
+impl AlohaRun {
+    /// Whether every node with neighbors succeeded at least once.
+    pub fn all_completed(&self) -> bool {
+        self.first_success.iter().all(|s| s.is_some())
+    }
+
+    /// The worst first-success slot, if all completed.
+    pub fn makespan(&self) -> Option<u64> {
+        self.first_success
+            .iter()
+            .copied()
+            .collect::<Option<Vec<u64>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
+    }
+}
+
+/// Runs slotted ALOHA with per-slot transmit probability `p` until every
+/// node has achieved one successful local broadcast or `max_slots` elapse.
+///
+/// Nodes with no neighbors are counted as trivially successful at slot 0.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn aloha_until_broadcast(
+    g: &UnitDiskGraph,
+    cfg: &SinrConfig,
+    p: f64,
+    max_slots: u64,
+    seed: u64,
+) -> AlohaRun {
+    assert!(p > 0.0 && p <= 1.0, "ALOHA probability must be in (0, 1]");
+    let model = SinrModel::new(*cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut first_success: Vec<Option<u64>> = (0..g.len())
+        .map(|v| if g.degree(v) == 0 { Some(0) } else { None })
+        .collect();
+    let mut transmissions = 0u64;
+    let mut slots = 0u64;
+
+    while slots < max_slots && first_success.iter().any(|s| s.is_none()) {
+        let tx: Vec<NodeId> = (0..g.len()).filter(|_| rng.random::<f64>() < p).collect();
+        transmissions += tx.len() as u64;
+        if !tx.is_empty() {
+            let table = model.resolve(g, &tx);
+            for &v in &tx {
+                if first_success[v].is_none() && table.is_successful_broadcast(g, v) {
+                    first_success[v] = Some(slots);
+                }
+            }
+        }
+        slots += 1;
+    }
+    let completed = first_success.iter().filter(|s| s.is_some()).count();
+    AlohaRun {
+        slots,
+        completed,
+        first_success,
+        transmissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::{placement, Point};
+
+    fn cfg() -> SinrConfig {
+        SinrConfig::default_unit()
+    }
+
+    #[test]
+    fn sparse_pair_succeeds_quickly() {
+        let g = UnitDiskGraph::new(
+            vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)],
+            cfg().r_t(),
+        );
+        let run = aloha_until_broadcast(&g, &cfg(), 0.3, 10_000, 1);
+        assert!(run.all_completed());
+        assert!(run.makespan().unwrap() < 200);
+    }
+
+    #[test]
+    fn isolated_nodes_are_trivially_done() {
+        let g = UnitDiskGraph::new(
+            vec![Point::new(0.0, 0.0), Point::new(9.0, 0.0)],
+            cfg().r_t(),
+        );
+        let run = aloha_until_broadcast(&g, &cfg(), 0.5, 10, 0);
+        assert!(run.all_completed());
+        assert_eq!(run.makespan(), Some(0));
+        assert_eq!(run.slots, 0, "no slot needed when all are isolated");
+    }
+
+    #[test]
+    fn budget_caps_hopeless_probability() {
+        // p = 1: everyone always transmits; no one ever receives.
+        let g = UnitDiskGraph::new(
+            vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)],
+            cfg().r_t(),
+        );
+        let run = aloha_until_broadcast(&g, &cfg(), 1.0, 50, 0);
+        assert!(!run.all_completed());
+        assert_eq!(run.slots, 50);
+        assert_eq!(run.completed, 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = UnitDiskGraph::new(placement::uniform(25, 3.0, 3.0, 3), cfg().r_t());
+        let a = aloha_until_broadcast(&g, &cfg(), 0.1, 5_000, 7);
+        let b = aloha_until_broadcast(&g, &cfg(), 0.1, 5_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn moderate_density_eventually_completes() {
+        let g = UnitDiskGraph::new(placement::uniform(20, 3.0, 3.0, 5), cfg().r_t());
+        let delta = g.max_degree().max(1);
+        let run = aloha_until_broadcast(&g, &cfg(), 1.0 / (2.0 * delta as f64), 200_000, 2);
+        assert!(run.all_completed(), "{:?}", run.completed);
+    }
+}

@@ -1,0 +1,70 @@
+//! The Theorem-3 guard distance and helpers for building compliant
+//! colorings.
+
+use sinr_model::SinrConfig;
+
+/// The guard distance `d = (32·(α−1)/(α−2)·β)^{1/α}` of Theorem 3.
+///
+/// A `(d+1, V)`-coloring scheduled as TDMA is interference-free under
+/// SINR. Re-exported from [`SinrConfig::guard_distance`] for discoverability
+/// next to the MAC machinery.
+pub fn theorem3_d(cfg: &SinrConfig) -> f64 {
+    cfg.guard_distance()
+}
+
+/// The distance factor `d + 1` a coloring must satisfy for Theorem 3
+/// (colors must differ within `(d+1)·R_T`).
+pub fn theorem3_distance_factor(cfg: &SinrConfig) -> f64 {
+    cfg.guard_distance() + 1.0
+}
+
+/// The residual-interference bound from the proof of Theorem 3: with
+/// same-color transmitters at pairwise distance `> d·R_T` from the
+/// receiver's sender, the interference at any receiver is at most
+/// `16·P/((d·R_T)^α)·(α−1)/(α−2) ≤ P/(2βR_T^α)`.
+pub fn theorem3_interference_bound(cfg: &SinrConfig, d: f64) -> f64 {
+    16.0 * cfg.power() / (d * cfg.r_t()).powf(cfg.alpha()) * (cfg.alpha() - 1.0)
+        / (cfg.alpha() - 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_distance_matches_config() {
+        let cfg = SinrConfig::default_unit();
+        assert_eq!(theorem3_d(&cfg), cfg.guard_distance());
+        assert_eq!(theorem3_distance_factor(&cfg), cfg.guard_distance() + 1.0);
+    }
+
+    #[test]
+    fn interference_bound_closes_the_proof() {
+        // The proof needs Φ ≤ P/(2βR_T^α) at the Theorem-3 d; check the
+        // inequality numerically for several physical configurations.
+        for &(alpha, beta) in &[(2.5, 1.0), (3.0, 1.5), (4.0, 1.5), (5.0, 3.0)] {
+            let cfg = SinrConfig::with_unit_range(alpha, beta, 2.0);
+            let d = theorem3_d(&cfg);
+            let phi = theorem3_interference_bound(&cfg, d);
+            let budget = cfg.power() / (2.0 * cfg.beta() * cfg.r_t().powf(cfg.alpha()));
+            assert!(
+                phi <= budget * (1.0 + 1e-9),
+                "alpha={alpha} beta={beta}: {phi} > {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_distance_grows_with_beta() {
+        let lo = SinrConfig::with_unit_range(4.0, 1.0, 2.0);
+        let hi = SinrConfig::with_unit_range(4.0, 4.0, 2.0);
+        assert!(theorem3_d(&hi) > theorem3_d(&lo));
+    }
+
+    #[test]
+    fn guard_distance_shrinks_with_alpha() {
+        let lo = SinrConfig::with_unit_range(3.0, 1.5, 2.0);
+        let hi = SinrConfig::with_unit_range(6.0, 1.5, 2.0);
+        assert!(theorem3_d(&hi) < theorem3_d(&lo));
+    }
+}

@@ -1,0 +1,206 @@
+//! Unstructured local broadcasting (the paper's reference \[21],
+//! Goussevskaia–Moscibroda–Wattenhofer style): every node repeats its
+//! token with probability `c/Δ` for `O(Δ log n)` slots, with no
+//! coordination structure at all.
+//!
+//! This is the *zero-setup* alternative to the coloring-based MAC: it
+//! needs no leaders, no colors, no schedule — but every broadcast round
+//! costs `Θ(Δ log n)` slots instead of the TDMA frame's `Θ(Δ)`, forever.
+//! The receiving-side dual of [`crate::aloha`]'s sender-side oracle.
+
+use sinr_geometry::{NodeId, UnitDiskGraph};
+use sinr_model::InterferenceModel;
+use sinr_radiosim::{Action, NodeCtx, Protocol, Simulator, SlotRng, WakeupSchedule};
+use std::collections::BTreeSet;
+
+/// The per-node automaton: repeat the own token with fixed probability
+/// for a fixed number of slots, collecting every token heard.
+#[derive(Debug, Clone)]
+pub struct LocalBroadcastNode {
+    probability: f64,
+    duration: u64,
+    heard: BTreeSet<NodeId>,
+}
+
+impl LocalBroadcastNode {
+    /// Creates the automaton: transmit w.p. `probability` for `duration`
+    /// slots.
+    pub fn new(probability: f64, duration: u64) -> Self {
+        LocalBroadcastNode {
+            probability,
+            duration,
+            heard: BTreeSet::new(),
+        }
+    }
+
+    /// The senders heard so far.
+    pub fn heard(&self) -> &BTreeSet<NodeId> {
+        &self.heard
+    }
+}
+
+impl Protocol for LocalBroadcastNode {
+    type Message = NodeId;
+
+    fn begin_slot(&mut self, ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<NodeId> {
+        if ctx.local_slot < self.duration && rng.chance(self.probability) {
+            Action::Transmit(ctx.id)
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn end_slot(&mut self, _ctx: &NodeCtx, received: &[(NodeId, NodeId)]) {
+        for &(sender, _) in received {
+            self.heard.insert(sender);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        false // runs for the fixed duration; completion is external
+    }
+}
+
+/// Result of a local-broadcast window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalBroadcastReport {
+    /// Slots executed (the window length).
+    pub slots: u64,
+    /// Per-node fraction of neighbors whose token was received.
+    pub coverage: Vec<f64>,
+    /// Total transmissions spent.
+    pub transmissions: u64,
+}
+
+impl LocalBroadcastReport {
+    /// Whether every node heard every neighbor.
+    pub fn is_complete(&self) -> bool {
+        self.coverage.iter().all(|&c| c >= 1.0)
+    }
+
+    /// Mean coverage over nodes with at least one neighbor.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.coverage.is_empty() {
+            1.0
+        } else {
+            self.coverage.iter().sum::<f64>() / self.coverage.len() as f64
+        }
+    }
+}
+
+/// Runs one local-broadcast window of `duration` slots with per-slot
+/// transmit probability `probability` under the given interference model.
+///
+/// The GMW guarantee shape: `probability = c/Δ` and
+/// `duration = Ω(Δ ln n)` yields complete coverage w.h.p.
+///
+/// # Panics
+///
+/// Panics if `probability` is not in `(0, 1]`.
+pub fn run_local_broadcast<M: InterferenceModel>(
+    graph: &UnitDiskGraph,
+    model: M,
+    probability: f64,
+    duration: u64,
+    seed: u64,
+) -> LocalBroadcastReport {
+    assert!(
+        probability > 0.0 && probability <= 1.0,
+        "transmit probability must be in (0, 1]"
+    );
+    let mut sim = Simulator::new(
+        graph.clone(),
+        model,
+        WakeupSchedule::Synchronous,
+        seed,
+        |_| LocalBroadcastNode::new(probability, duration),
+    );
+    let outcome = sim.run(duration);
+    let coverage = (0..graph.len())
+        .map(|v| {
+            let deg = graph.degree(v);
+            if deg == 0 {
+                1.0
+            } else {
+                sim.node(v).heard().len() as f64 / deg as f64
+            }
+        })
+        .collect();
+    LocalBroadcastReport {
+        slots: outcome.slots,
+        coverage,
+        transmissions: sim.stats().transmissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::{placement, Point};
+    use sinr_model::{GraphModel, SinrConfig, SinrModel};
+
+    fn cfg() -> SinrConfig {
+        SinrConfig::default_unit()
+    }
+
+    fn instance(n: usize) -> UnitDiskGraph {
+        let pts = placement::uniform_with_expected_degree(n, cfg().r_t(), 10.0, 77);
+        UnitDiskGraph::new(pts, cfg().r_t())
+    }
+
+    #[test]
+    fn long_window_reaches_full_coverage_under_sinr() {
+        let g = instance(50);
+        let delta = g.max_degree().max(1) as f64;
+        let duration = (12.0 * delta * (g.len() as f64).ln()) as u64;
+        let report = run_local_broadcast(&g, SinrModel::new(cfg()), 0.5 / delta, duration, 3);
+        assert!(
+            report.is_complete(),
+            "coverage = {:.3}",
+            report.mean_coverage()
+        );
+        assert_eq!(report.slots, duration);
+    }
+
+    #[test]
+    fn short_window_leaves_gaps() {
+        let g = instance(50);
+        let delta = g.max_degree().max(1) as f64;
+        let report = run_local_broadcast(&g, SinrModel::new(cfg()), 0.5 / delta, 5, 3);
+        assert!(!report.is_complete());
+        assert!(report.mean_coverage() < 1.0);
+        assert!(report.mean_coverage() > 0.0);
+    }
+
+    #[test]
+    fn coverage_grows_with_duration() {
+        let g = instance(40);
+        let delta = g.max_degree().max(1) as f64;
+        let p = 0.5 / delta;
+        let short = run_local_broadcast(&g, GraphModel::new(), p, 20, 1);
+        let long = run_local_broadcast(&g, GraphModel::new(), p, 400, 1);
+        assert!(long.mean_coverage() >= short.mean_coverage());
+    }
+
+    #[test]
+    fn isolated_node_is_trivially_covered() {
+        let g = UnitDiskGraph::new(vec![Point::new(0.0, 0.0)], cfg().r_t());
+        let report = run_local_broadcast(&g, SinrModel::new(cfg()), 0.5, 10, 0);
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = instance(25);
+        let a = run_local_broadcast(&g, SinrModel::new(cfg()), 0.05, 200, 9);
+        let b = run_local_broadcast(&g, SinrModel::new(cfg()), 0.05, 200, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_zero_probability() {
+        let g = instance(5);
+        let _ = run_local_broadcast(&g, GraphModel::new(), 0.0, 10, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for TDMA scheduling and the MAC substrate.
+
+use proptest::prelude::*;
+use sinr_geometry::{Point, UnitDiskGraph};
+use sinr_mac::mp::{run_uniform_ideal, Flooding, JohanssonColoring};
+use sinr_mac::tdma::{broadcast_audit, TdmaSchedule};
+use sinr_model::SinrConfig;
+
+fn arb_colors(max_n: usize, max_color: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..max_color, 1..max_n)
+}
+
+fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0..4.0f64, 0.0..4.0f64).prop_map(|(x, y)| Point::new(x, y)),
+        1..max_n,
+    )
+}
+
+proptest! {
+    #[test]
+    fn schedule_partitions_nodes(colors in arb_colors(40, 10)) {
+        let s = TdmaSchedule::from_colors(&colors);
+        // Every node appears in exactly one slot's transmitter list.
+        let mut seen = vec![0usize; colors.len()];
+        for t in 0..s.frame_len() {
+            for v in s.transmitters_in(t) {
+                prop_assert_eq!(s.slot_of(v), t);
+                seen[v] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&k| k == 1));
+        // Frame length equals the number of distinct colors.
+        let mut distinct = colors.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(s.frame_len(), distinct.len());
+    }
+
+    #[test]
+    fn compaction_preserves_color_equality(colors in arb_colors(40, 200)) {
+        let s = TdmaSchedule::from_colors(&colors);
+        for u in 0..colors.len() {
+            for v in 0..colors.len() {
+                prop_assert_eq!(
+                    colors[u] == colors[v],
+                    s.slot_of(u) == s.slot_of(v),
+                    "slot equality must mirror color equality"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_color_order(colors in arb_colors(30, 100)) {
+        let s = TdmaSchedule::from_colors(&colors);
+        for u in 0..colors.len() {
+            for v in 0..colors.len() {
+                if colors[u] < colors[v] {
+                    prop_assert!(s.slot_of(u) < s.slot_of(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rainbow_schedule_is_always_interference_free(pts in arb_points(25)) {
+        // One node per slot: a lone transmitter always reaches all
+        // neighbors under SINR (no simultaneous interference).
+        let cfg = SinrConfig::default_unit();
+        let g = UnitDiskGraph::new(pts, cfg.r_t());
+        let colors: Vec<usize> = (0..g.len()).collect();
+        let audit = broadcast_audit(&g, &cfg, &TdmaSchedule::from_colors(&colors));
+        prop_assert!(audit.is_interference_free(), "{:?}", audit);
+    }
+
+    #[test]
+    fn flooding_informs_exactly_the_source_component(pts in arb_points(30)) {
+        let g = UnitDiskGraph::new(pts, 1.0);
+        let mut nodes: Vec<Flooding> = (0..g.len()).map(|v| Flooding::new(v == 0)).collect();
+        let _ = run_uniform_ideal(&g, &mut nodes, 10 * g.len().max(1));
+        let reach = g.bfs_distances(0);
+        for v in 0..g.len() {
+            prop_assert_eq!(nodes[v].informed(), reach[v].is_some(), "node {}", v);
+        }
+    }
+
+    #[test]
+    fn johansson_is_proper_on_random_instances(
+        pts in arb_points(30),
+        seed in 0u64..100,
+    ) {
+        let g = UnitDiskGraph::new(pts, 1.0);
+        let mut nodes: Vec<JohanssonColoring> = (0..g.len())
+            .map(|v| JohanssonColoring::new(v, g.degree(v), seed))
+            .collect();
+        let run = run_uniform_ideal(&g, &mut nodes, 50_000);
+        prop_assert!(run.all_done);
+        for (u, v) in g.edges() {
+            prop_assert_ne!(nodes[u].color(), nodes[v].color());
+        }
+        for (v, node) in nodes.iter().enumerate() {
+            prop_assert!(node.color().unwrap() <= g.degree(v));
+        }
+    }
+}

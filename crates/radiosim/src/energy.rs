@@ -1,0 +1,131 @@
+//! A simple radio energy model over the per-node activity counters.
+//!
+//! Sensor-network deployments care about energy at least as much as
+//! latency; the MW algorithm's low send probabilities (`q_s ∝ 1/Δ`) keep
+//! radios mostly listening. This module turns the [`SimStats`] activity
+//! counters into energy figures under a configurable cost model
+//! (defaults follow the common low-power-radio regime where receive/idle
+//! listening costs about as much as transmitting).
+
+use crate::stats::SimStats;
+use serde::{Deserialize, Serialize};
+use sinr_geometry::NodeId;
+
+/// Per-slot energy costs (arbitrary units, e.g. µJ per slot).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Cost of a slot spent transmitting.
+    pub tx_cost: f64,
+    /// Cost of a slot spent awake listening.
+    pub listen_cost: f64,
+    /// Cost of a slot spent asleep (before wake-up).
+    pub sleep_cost: f64,
+}
+
+impl EnergyModel {
+    /// A typical low-power radio: transmit ≈ listen, sleep ≈ free.
+    pub fn low_power_radio() -> Self {
+        EnergyModel {
+            tx_cost: 1.0,
+            listen_cost: 0.8,
+            sleep_cost: 0.001,
+        }
+    }
+
+    /// Energy spent by node `v` over the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for `stats`.
+    pub fn node_energy(&self, stats: &SimStats, v: NodeId) -> f64 {
+        // Pre-wake slots are the only sleeping ones; every awake slot is
+        // counted by the engine as either transmitting or listening.
+        let sleeping = stats.wake_slot[v].min(stats.slots);
+        self.tx_cost * stats.tx_slots[v] as f64
+            + self.listen_cost * stats.listen_slots[v] as f64
+            + self.sleep_cost * sleeping as f64
+    }
+
+    /// Total energy over all nodes.
+    pub fn total_energy(&self, stats: &SimStats) -> f64 {
+        (0..stats.tx_slots.len())
+            .map(|v| self.node_energy(stats, v))
+            .sum()
+    }
+
+    /// The maximum per-node energy — the battery bottleneck.
+    pub fn max_node_energy(&self, stats: &SimStats) -> f64 {
+        (0..stats.tx_slots.len())
+            .map(|v| self.node_energy(stats, v))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::low_power_radio()
+    }
+}
+
+/// The fraction of awake slots node `v` spent transmitting — the duty
+/// cycle of its radio's TX chain.
+///
+/// Returns 0 for a node that was never awake.
+pub fn tx_duty_cycle(stats: &SimStats, v: NodeId) -> f64 {
+    let awake = stats.tx_slots[v] + stats.listen_slots[v];
+    if awake == 0 {
+        0.0
+    } else {
+        stats.tx_slots[v] as f64 / awake as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        let mut s = SimStats::new(vec![0, 10]);
+        s.slots = 100;
+        s.tx_slots = vec![20, 5];
+        s.listen_slots = vec![80, 85];
+        s
+    }
+
+    #[test]
+    fn node_energy_weighs_activities() {
+        let m = EnergyModel {
+            tx_cost: 2.0,
+            listen_cost: 1.0,
+            sleep_cost: 0.0,
+        };
+        let s = stats();
+        assert!((m.node_energy(&s, 0) - (2.0 * 20.0 + 80.0)).abs() < 1e-9);
+        assert!((m.node_energy(&s, 1) - (2.0 * 5.0 + 85.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_and_max_aggregate() {
+        let m = EnergyModel {
+            tx_cost: 1.0,
+            listen_cost: 0.0,
+            sleep_cost: 0.0,
+        };
+        let s = stats();
+        assert!((m.total_energy(&s) - 25.0).abs() < 1e-9);
+        assert!((m.max_node_energy(&s) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle_is_tx_fraction_of_awake() {
+        let s = stats();
+        assert!((tx_duty_cycle(&s, 0) - 0.2).abs() < 1e-9);
+        let empty = SimStats::new(vec![0]);
+        assert_eq!(tx_duty_cycle(&empty, 0), 0.0);
+    }
+
+    #[test]
+    fn default_is_low_power() {
+        assert_eq!(EnergyModel::default(), EnergyModel::low_power_radio());
+    }
+}

@@ -1,0 +1,164 @@
+//! The per-node protocol automaton interface.
+
+use sinr_geometry::NodeId;
+
+/// What a node does in a slot: transmit a message or listen.
+///
+/// The radio is half-duplex — a transmitting node receives nothing in the
+/// same slot, matching the paper's model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Broadcast `M` this slot (delivery decided by the interference model).
+    Transmit(M),
+    /// Stay silent and listen.
+    Listen,
+}
+
+impl<M> Action<M> {
+    /// Whether this action is a transmission.
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, Action::Transmit(_))
+    }
+}
+
+/// Read-only per-slot context handed to the protocol callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCtx {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// The global synchronized slot number.
+    pub global_slot: u64,
+    /// Slots elapsed since this node woke up (0 in its first active slot).
+    ///
+    /// The MW algorithm is written against local time — all its intervals
+    /// ("for ⌈ηΔ ln n⌉ time slots…") start at wake-up.
+    pub local_slot: u64,
+}
+
+/// The randomness available to a protocol inside a slot.
+///
+/// Protocols draw through this trait (rather than a concrete RNG) so the
+/// engine can hand each node an independently seeded generator and tests can
+/// substitute deterministic sequences.
+pub trait SlotRng {
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool;
+    /// A uniform draw from `[0, 1)`.
+    fn uniform(&mut self) -> f64;
+    /// A uniform integer draw from `0..bound` (`bound ≥ 1`).
+    fn pick(&mut self, bound: u64) -> u64;
+}
+
+/// A [`SlotRng`] backed by any [`rand::Rng`].
+#[derive(Debug)]
+pub struct RandSlotRng<R>(pub R);
+
+impl<R: rand::Rng> SlotRng for RandSlotRng<R> {
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.0.random::<f64>() < p
+        }
+    }
+
+    fn uniform(&mut self) -> f64 {
+        self.0.random::<f64>()
+    }
+
+    fn pick(&mut self, bound: u64) -> u64 {
+        assert!(bound >= 1, "pick bound must be at least 1");
+        self.0.random_range(0..bound)
+    }
+}
+
+/// A node's protocol automaton.
+///
+/// Driven by the [`Simulator`](crate::Simulator): once per slot (while the
+/// node is awake) it is asked for an [`Action`], the engine resolves all
+/// transmissions through the interference model, and the slot's receptions
+/// are delivered back via [`Protocol::end_slot`].
+///
+/// Protocols have *no* access to the topology — like the paper's nodes,
+/// they learn about neighbors only through received messages.
+pub trait Protocol {
+    /// The message type broadcast by this protocol.
+    type Message: Clone;
+
+    /// Called once, in the slot the node wakes up, before its first
+    /// `begin_slot`.
+    fn on_wake(&mut self, _ctx: &NodeCtx) {}
+
+    /// Decides this slot's action. Called exactly once per slot while the
+    /// node is awake and not yet done.
+    fn begin_slot(&mut self, ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<Self::Message>;
+
+    /// Consumes this slot's receptions: `(sender, message)` pairs, empty if
+    /// nothing was decoded (or the node transmitted). Called after every
+    /// `begin_slot`, in the same slot.
+    fn end_slot(&mut self, ctx: &NodeCtx, received: &[(NodeId, Self::Message)]);
+
+    /// Whether the node has irrevocably produced its output. Done nodes
+    /// may keep participating (the MW color classes `C_i` keep transmitting
+    /// after deciding); the engine uses this only for termination detection
+    /// and timing statistics.
+    fn is_done(&self) -> bool;
+
+    /// Whether the node still needs slots at all. Defaults to `true`;
+    /// protocols whose terminal states are silent can return `false` to let
+    /// the engine skip them entirely.
+    fn is_active(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn action_is_transmit() {
+        assert!(Action::Transmit(5u32).is_transmit());
+        assert!(!Action::<u32>::Listen.is_transmit());
+    }
+
+    #[test]
+    fn chance_extremes_are_deterministic() {
+        let mut rng = RandSlotRng(StdRng::seed_from_u64(0));
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+            assert!(!rng.chance(-0.5));
+            assert!(rng.chance(1.5));
+        }
+    }
+
+    #[test]
+    fn chance_probability_is_roughly_respected() {
+        let mut rng = RandSlotRng(StdRng::seed_from_u64(42));
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = RandSlotRng(StdRng::seed_from_u64(7));
+        for _ in 0..1000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pick_respects_bound() {
+        let mut rng = RandSlotRng(StdRng::seed_from_u64(9));
+        for _ in 0..1000 {
+            assert!(rng.pick(7) < 7);
+        }
+        assert_eq!(rng.pick(1), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Run statistics collected by the engine.
+
+use serde::{Deserialize, Serialize};
+use sinr_geometry::NodeId;
+
+/// Counters and per-node timing collected during a simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total slots simulated.
+    pub slots: u64,
+    /// Total transmissions across all nodes and slots.
+    pub transmissions: u64,
+    /// Total successful receptions across all nodes and slots.
+    pub receptions: u64,
+    /// Wake-up slot of each node.
+    pub wake_slot: Vec<u64>,
+    /// Slot in which each node first reported `is_done()`, if it has.
+    pub done_slot: Vec<Option<u64>>,
+    /// Slots each node spent transmitting.
+    pub tx_slots: Vec<u64>,
+    /// Slots each node spent awake and listening (not transmitting).
+    pub listen_slots: Vec<u64>,
+    /// Channel-load histogram: `concurrent_tx[k]` counts slots with
+    /// exactly `k` simultaneous transmitters; the last bucket aggregates
+    /// everything at or above [`SimStats::TX_HISTOGRAM_BUCKETS`] − 1.
+    pub concurrent_tx: Vec<u64>,
+}
+
+impl SimStats {
+    /// Number of buckets in the channel-load histogram.
+    pub const TX_HISTOGRAM_BUCKETS: usize = 33;
+
+    /// Initializes statistics for `n` nodes with the given wake schedule.
+    pub fn new(wake_slot: Vec<u64>) -> Self {
+        let n = wake_slot.len();
+        SimStats {
+            slots: 0,
+            transmissions: 0,
+            receptions: 0,
+            wake_slot,
+            done_slot: vec![None; n],
+            tx_slots: vec![0; n],
+            listen_slots: vec![0; n],
+            concurrent_tx: vec![0; Self::TX_HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Records one slot's concurrent-transmitter count in the histogram.
+    pub fn record_channel_load(&mut self, transmitters: usize) {
+        let bucket = transmitters.min(Self::TX_HISTOGRAM_BUCKETS - 1);
+        self.concurrent_tx[bucket] += 1;
+    }
+
+    /// Mean number of concurrent transmitters per slot (0 for no slots).
+    pub fn mean_channel_load(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.transmissions as f64 / self.slots as f64
+        }
+    }
+
+    /// Number of nodes that have decided.
+    pub fn done_count(&self) -> usize {
+        self.done_slot.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Slots node `v` spent awake before deciding (`done − wake`), if done.
+    ///
+    /// This is the paper's *time complexity* measure: "the maximum number of
+    /// time slots a node spends before deciding on its color" (§II).
+    pub fn decision_latency(&self, v: NodeId) -> Option<u64> {
+        self.done_slot[v].map(|d| d.saturating_sub(self.wake_slot[v]))
+    }
+
+    /// The maximum decision latency over all nodes — the paper's running
+    /// time. `None` if any node has not decided.
+    pub fn max_decision_latency(&self) -> Option<u64> {
+        (0..self.done_slot.len())
+            .map(|v| self.decision_latency(v))
+            .collect::<Option<Vec<_>>>()
+            .map(|ls| ls.into_iter().max().unwrap_or(0))
+    }
+
+    /// Mean decision latency over nodes that decided; `None` if none have.
+    pub fn mean_decision_latency(&self) -> Option<f64> {
+        let ls: Vec<u64> = (0..self.done_slot.len())
+            .filter_map(|v| self.decision_latency(v))
+            .collect();
+        if ls.is_empty() {
+            None
+        } else {
+            Some(ls.iter().sum::<u64>() as f64 / ls.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        let mut s = SimStats::new(vec![0, 5, 10]);
+        s.done_slot = vec![Some(20), Some(9), None];
+        s
+    }
+
+    #[test]
+    fn latency_subtracts_wake_slot() {
+        let s = stats();
+        assert_eq!(s.decision_latency(0), Some(20));
+        assert_eq!(s.decision_latency(1), Some(4));
+        assert_eq!(s.decision_latency(2), None);
+    }
+
+    #[test]
+    fn max_latency_requires_all_done() {
+        let mut s = stats();
+        assert_eq!(s.max_decision_latency(), None);
+        s.done_slot[2] = Some(40);
+        assert_eq!(s.max_decision_latency(), Some(30));
+    }
+
+    #[test]
+    fn mean_over_decided_only() {
+        let s = stats();
+        assert_eq!(s.mean_decision_latency(), Some(12.0));
+        let empty = SimStats::new(vec![0, 0]);
+        assert_eq!(empty.mean_decision_latency(), None);
+        assert_eq!(empty.done_count(), 0);
+    }
+
+    #[test]
+    fn done_count_counts_some() {
+        assert_eq!(stats().done_count(), 2);
+    }
+
+    #[test]
+    fn channel_load_histogram_buckets_and_saturates() {
+        let mut s = SimStats::new(vec![0]);
+        s.record_channel_load(0);
+        s.record_channel_load(3);
+        s.record_channel_load(3);
+        s.record_channel_load(1000); // saturates into the last bucket
+        assert_eq!(s.concurrent_tx[0], 1);
+        assert_eq!(s.concurrent_tx[3], 2);
+        assert_eq!(s.concurrent_tx[SimStats::TX_HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn mean_channel_load_is_tx_per_slot() {
+        let mut s = SimStats::new(vec![0]);
+        assert_eq!(s.mean_channel_load(), 0.0);
+        s.slots = 10;
+        s.transmissions = 25;
+        assert!((s.mean_channel_load() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Optional event tracing for debugging protocol runs.
+
+use sinr_geometry::NodeId;
+use std::fmt;
+
+/// A single traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Node woke up.
+    Wake(NodeId),
+    /// Node transmitted.
+    Transmit(NodeId),
+    /// `receiver` decoded a message from `sender`.
+    Receive {
+        /// The node that heard the message.
+        receiver: NodeId,
+        /// The node whose message was decoded.
+        sender: NodeId,
+    },
+    /// Node reported `is_done()` for the first time.
+    Done(NodeId),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Wake(v) => write!(f, "wake {v}"),
+            Event::Transmit(v) => write!(f, "tx   {v}"),
+            Event::Receive { receiver, sender } => write!(f, "rx   {receiver} <- {sender}"),
+            Event::Done(v) => write!(f, "done {v}"),
+        }
+    }
+}
+
+/// A bounded in-memory event log: `(slot, event)` records in slot order.
+///
+/// When the bound is reached, further events are counted but not stored, so
+/// tracing long runs cannot exhaust memory.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<(u64, Event)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace that stores at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event at `slot`.
+    pub fn push(&mut self, slot: u64, event: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push((slot, event));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The stored events in insertion order.
+    pub fn events(&self) -> &[(u64, Event)] {
+        &self.events
+    }
+
+    /// Number of events that exceeded the capacity and were discarded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events involving node `v` (as subject, sender, or receiver).
+    pub fn for_node(&self, v: NodeId) -> Vec<(u64, Event)> {
+        self.events
+            .iter()
+            .filter(|(_, e)| match e {
+                Event::Wake(x) | Event::Transmit(x) | Event::Done(x) => *x == v,
+                Event::Receive { receiver, sender } => *receiver == v || *sender == v,
+            })
+            .copied()
+            .collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (slot, e) in &self.events {
+            writeln!(f, "[{slot:>8}] {e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... {} further events dropped", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_storage() {
+        let mut t = Trace::with_capacity(2);
+        t.push(0, Event::Wake(1));
+        t.push(1, Event::Transmit(1));
+        t.push(2, Event::Done(1));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn for_node_filters_both_roles() {
+        let mut t = Trace::with_capacity(10);
+        t.push(0, Event::Wake(1));
+        t.push(
+            1,
+            Event::Receive {
+                receiver: 2,
+                sender: 1,
+            },
+        );
+        t.push(2, Event::Done(3));
+        assert_eq!(t.for_node(1).len(), 2);
+        assert_eq!(t.for_node(2).len(), 1);
+        assert_eq!(t.for_node(3).len(), 1);
+        assert_eq!(t.for_node(4).len(), 0);
+    }
+
+    #[test]
+    fn display_renders_every_event_kind() {
+        let mut t = Trace::with_capacity(10);
+        t.push(0, Event::Wake(0));
+        t.push(
+            0,
+            Event::Receive {
+                receiver: 1,
+                sender: 0,
+            },
+        );
+        t.push(1, Event::Transmit(2));
+        t.push(2, Event::Done(2));
+        let s = format!("{t}");
+        assert!(s.contains("wake"));
+        assert!(s.contains("rx"));
+        assert!(s.contains("tx"));
+        assert!(s.contains("done"));
+    }
+}

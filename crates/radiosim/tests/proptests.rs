@@ -1,0 +1,115 @@
+//! Property-based tests for the simulation engine's invariants.
+
+use proptest::prelude::*;
+use sinr_geometry::{NodeId, Point, UnitDiskGraph};
+use sinr_model::{GraphModel, IdealModel, SinrConfig, SinrModel};
+use sinr_radiosim::{Action, NodeCtx, Protocol, Simulator, SlotRng, WakeupSchedule};
+
+/// A protocol that transmits with a per-node probability and records
+/// everything it hears.
+#[derive(Debug, Clone)]
+struct Chatter {
+    p: f64,
+    rounds: u64,
+    acted: u64,
+    heard: Vec<(u64, NodeId)>,
+}
+
+impl Protocol for Chatter {
+    type Message = u64;
+    fn begin_slot(&mut self, ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<u64> {
+        self.acted += 1;
+        if rng.chance(self.p) {
+            Action::Transmit(ctx.global_slot)
+        } else {
+            Action::Listen
+        }
+    }
+    fn end_slot(&mut self, ctx: &NodeCtx, received: &[(NodeId, u64)]) {
+        for &(s, slot_stamp) in received {
+            // Messages carry the slot they were sent in; delivery must be
+            // same-slot.
+            assert_eq!(slot_stamp, ctx.global_slot);
+            self.heard.push((ctx.global_slot, s));
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.acted >= self.rounds
+    }
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0..4.0f64, 0.0..4.0f64).prop_map(|(x, y)| Point::new(x, y)),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_invariants_hold_for_random_runs(
+        pts in arb_points(),
+        seed in 0u64..500,
+        p in 0.05..0.9f64,
+        model_pick in 0usize..3,
+        window in 1u64..30,
+    ) {
+        let cfg = SinrConfig::default_unit();
+        let graph = UnitDiskGraph::new(pts, cfg.r_t());
+        let n = graph.len();
+        let rounds = 25u64;
+        let mk = |_: NodeId| Chatter { p, rounds, acted: 0, heard: Vec::new() };
+        let schedule = WakeupSchedule::UniformRandom { window };
+
+        let run_once = || {
+            let mut sim: Simulator<Chatter, Box<dyn sinr_model::InterferenceModel>> =
+                Simulator::new(
+                    graph.clone(),
+                    match model_pick {
+                        0 => Box::new(SinrModel::new(cfg)),
+                        1 => Box::new(GraphModel::new()),
+                        _ => Box::new(IdealModel::new()),
+                    },
+                    schedule,
+                    seed,
+                    mk,
+                );
+            let outcome = sim.run(10_000);
+            (outcome, sim)
+        };
+
+        let (outcome, sim) = run_once();
+        prop_assert!(outcome.all_done);
+        let stats = sim.stats();
+
+        // 1. Activity partition: every awake slot is tx or listen.
+        for v in 0..n {
+            let awake = outcome.slots.saturating_sub(stats.wake_slot[v]);
+            prop_assert_eq!(stats.tx_slots[v] + stats.listen_slots[v], awake);
+        }
+        // 2. Aggregates match per-node counters.
+        prop_assert_eq!(stats.transmissions, stats.tx_slots.iter().sum::<u64>());
+        // 3. Channel-load histogram covers every slot exactly once.
+        prop_assert_eq!(stats.concurrent_tx.iter().sum::<u64>(), outcome.slots);
+        // 4. Receptions only from adjacent senders, never self.
+        for v in 0..n {
+            for &(_, s) in &sim.node(v).heard {
+                prop_assert!(s != v);
+                prop_assert!(graph.are_adjacent(v, s));
+            }
+        }
+        // 5. Total receptions match.
+        let total_heard: usize = (0..n).map(|v| sim.node(v).heard.len()).sum();
+        prop_assert_eq!(stats.receptions, total_heard as u64);
+
+        // 6. Determinism: a second run is identical.
+        let (outcome2, sim2) = run_once();
+        prop_assert_eq!(outcome, outcome2);
+        prop_assert_eq!(stats, sim2.stats());
+        for v in 0..n {
+            prop_assert_eq!(&sim.node(v).heard, &sim2.node(v).heard);
+        }
+    }
+}

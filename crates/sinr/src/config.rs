@@ -1,0 +1,317 @@
+//! Physical-layer parameters and every radius/constant derived from them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when validating a [`SinrConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The path-loss exponent must satisfy `α > 2` (required for the
+    /// geometric interference sums of Lemma 3 and Theorem 3 to converge).
+    PathLossTooSmall,
+    /// The decoding threshold must satisfy `β ≥ 1` (paper §II).
+    BetaTooSmall,
+    /// The Markov slack must satisfy `ρ > 1` (paper §II: "`R_I ≥ 2R_T` for a
+    /// well chosen constant `ρ > 1`").
+    RhoTooSmall,
+    /// Power and noise must be strictly positive and finite.
+    NonPositivePhysical,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::PathLossTooSmall => write!(f, "path-loss exponent must exceed 2"),
+            ConfigError::BetaTooSmall => write!(f, "SINR threshold beta must be at least 1"),
+            ConfigError::RhoTooSmall => write!(f, "Markov slack rho must exceed 1"),
+            ConfigError::NonPositivePhysical => {
+                write!(f, "power and noise must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The SINR physical-model parameters of §II, with all derived quantities.
+///
+/// Immutable after construction; constructors validate the paper's
+/// constraints (`α > 2`, `β ≥ 1`, `ρ > 1`, `P, N > 0`).
+///
+/// Derived quantities:
+///
+/// * `R_max = (P/(Nβ))^{1/α}` — maximal decoding range with zero
+///   interference.
+/// * `R_T = (P/(2Nβ))^{1/α}` — the *transmission range*; the UDG edge
+///   threshold (footnote 4: any value `< R_max` works, this is the paper's
+///   choice).
+/// * `R_I = 2 R_T (96 ρ β (α−1)/(α−2))^{1/(α−2)}` — the *interference
+///   disk* radius: Lemma 3 shows interference from outside `R_I` is
+///   negligible.
+/// * `d = (32 (α−1)/(α−2) β)^{1/α}` — the Theorem-3 guard distance: a
+///   `(d+1, V)`-coloring yields an interference-free TDMA schedule.
+///
+/// # Example
+///
+/// ```
+/// use sinr_model::SinrConfig;
+///
+/// let cfg = SinrConfig::new(1.0, 4.0, 1.5, 0.01, 2.0)?;
+/// assert!(cfg.r_t() < cfg.r_max());
+/// # Ok::<(), sinr_model::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinrConfig {
+    power: f64,
+    alpha: f64,
+    beta: f64,
+    noise: f64,
+    rho: f64,
+}
+
+impl SinrConfig {
+    /// Creates a configuration from raw physical parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `alpha ≤ 2`, `beta < 1`, `rho ≤ 1`, or
+    /// `power`/`noise` is not strictly positive and finite.
+    pub fn new(
+        power: f64,
+        alpha: f64,
+        beta: f64,
+        noise: f64,
+        rho: f64,
+    ) -> Result<Self, ConfigError> {
+        if !(power.is_finite() && noise.is_finite() && power > 0.0 && noise > 0.0) {
+            return Err(ConfigError::NonPositivePhysical);
+        }
+        if !(alpha.is_finite() && alpha > 2.0) {
+            return Err(ConfigError::PathLossTooSmall);
+        }
+        if !(beta.is_finite() && beta >= 1.0) {
+            return Err(ConfigError::BetaTooSmall);
+        }
+        if !(rho.is_finite() && rho > 1.0) {
+            return Err(ConfigError::RhoTooSmall);
+        }
+        Ok(SinrConfig {
+            power,
+            alpha,
+            beta,
+            noise,
+            rho,
+        })
+    }
+
+    /// A configuration normalized so that `R_T = 1`: power is fixed at 1 and
+    /// the noise is solved from `R_T = (P/(2Nβ))^{1/α} = 1`, i.e.
+    /// `N = 1/(2β)`.
+    ///
+    /// Convenient because placements can then use `R_T = 1` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate the constraints of
+    /// [`SinrConfig::new`]; use `new` for fallible construction.
+    pub fn with_unit_range(alpha: f64, beta: f64, rho: f64) -> Self {
+        SinrConfig::new(1.0, alpha, beta, 1.0 / (2.0 * beta), rho)
+            .expect("unit-range construction from valid alpha/beta/rho")
+    }
+
+    /// A reasonable default: `α = 4`, `β = 1.5`, `ρ = 2`, normalized to
+    /// `R_T = 1`.
+    pub fn default_unit() -> Self {
+        SinrConfig::with_unit_range(4.0, 1.5, 2.0)
+    }
+
+    /// Transmission power `P` (uniform across nodes, paper footnote 3).
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Path-loss exponent `α > 2`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Decoding threshold `β ≥ 1`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Ambient noise `N > 0`.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Markov slack `ρ > 1` used by Lemma 1/Lemma 3 (the probability that
+    /// far interference exceeds `ρ` times its mean is at most `1/ρ`).
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Maximal interference-free decoding range
+    /// `R_max = (P/(Nβ))^{1/α}`.
+    pub fn r_max(&self) -> f64 {
+        (self.power / (self.noise * self.beta)).powf(1.0 / self.alpha)
+    }
+
+    /// Transmission range `R_T = (P/(2Nβ))^{1/α}` (§II).
+    pub fn r_t(&self) -> f64 {
+        (self.power / (2.0 * self.noise * self.beta)).powf(1.0 / self.alpha)
+    }
+
+    /// Interference-disk radius
+    /// `R_I = 2 R_T (96 ρ β (α−1)/(α−2))^{1/(α−2)}` (§II).
+    pub fn r_i(&self) -> f64 {
+        let base = 96.0 * self.rho * self.beta * (self.alpha - 1.0) / (self.alpha - 2.0);
+        2.0 * self.r_t() * base.powf(1.0 / (self.alpha - 2.0))
+    }
+
+    /// Theorem-3 guard distance `d = (32 (α−1)/(α−2) β)^{1/α}`: a
+    /// `(d+1, V)`-coloring schedules an interference-free TDMA MAC layer.
+    pub fn guard_distance(&self) -> f64 {
+        (32.0 * (self.alpha - 1.0) / (self.alpha - 2.0) * self.beta).powf(1.0 / self.alpha)
+    }
+
+    /// The Lemma-3 budget `P/(2ρβR_T^α)`: the probabilistic interference
+    /// any node receives from outside its interference disk is at most this.
+    pub fn lemma3_budget(&self) -> f64 {
+        self.power / (2.0 * self.rho * self.beta * self.r_t().powf(self.alpha))
+    }
+
+    /// A copy of this configuration with power multiplied by `factor^α`,
+    /// which scales every derived radius by `factor`.
+    ///
+    /// This is the §V power-tuning step: "set the transmission power of
+    /// every node to `O(d^α · P)`" so the algorithm colors
+    /// `G^d = (V, E', d·R_T)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn scaled_range(&self, factor: f64) -> SinrConfig {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "range scaling factor must be positive"
+        );
+        SinrConfig {
+            power: self.power * factor.powf(self.alpha),
+            ..*self
+        }
+    }
+}
+
+impl Default for SinrConfig {
+    fn default() -> Self {
+        SinrConfig::default_unit()
+    }
+}
+
+impl fmt::Display for SinrConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SINR(P={}, alpha={}, beta={}, N={}, rho={}; R_T={:.3}, R_I={:.3})",
+            self.power,
+            self.alpha,
+            self.beta,
+            self.noise,
+            self.rho,
+            self.r_t(),
+            self.r_i()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_range_has_rt_one() {
+        let cfg = SinrConfig::with_unit_range(4.0, 1.5, 2.0);
+        assert!((cfg.r_t() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rt_below_rmax() {
+        for &(a, b) in &[(2.5, 1.0), (3.0, 1.5), (4.0, 2.0), (6.0, 3.0)] {
+            let cfg = SinrConfig::new(2.0, a, b, 0.05, 1.5).unwrap();
+            assert!(cfg.r_t() < cfg.r_max(), "alpha={a} beta={b}");
+        }
+    }
+
+    #[test]
+    fn ri_at_least_twice_rt() {
+        // Paper §II: "R_I ≥ 2R_T for a well chosen constant ρ > 1".
+        for &(a, b, r) in &[(2.5, 1.0, 1.1), (3.0, 1.0, 2.0), (4.0, 2.0, 4.0)] {
+            let cfg = SinrConfig::new(1.0, a, b, 0.01, r).unwrap();
+            assert!(cfg.r_i() >= 2.0 * cfg.r_t());
+        }
+    }
+
+    #[test]
+    fn guard_distance_formula() {
+        let cfg = SinrConfig::with_unit_range(4.0, 1.5, 2.0);
+        let expected = (32.0f64 * 3.0 / 2.0 * 1.5).powf(0.25);
+        assert!((cfg.guard_distance() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_range_scales_all_radii() {
+        let cfg = SinrConfig::default_unit();
+        let d = 3.0;
+        let scaled = cfg.scaled_range(d);
+        assert!((scaled.r_t() - d * cfg.r_t()).abs() < 1e-9);
+        assert!((scaled.r_max() - d * cfg.r_max()).abs() < 1e-9);
+        assert!((scaled.r_i() - d * cfg.r_i()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert_eq!(
+            SinrConfig::new(1.0, 2.0, 1.0, 0.1, 2.0),
+            Err(ConfigError::PathLossTooSmall)
+        );
+        assert_eq!(
+            SinrConfig::new(1.0, 4.0, 0.5, 0.1, 2.0),
+            Err(ConfigError::BetaTooSmall)
+        );
+        assert_eq!(
+            SinrConfig::new(1.0, 4.0, 1.0, 0.1, 1.0),
+            Err(ConfigError::RhoTooSmall)
+        );
+        assert_eq!(
+            SinrConfig::new(0.0, 4.0, 1.0, 0.1, 2.0),
+            Err(ConfigError::NonPositivePhysical)
+        );
+        assert_eq!(
+            SinrConfig::new(1.0, 4.0, 1.0, -0.1, 2.0),
+            Err(ConfigError::NonPositivePhysical)
+        );
+    }
+
+    #[test]
+    fn lemma3_budget_positive_and_decreasing_in_rho() {
+        let a = SinrConfig::new(1.0, 4.0, 1.5, 0.01, 2.0).unwrap();
+        let b = SinrConfig::new(1.0, 4.0, 1.5, 0.01, 4.0).unwrap();
+        assert!(a.lemma3_budget() > 0.0);
+        assert!(b.lemma3_budget() < a.lemma3_budget());
+    }
+
+    #[test]
+    fn default_is_valid() {
+        let cfg = SinrConfig::default();
+        assert!(cfg.r_i() > cfg.r_t());
+        assert!(cfg.guard_distance() > 1.0);
+    }
+
+    #[test]
+    fn display_mentions_radii() {
+        let s = format!("{}", SinrConfig::default_unit());
+        assert!(s.contains("R_T"));
+        assert!(s.contains("R_I"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Pluggable per-slot reception resolution: the SINR physical model, the
+//! graph-based model, and an ideal collision-free model.
+
+use crate::config::SinrConfig;
+use crate::interference::{received_power, sinr_from_total};
+use sinr_geometry::{NodeId, UnitDiskGraph};
+
+/// The outcome of one time slot: which receivers heard which senders.
+///
+/// Stored sparsely as `(receiver, sender)` pairs sorted by receiver, since
+/// in interference-limited slots only a few receptions succeed. Under
+/// models with `β ≥ 1` each receiver hears at most one sender; the ideal
+/// model may deliver several.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReceptionTable {
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl ReceptionTable {
+    /// Builds a table from `(receiver, sender)` pairs (sorts them).
+    pub fn from_pairs(mut pairs: Vec<(NodeId, NodeId)>) -> Self {
+        pairs.sort_unstable();
+        ReceptionTable { pairs }
+    }
+
+    /// All senders heard by `receiver` this slot, in ascending id order.
+    pub fn heard_by(&self, receiver: NodeId) -> &[(NodeId, NodeId)] {
+        let start = self.pairs.partition_point(|&(r, _)| r < receiver);
+        let end = self.pairs.partition_point(|&(r, _)| r <= receiver);
+        &self.pairs[start..end]
+    }
+
+    /// The unique sender heard by `receiver`, if exactly one was heard.
+    pub fn unique_sender(&self, receiver: NodeId) -> Option<NodeId> {
+        match self.heard_by(receiver) {
+            [(_, s)] => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Iterator over all `(receiver, sender)` receptions of the slot.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Total number of successful receptions.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing was received this slot.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether `sender` was heard by *every* neighbor of `sender` in `g` —
+    /// the paper's notion of a *successful transmission* ("a message is
+    /// received by all its neighbors", §IV).
+    pub fn is_successful_broadcast(&self, g: &UnitDiskGraph, sender: NodeId) -> bool {
+        g.neighbors(sender)
+            .iter()
+            .all(|&u| self.heard_by(u).iter().any(|&(_, s)| s == sender))
+    }
+}
+
+/// A per-slot reception resolver.
+///
+/// Given the communication graph (positions + `R_T` adjacency) and the set
+/// of nodes transmitting in the current slot, decides which listeners
+/// successfully decode which senders. All models are half-duplex: a
+/// transmitting node never receives.
+pub trait InterferenceModel {
+    /// Resolves one slot.
+    ///
+    /// `transmitting` must contain valid node ids of `g` (duplicates are not
+    /// allowed). Listeners are all non-transmitting nodes.
+    fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable;
+
+    /// Short model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl<M: InterferenceModel + ?Sized> InterferenceModel for Box<M> {
+    fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
+        (**self).resolve(g, transmitting)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The paper's physical model: receiver `u` decodes sender `v` iff
+/// `δ(u, v) ≤ R_T` and the SINR against *all* simultaneous transmitters
+/// plus ambient noise is at least `β` (§II).
+///
+/// With `β ≥ 1` at most one sender can be decodable at any receiver, so the
+/// strongest qualifying sender is delivered.
+#[derive(Debug, Clone)]
+pub struct SinrModel {
+    cfg: SinrConfig,
+}
+
+impl SinrModel {
+    /// Creates the model from a physical configuration.
+    pub fn new(cfg: SinrConfig) -> Self {
+        SinrModel { cfg }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &SinrConfig {
+        &self.cfg
+    }
+}
+
+impl InterferenceModel for SinrModel {
+    fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
+        debug_assert!(
+            (g.radius() - self.cfg.r_t()).abs() < 1e-9 * self.cfg.r_t().max(1.0),
+            "graph radius {} does not match configured R_T {}",
+            g.radius(),
+            self.cfg.r_t()
+        );
+        let positions = g.positions();
+        let mut is_tx = vec![false; g.len()];
+        for &t in transmitting {
+            debug_assert!(!is_tx[t], "node {t} transmits twice in one slot");
+            is_tx[t] = true;
+        }
+
+        // Candidate receivers: non-transmitting neighbors of any transmitter.
+        let mut pairs = Vec::new();
+        let mut candidate_mark = vec![false; g.len()];
+        for &t in transmitting {
+            for &u in g.neighbors(t) {
+                if !is_tx[u] && !candidate_mark[u] {
+                    candidate_mark[u] = true;
+                    // Total received power at u from every transmitter.
+                    let total: f64 = transmitting
+                        .iter()
+                        .map(|&w| {
+                            received_power(
+                                self.cfg.power(),
+                                positions[u].distance(positions[w]),
+                                self.cfg.alpha(),
+                            )
+                        })
+                        .sum();
+                    // Best decodable sender among transmitters within R_T.
+                    let mut best: Option<(f64, NodeId)> = None;
+                    for &v in transmitting {
+                        if g.are_adjacent(u, v) {
+                            let s = sinr_from_total(&self.cfg, positions[u], positions[v], total);
+                            if s >= self.cfg.beta() && best.is_none_or(|(bs, _)| s > bs) {
+                                best = Some((s, v));
+                            }
+                        }
+                    }
+                    if let Some((_, v)) = best {
+                        pairs.push((u, v));
+                    }
+                }
+            }
+        }
+        ReceptionTable::from_pairs(pairs)
+    }
+
+    fn name(&self) -> &'static str {
+        "sinr"
+    }
+}
+
+/// The graph-based model of the original MW analysis: a node hears a
+/// message iff *exactly one* of its neighbors transmits (and it is silent
+/// itself). Interference is purely local.
+#[derive(Debug, Clone, Default)]
+pub struct GraphModel;
+
+impl GraphModel {
+    /// Creates the graph-based model.
+    pub fn new() -> Self {
+        GraphModel
+    }
+}
+
+impl InterferenceModel for GraphModel {
+    fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
+        let mut is_tx = vec![false; g.len()];
+        for &t in transmitting {
+            is_tx[t] = true;
+        }
+        // Count transmitting neighbors per listener.
+        let mut count = vec![0u32; g.len()];
+        let mut last_sender = vec![0usize; g.len()];
+        for &t in transmitting {
+            for &u in g.neighbors(t) {
+                count[u] += 1;
+                last_sender[u] = t;
+            }
+        }
+        let pairs = (0..g.len())
+            .filter(|&u| !is_tx[u] && count[u] == 1)
+            .map(|u| (u, last_sender[u]))
+            .collect();
+        ReceptionTable::from_pairs(pairs)
+    }
+
+    fn name(&self) -> &'static str {
+        "graph"
+    }
+}
+
+/// An ideal collision-free channel: every listener hears *every*
+/// transmitting neighbor (still half-duplex).
+///
+/// This is the point-to-point message-passing substrate whose simulation
+/// cost Corollary 1 bounds; it also provides round-count floors in the
+/// experiments.
+#[derive(Debug, Clone, Default)]
+pub struct IdealModel;
+
+impl IdealModel {
+    /// Creates the ideal model.
+    pub fn new() -> Self {
+        IdealModel
+    }
+}
+
+impl InterferenceModel for IdealModel {
+    fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
+        let mut is_tx = vec![false; g.len()];
+        for &t in transmitting {
+            is_tx[t] = true;
+        }
+        let mut pairs = Vec::new();
+        for &t in transmitting {
+            for &u in g.neighbors(t) {
+                if !is_tx[u] {
+                    pairs.push((u, t));
+                }
+            }
+        }
+        ReceptionTable::from_pairs(pairs)
+    }
+
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinr_geometry::Point;
+
+    fn graph(pts: Vec<Point>) -> UnitDiskGraph {
+        UnitDiskGraph::new(pts, 1.0)
+    }
+
+    fn sinr_model() -> SinrModel {
+        SinrModel::new(SinrConfig::default_unit())
+    }
+
+    #[test]
+    fn lone_transmitter_reaches_all_neighbors_in_all_models() {
+        let g = graph(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.8, 0.0),
+            Point::new(-0.8, 0.0),
+            Point::new(5.0, 5.0),
+        ]);
+        for model in [
+            Box::new(sinr_model()) as Box<dyn InterferenceModel>,
+            Box::new(GraphModel::new()),
+            Box::new(IdealModel::new()),
+        ] {
+            let table = model.resolve(&g, &[0]);
+            assert_eq!(table.unique_sender(1), Some(0), "{}", model.name());
+            assert_eq!(table.unique_sender(2), Some(0), "{}", model.name());
+            assert_eq!(table.unique_sender(3), None, "{}", model.name());
+            assert!(table.is_successful_broadcast(&g, 0));
+        }
+    }
+
+    #[test]
+    fn transmitters_never_receive() {
+        let g = graph(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)]);
+        for model in [
+            Box::new(sinr_model()) as Box<dyn InterferenceModel>,
+            Box::new(GraphModel::new()),
+            Box::new(IdealModel::new()),
+        ] {
+            let table = model.resolve(&g, &[0, 1]);
+            assert!(table.is_empty(), "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn graph_model_collision_on_two_neighbors() {
+        // u has two transmitting neighbors -> collision in the graph model.
+        let g = graph(vec![
+            Point::new(0.0, 0.0),  // u
+            Point::new(0.9, 0.0),  // tx
+            Point::new(-0.9, 0.0), // tx
+        ]);
+        let table = GraphModel::new().resolve(&g, &[1, 2]);
+        assert_eq!(table.unique_sender(0), None);
+        // Ideal model delivers both.
+        let ideal = IdealModel::new().resolve(&g, &[1, 2]);
+        assert_eq!(ideal.heard_by(0).len(), 2);
+    }
+
+    #[test]
+    fn sinr_model_captures_far_interference_graph_model_does_not() {
+        // Receiver at origin, sender at 0.95. A wall of interferers just
+        // outside the receiver's R_T disk is invisible to the graph model
+        // but kills the SINR.
+        let mut pts = vec![Point::new(0.0, 0.0), Point::new(0.95, 0.0)];
+        for k in 0..12 {
+            let theta = k as f64 * std::f64::consts::TAU / 12.0;
+            pts.push(Point::new(1.2 * theta.cos(), 1.2 * theta.sin()));
+        }
+        let g = graph(pts);
+        let tx: Vec<NodeId> = (1..g.len()).collect();
+        // Graph model: interferers are not neighbors of node 0, so only the
+        // sender counts -> success.
+        let gt = GraphModel::new().resolve(&g, &tx);
+        assert_eq!(gt.unique_sender(0), Some(1));
+        // SINR model: aggregate far interference breaks the link.
+        let st = sinr_model().resolve(&g, &tx);
+        assert_eq!(st.unique_sender(0), None);
+    }
+
+    #[test]
+    fn sinr_model_near_capture() {
+        // A very close sender survives one distant interferer.
+        let g = graph(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.2, 0.0),
+            Point::new(0.9, 0.0),
+        ]);
+        let table = sinr_model().resolve(&g, &[1, 2]);
+        // Node 0 decodes node 1 (strong), not node 2.
+        assert_eq!(table.unique_sender(0), Some(1));
+    }
+
+    #[test]
+    fn at_most_one_sender_decodable_with_beta_ge_one() {
+        let g = graph(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(0.0, 0.5),
+            Point::new(-0.5, 0.0),
+        ]);
+        let table = sinr_model().resolve(&g, &[1, 2, 3]);
+        assert!(table.heard_by(0).len() <= 1);
+    }
+
+    #[test]
+    fn reception_table_queries() {
+        let t = ReceptionTable::from_pairs(vec![(2, 7), (0, 3), (2, 5)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.unique_sender(0), Some(3));
+        assert_eq!(t.unique_sender(1), None);
+        assert_eq!(t.unique_sender(2), None); // heard two
+        assert_eq!(t.heard_by(2), &[(2, 5), (2, 7)]);
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(0, 3), (2, 5), (2, 7)]);
+    }
+
+    #[test]
+    fn empty_transmission_set() {
+        let g = graph(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)]);
+        for model in [
+            Box::new(sinr_model()) as Box<dyn InterferenceModel>,
+            Box::new(GraphModel::new()),
+            Box::new(IdealModel::new()),
+        ] {
+            assert!(model.resolve(&g, &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn successful_broadcast_requires_all_neighbors() {
+        // Sender 1 has neighbors 0 and 2; jam node 2's side so only 0 hears.
+        let g = graph(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.9, 0.0),
+            Point::new(1.8, 0.0),
+            Point::new(2.4, 0.0),
+        ]);
+        let table = sinr_model().resolve(&g, &[1, 3]);
+        assert!(!table.is_successful_broadcast(&g, 1));
+        let alone = sinr_model().resolve(&g, &[1]);
+        assert!(alone.is_successful_broadcast(&g, 1));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the interference models.
+
+use proptest::prelude::*;
+use sinr_geometry::{NodeId, Point, UnitDiskGraph};
+use sinr_model::interference::{decodes, received_power, total_received_power};
+use sinr_model::{GraphModel, IdealModel, InterferenceModel, SinrConfig, SinrModel};
+
+fn arb_points(max_n: usize, extent: f64) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0..extent, 0.0..extent).prop_map(|(x, y)| Point::new(x, y)),
+        1..max_n,
+    )
+}
+
+/// A placement plus a subset of transmitting node ids.
+fn arb_scenario() -> impl Strategy<Value = (Vec<Point>, Vec<NodeId>)> {
+    arb_points(30, 5.0).prop_flat_map(|pts| {
+        let n = pts.len();
+        (Just(pts), prop::collection::btree_set(0..n, 0..=n.min(10)))
+            .prop_map(|(pts, set)| (pts, set.into_iter().collect()))
+    })
+}
+
+proptest! {
+    #[test]
+    fn received_power_is_monotone_decreasing(
+        d1 in 0.01..50.0f64,
+        d2 in 0.01..50.0f64,
+        alpha in 2.1..6.0f64,
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(received_power(1.0, lo, alpha) >= received_power(1.0, hi, alpha));
+    }
+
+    #[test]
+    fn total_power_is_additive(pts in arb_points(20, 5.0)) {
+        let cfg = SinrConfig::default_unit();
+        let at = Point::new(-1.0, -1.0);
+        let total = total_received_power(&cfg, at, &pts);
+        let sum: f64 = pts
+            .iter()
+            .map(|&p| total_received_power(&cfg, at, &[p]))
+            .sum();
+        prop_assert!((total - sum).abs() <= 1e-9 * sum.max(1.0));
+    }
+
+    #[test]
+    fn adding_interferers_never_enables_decoding(
+        pts in arb_points(15, 4.0),
+        extra in (0.0..4.0f64, 0.0..4.0f64).prop_map(|(x, y)| Point::new(x, y)),
+    ) {
+        let cfg = SinrConfig::default_unit();
+        let rx = Point::new(2.0, 2.0);
+        let tx = Point::new(2.5, 2.0);
+        let without = decodes(&cfg, rx, tx, &pts);
+        let mut more = pts.clone();
+        more.push(extra);
+        let with = decodes(&cfg, rx, tx, &more);
+        // with == true implies without == true.
+        prop_assert!(!with || without);
+    }
+
+    #[test]
+    fn models_agree_on_lone_transmitter((pts, _) in arb_scenario(), t_raw in 0usize..30) {
+        let g = UnitDiskGraph::new(pts, 1.0);
+        let t = t_raw % g.len();
+        let sinr = SinrModel::new(SinrConfig::default_unit()).resolve(&g, &[t]);
+        let graph = GraphModel::new().resolve(&g, &[t]);
+        let ideal = IdealModel::new().resolve(&g, &[t]);
+        // With one transmitter there is no interference: all three models
+        // deliver to exactly the neighbor set.
+        let expect: Vec<(NodeId, NodeId)> =
+            g.neighbors(t).iter().map(|&u| (u, t)).collect();
+        let got_s: Vec<_> = sinr.iter().collect();
+        let got_g: Vec<_> = graph.iter().collect();
+        let got_i: Vec<_> = ideal.iter().collect();
+        prop_assert_eq!(&got_s, &expect);
+        prop_assert_eq!(&got_g, &expect);
+        prop_assert_eq!(&got_i, &expect);
+    }
+
+    #[test]
+    fn sinr_receptions_subset_of_ideal((pts, tx) in arb_scenario()) {
+        let g = UnitDiskGraph::new(pts, 1.0);
+        let tx: Vec<NodeId> = tx.into_iter().filter(|&t| t < g.len()).collect();
+        let sinr = SinrModel::new(SinrConfig::default_unit()).resolve(&g, &tx);
+        let ideal = IdealModel::new().resolve(&g, &tx);
+        let ideal_pairs: std::collections::BTreeSet<_> = ideal.iter().collect();
+        for pair in sinr.iter() {
+            prop_assert!(ideal_pairs.contains(&pair));
+        }
+    }
+
+    #[test]
+    fn graph_receptions_subset_of_ideal((pts, tx) in arb_scenario()) {
+        let g = UnitDiskGraph::new(pts, 1.0);
+        let tx: Vec<NodeId> = tx.into_iter().filter(|&t| t < g.len()).collect();
+        let graph = GraphModel::new().resolve(&g, &tx);
+        let ideal = IdealModel::new().resolve(&g, &tx);
+        let ideal_pairs: std::collections::BTreeSet<_> = ideal.iter().collect();
+        for pair in graph.iter() {
+            prop_assert!(ideal_pairs.contains(&pair));
+        }
+    }
+
+    #[test]
+    fn no_model_delivers_to_transmitters((pts, tx) in arb_scenario()) {
+        let g = UnitDiskGraph::new(pts, 1.0);
+        let tx: Vec<NodeId> = tx.into_iter().filter(|&t| t < g.len()).collect();
+        let txset: std::collections::BTreeSet<_> = tx.iter().copied().collect();
+        for model in [
+            Box::new(SinrModel::new(SinrConfig::default_unit())) as Box<dyn InterferenceModel>,
+            Box::new(GraphModel::new()),
+            Box::new(IdealModel::new()),
+        ] {
+            for (r, s) in model.resolve(&g, &tx).iter() {
+                prop_assert!(!txset.contains(&r), "{} delivered to transmitter", model.name());
+                prop_assert!(txset.contains(&s));
+                prop_assert!(g.are_adjacent(r, s));
+            }
+        }
+    }
+
+    #[test]
+    fn sinr_delivers_at_most_one_per_receiver((pts, tx) in arb_scenario()) {
+        let g = UnitDiskGraph::new(pts, 1.0);
+        let tx: Vec<NodeId> = tx.into_iter().filter(|&t| t < g.len()).collect();
+        let table = SinrModel::new(SinrConfig::default_unit()).resolve(&g, &tx);
+        for u in 0..g.len() {
+            prop_assert!(table.heard_by(u).len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Asynchronous spontaneous wake-up (§II): nodes join the protocol at
+//! arbitrary times and still decide correct colors, with per-node latency
+//! measured from each node's own wake-up.
+//!
+//! ```text
+//! cargo run --release --example async_wakeup
+//! ```
+
+use sinr_coloring::mw::{run_mw, MwConfig};
+use sinr_coloring::params::MwParams;
+use sinr_coloring::verify::distance_violations;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_model::{SinrConfig, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+fn main() {
+    let cfg = SinrConfig::default_unit();
+    let n = 90;
+    let pts = placement::uniform_with_expected_degree(n, cfg.r_t(), 11.0, 99);
+    let graph = UnitDiskGraph::new(pts, cfg.r_t());
+    let params = MwParams::practical(&cfg, n, graph.max_degree());
+    println!(
+        "network         : n = {n}, Δ = {}, listen window = {} slots",
+        graph.max_degree(),
+        params.listen_slots()
+    );
+
+    let window = 6 * params.listen_slots();
+    let schedules = [
+        ("synchronous   ", WakeupSchedule::Synchronous),
+        ("uniform random", WakeupSchedule::UniformRandom { window }),
+        ("staggered     ", WakeupSchedule::Staggered { step: 17 }),
+    ];
+
+    for (name, schedule) in schedules {
+        let out = run_mw(
+            &graph,
+            SinrModel::new(cfg),
+            &MwConfig::new(params).with_seed(5),
+            schedule,
+        );
+        assert!(out.all_done, "{name}: hit slot cap");
+        let coloring = out.coloring.expect("all decided");
+        let violations =
+            distance_violations(graph.positions(), coloring.as_slice(), graph.radius());
+        println!(
+            "{name} : global end slot {:>6}, per-node latency max {:>6} / mean {:>8.1}, \
+             colors {:>2}, violations {}",
+            out.slots,
+            out.max_latency.unwrap(),
+            out.mean_latency.unwrap(),
+            out.colors_used,
+            violations.len()
+        );
+        assert!(violations.is_empty());
+    }
+    println!(
+        "OK — per-node latency stays in the same band regardless of the \
+         wake-up pattern; no global start signal is needed."
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: color a random wireless network under the SINR model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sinr_coloring::mw::{run_mw, MwConfig};
+use sinr_coloring::params::MwParams;
+use sinr_coloring::verify::distance_violations;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_model::{SinrConfig, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+fn main() {
+    // 1. Physical layer: α = 4, β = 1.5, ρ = 2, normalized to R_T = 1.
+    let cfg = SinrConfig::default_unit();
+    println!("physical config : {cfg}");
+    println!("guard distance d: {:.2} (Theorem 3)", cfg.guard_distance());
+
+    // 2. Topology: 120 nodes, expected degree 12.
+    let pts = placement::uniform_with_expected_degree(120, cfg.r_t(), 12.0, 42);
+    let graph = UnitDiskGraph::new(pts, cfg.r_t());
+    println!(
+        "topology        : n = {}, Δ = {}, edges = {}",
+        graph.len(),
+        graph.max_degree(),
+        graph.edge_count()
+    );
+
+    // 3. Algorithm constants (practical profile; see DESIGN.md §3).
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    println!(
+        "params          : listen = {} slots, threshold = {}, palette bound = {}",
+        params.listen_slots(),
+        params.counter_threshold(),
+        params.palette_bound()
+    );
+
+    // 4. Run the MW coloring algorithm under the SINR physical model.
+    let outcome = run_mw(
+        &graph,
+        SinrModel::new(cfg),
+        &MwConfig::new(params).with_seed(7),
+        WakeupSchedule::Synchronous,
+    );
+    assert!(outcome.all_done, "run hit the slot cap");
+    println!(
+        "run             : {} slots, max per-node latency = {:?}",
+        outcome.slots, outcome.max_latency
+    );
+    println!(
+        "coloring        : {} distinct colors ({} leaders), palette {} ≤ bound {}",
+        outcome.colors_used,
+        outcome.leaders,
+        outcome.palette,
+        params.palette_bound()
+    );
+
+    // 5. Verify: no two neighbors share a color (a (1, O(Δ))-coloring).
+    let coloring = outcome.coloring.expect("all nodes decided");
+    let violations = distance_violations(graph.positions(), coloring.as_slice(), graph.radius());
+    println!("verification    : {} violations", violations.len());
+    assert!(
+        violations.is_empty(),
+        "coloring is not proper: {violations:?}"
+    );
+    println!("OK — proper O(Δ)-coloring computed under SINR.");
+}

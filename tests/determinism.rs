@@ -1,0 +1,73 @@
+//! Integration: reproducibility guarantees across the whole stack.
+//!
+//! Every stochastic component is a pure function of its `u64` seed; these
+//! tests pin that property across crate boundaries (a regression here
+//! breaks the reproducibility of every experiment in EXPERIMENTS.md).
+
+use sinr_coloring::mw::{run_mw, MwConfig};
+use sinr_coloring::params::MwParams;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_model::{SinrConfig, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+fn outcome(seed: u64, wake: WakeupSchedule) -> sinr_coloring::MwOutcome {
+    let cfg = SinrConfig::default_unit();
+    let graph = UnitDiskGraph::new(placement::uniform(35, 3.5, 3.5, 77), cfg.r_t());
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    run_mw(
+        &graph,
+        SinrModel::new(cfg),
+        &MwConfig::new(params).with_seed(seed),
+        wake,
+    )
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let a = outcome(4, WakeupSchedule::Synchronous);
+    let b = outcome(4, WakeupSchedule::Synchronous);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn identical_seeds_identical_runs_async() {
+    let a = outcome(5, WakeupSchedule::UniformRandom { window: 300 });
+    let b = outcome(5, WakeupSchedule::UniformRandom { window: 300 });
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = outcome(1, WakeupSchedule::Synchronous);
+    let b = outcome(2, WakeupSchedule::Synchronous);
+    assert_ne!(
+        (a.transmissions, a.slots),
+        (b.transmissions, b.slots),
+        "two seeds produced byte-identical dynamics"
+    );
+}
+
+#[test]
+fn placement_generators_are_seed_pure() {
+    for seed in [0u64, 9, 1234567] {
+        assert_eq!(
+            placement::uniform(64, 5.0, 5.0, seed),
+            placement::uniform(64, 5.0, 5.0, seed)
+        );
+        assert_eq!(
+            placement::clustered(4, 6, 5.0, 5.0, 0.5, seed),
+            placement::clustered(4, 6, 5.0, 5.0, 0.5, seed)
+        );
+        assert_eq!(
+            placement::jittered_grid(5, 5, 1.0, 0.3, seed),
+            placement::jittered_grid(5, 5, 1.0, 0.3, seed)
+        );
+    }
+}
+
+#[test]
+fn wake_schedules_are_seed_pure() {
+    let s = WakeupSchedule::UniformRandom { window: 100 };
+    assert_eq!(s.wake_slots(50, 3), s.wake_slots(50, 3));
+    assert_ne!(s.wake_slots(50, 3), s.wake_slots(50, 4));
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: placements → UDG → MW coloring under three
+//! interference models → verification.
+
+use sinr_coloring::mw::{run_mw, MwConfig};
+use sinr_coloring::params::MwParams;
+use sinr_coloring::verify::distance_violations;
+use sinr_geometry::packing::is_independent;
+use sinr_geometry::{placement, Point, UnitDiskGraph};
+use sinr_model::{GraphModel, IdealModel, SinrConfig, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+fn cfg() -> SinrConfig {
+    SinrConfig::default_unit()
+}
+
+fn run_and_verify(points: Vec<Point>, seed: u64, schedule: WakeupSchedule) {
+    let c = cfg();
+    let graph = UnitDiskGraph::new(points, c.r_t());
+    let params = MwParams::practical(&c, graph.len().max(2), graph.max_degree());
+    let out = run_mw(
+        &graph,
+        SinrModel::new(c),
+        &MwConfig::new(params).with_seed(seed),
+        schedule,
+    );
+    assert!(out.all_done, "hit slot cap after {} slots", out.slots);
+    let coloring = out.coloring.expect("all nodes decided");
+    // (1, V)-coloring: neighbors differ.
+    assert!(distance_violations(graph.positions(), coloring.as_slice(), graph.radius()).is_empty());
+    // Theorem-2 palette bound.
+    assert!(out.palette <= params.palette_bound());
+    // Leaders (color 0) form an independent set.
+    let leaders: Vec<usize> = (0..graph.len())
+        .filter(|&v| coloring.color(v) == 0)
+        .collect();
+    assert!(is_independent(&graph, &leaders));
+    // Every node is a leader or has a leader neighbor (clustering covers).
+    for v in 0..graph.len() {
+        let covered =
+            coloring.color(v) == 0 || graph.neighbors(v).iter().any(|&u| coloring.color(u) == 0);
+        assert!(covered, "node {v} has no leader in range");
+    }
+}
+
+#[test]
+fn uniform_placement_sinr() {
+    run_and_verify(
+        placement::uniform(50, 4.0, 4.0, 21),
+        3,
+        WakeupSchedule::Synchronous,
+    );
+}
+
+#[test]
+fn clustered_placement_sinr() {
+    run_and_verify(
+        placement::clustered(5, 8, 6.0, 6.0, 0.6, 8),
+        1,
+        WakeupSchedule::Synchronous,
+    );
+}
+
+#[test]
+fn line_placement_sinr() {
+    run_and_verify(
+        placement::line(30, 0.7, 0.1, 4),
+        2,
+        WakeupSchedule::Synchronous,
+    );
+}
+
+#[test]
+fn grid_placement_sinr() {
+    run_and_verify(
+        placement::jittered_grid(6, 6, 0.8, 0.1, 5),
+        6,
+        WakeupSchedule::Synchronous,
+    );
+}
+
+#[test]
+fn async_wakeup_sinr() {
+    run_and_verify(
+        placement::uniform(40, 3.5, 3.5, 33),
+        9,
+        WakeupSchedule::UniformRandom { window: 500 },
+    );
+}
+
+#[test]
+fn staggered_wakeup_sinr() {
+    run_and_verify(
+        placement::uniform(40, 3.5, 3.5, 34),
+        11,
+        WakeupSchedule::Staggered { step: 13 },
+    );
+}
+
+#[test]
+fn graph_and_ideal_models_also_color_properly() {
+    let c = cfg();
+    let graph = UnitDiskGraph::new(placement::uniform(45, 4.0, 4.0, 50), c.r_t());
+    let params = MwParams::practical(&c, graph.len(), graph.max_degree());
+    for (name, out) in [
+        (
+            "graph",
+            run_mw(
+                &graph,
+                GraphModel::new(),
+                &MwConfig::new(params).with_seed(2),
+                WakeupSchedule::Synchronous,
+            ),
+        ),
+        (
+            "ideal",
+            run_mw(
+                &graph,
+                IdealModel::new(),
+                &MwConfig::new(params).with_seed(2),
+                WakeupSchedule::Synchronous,
+            ),
+        ),
+    ] {
+        assert!(out.all_done, "{name}");
+        let coloring = out.coloring.expect("decided");
+        assert!(coloring.is_proper(&graph), "{name}");
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_work() {
+    // The sinr-suite umbrella exposes every member crate.
+    let _cfg: sinr_suite::model::SinrConfig = sinr_suite::model::SinrConfig::default_unit();
+    let pts = sinr_suite::geometry::placement::uniform(10, 2.0, 2.0, 0);
+    assert_eq!(pts.len(), 10);
+}

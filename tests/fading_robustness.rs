@@ -1,0 +1,53 @@
+//! Integration: the tuned parameter profile compensates for fading, as
+//! `docs/PARAMETERS.md` prescribes (widen γ/μ by 1/p_recv).
+
+use sinr_coloring::mw::{run_mw, MwConfig};
+use sinr_coloring::params::MwParams;
+use sinr_coloring::verify::distance_violations;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_model::{FadingSinrModel, SinrConfig};
+use sinr_radiosim::WakeupSchedule;
+
+fn setup() -> (SinrConfig, UnitDiskGraph) {
+    let cfg = SinrConfig::default_unit();
+    let pts = placement::uniform_with_expected_degree(60, cfg.r_t(), 10.0, 4242);
+    (cfg, UnitDiskGraph::new(pts, cfg.r_t()))
+}
+
+#[test]
+fn tuned_profile_survives_full_rayleigh_fading() {
+    let (cfg, graph) = setup();
+    // Full Rayleigh fading degrades edge-of-range links well below half;
+    // tune for quarter delivery and a 0.3% per-race miss target (the
+    // 1%/0.35 setting still fails a few percent of runs — measured while
+    // writing this test).
+    let params = MwParams::tuned(&cfg, graph.len(), graph.max_degree(), 0.003, 0.25);
+    for seed in 0..3 {
+        let out = run_mw(
+            &graph,
+            FadingSinrModel::new(cfg, 1000 + seed, 1.0),
+            &MwConfig::new(params).with_seed(seed),
+            WakeupSchedule::Synchronous,
+        );
+        assert!(out.all_done, "seed {seed}: hit slot cap at {}", out.slots);
+        let coloring = out.coloring.expect("decided");
+        assert!(
+            distance_violations(graph.positions(), coloring.as_slice(), graph.radius()).is_empty(),
+            "seed {seed}: fading broke the tuned profile"
+        );
+    }
+}
+
+#[test]
+fn tuned_profile_matches_default_on_clear_channels() {
+    let (cfg, graph) = setup();
+    let tuned = MwParams::tuned(&cfg, graph.len(), graph.max_degree(), 0.01, 0.65);
+    let out = run_mw(
+        &graph,
+        FadingSinrModel::new(cfg, 7, 0.0), // severity 0 == deterministic
+        &MwConfig::new(tuned).with_seed(2),
+        WakeupSchedule::Synchronous,
+    );
+    assert!(out.all_done);
+    assert!(out.coloring.unwrap().is_proper(&graph));
+}

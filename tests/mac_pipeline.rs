@@ -1,0 +1,134 @@
+//! Integration: the full §V pipeline — distance-(d+1) coloring via power
+//! scaling, TDMA scheduling, Theorem-3 audit, palette reduction, and
+//! message-passing simulation (Corollary 1).
+
+use sinr_coloring::distance_d::color_at_distance;
+use sinr_coloring::palette::reduce_palette;
+use sinr_coloring::verify::is_distance_coloring;
+use sinr_geometry::greedy::Coloring;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_mac::guard::theorem3_distance_factor;
+use sinr_mac::mp::EchoDegrees;
+use sinr_mac::mp::{run_uniform_ideal, BfsLayers, Flooding, MaxIdElection};
+use sinr_mac::srs::{simulate_general_bundled, simulate_uniform};
+use sinr_mac::tdma::{broadcast_audit, TdmaSchedule};
+use sinr_model::SinrConfig;
+use sinr_radiosim::WakeupSchedule;
+
+fn cfg() -> SinrConfig {
+    SinrConfig::default_unit()
+}
+
+struct Pipeline {
+    graph: UnitDiskGraph,
+    schedule: TdmaSchedule,
+    colors: Vec<usize>,
+}
+
+fn build_pipeline(n: usize, seed: u64) -> Pipeline {
+    let c = cfg();
+    let pts = placement::uniform_with_expected_degree(n, c.r_t(), 9.0, seed);
+    let graph = UnitDiskGraph::new(pts.clone(), c.r_t());
+    let factor = theorem3_distance_factor(&c);
+    let result = color_at_distance(&pts, &c, factor, seed, WakeupSchedule::Synchronous);
+    let colors = result.colors().expect("coloring completed").to_vec();
+    assert!(is_distance_coloring(&pts, &colors, factor * c.r_t()));
+    let schedule = TdmaSchedule::from_colors(&colors);
+    Pipeline {
+        graph,
+        schedule,
+        colors,
+    }
+}
+
+#[test]
+fn theorem3_schedule_is_interference_free() {
+    let p = build_pipeline(40, 17);
+    let audit = broadcast_audit(&p.graph, &cfg(), &p.schedule);
+    assert!(audit.is_interference_free(), "{audit:?}");
+    assert_eq!(audit.full_broadcasts, audit.broadcasters);
+}
+
+#[test]
+fn palette_reduction_composes_with_guard_coloring() {
+    let p = build_pipeline(40, 18);
+    let coloring = Coloring::from_vec(p.colors.clone());
+    assert!(coloring.is_proper(&p.graph));
+    let reduced = reduce_palette(&p.graph, &coloring);
+    assert!(reduced.is_proper(&p.graph));
+    assert!(reduced.palette_size() <= p.graph.max_degree() + 1);
+}
+
+#[test]
+fn srs_flooding_matches_ideal_execution() {
+    let p = build_pipeline(36, 19);
+    if !p.graph.is_connected() {
+        return; // flooding comparison needs connectivity
+    }
+    let n = p.graph.len();
+    let mut ideal: Vec<Flooding> = (0..n).map(|v| Flooding::new(v == 0)).collect();
+    let ideal_run = run_uniform_ideal(&p.graph, &mut ideal, 10 * n);
+
+    let mut sinr: Vec<Flooding> = (0..n).map(|v| Flooding::new(v == 0)).collect();
+    let run = simulate_uniform(&p.graph, &cfg(), &p.schedule, &mut sinr, 10 * n);
+    assert!(run.all_done && run.is_faithful());
+    assert_eq!(run.rounds, ideal_run.rounds);
+    for v in 0..n {
+        assert_eq!(sinr[v].informed(), ideal[v].informed(), "node {v}");
+    }
+}
+
+#[test]
+fn srs_bfs_and_election_agree_with_graph_truth() {
+    let p = build_pipeline(30, 300);
+    let n = p.graph.len();
+    if !p.graph.is_connected() {
+        return;
+    }
+    let mut bfs: Vec<BfsLayers> = (0..n).map(|v| BfsLayers::new(v == 0)).collect();
+    let run = simulate_uniform(&p.graph, &cfg(), &p.schedule, &mut bfs, 10 * n);
+    assert!(run.is_faithful());
+    let truth = p.graph.bfs_distances(0);
+    for v in 0..n {
+        assert_eq!(bfs[v].distance(), truth[v]);
+    }
+
+    let diam = p.graph.diameter().expect("connected");
+    let mut elect: Vec<MaxIdElection> = (0..n).map(|v| MaxIdElection::new(v, diam + 1)).collect();
+    let run = simulate_uniform(&p.graph, &cfg(), &p.schedule, &mut elect, diam + 2);
+    assert!(run.all_done);
+    assert!(elect.iter().all(|e| e.leader() == n - 1));
+}
+
+#[test]
+fn srs_general_model_delivers_addressed_payloads() {
+    let p = build_pipeline(24, 21);
+    let n = p.graph.len();
+    let mut nodes: Vec<EchoDegrees> = (0..n)
+        .map(|v| EchoDegrees::new(v, p.graph.neighbors(v).to_vec()))
+        .collect();
+    let run = simulate_general_bundled(&p.graph, &cfg(), &p.schedule, &mut nodes, 10);
+    assert!(run.all_done && run.is_faithful(), "{run:?}");
+    for (v, node) in nodes.iter().enumerate() {
+        let expect: Vec<(usize, usize)> = p
+            .graph
+            .neighbors(v)
+            .iter()
+            .map(|&u| (u, p.graph.degree(u)))
+            .collect();
+        assert_eq!(node.received, expect);
+    }
+}
+
+#[test]
+fn slot_budget_matches_corollary_one_accounting() {
+    let p = build_pipeline(36, 19);
+    let n = p.graph.len();
+    if !p.graph.is_connected() {
+        return;
+    }
+    let mut nodes: Vec<Flooding> = (0..n).map(|v| Flooding::new(v == 0)).collect();
+    let run = simulate_uniform(&p.graph, &cfg(), &p.schedule, &mut nodes, 10 * n);
+    // Exactly V slots per simulated round.
+    assert_eq!(run.slots, run.rounds as u64 * p.schedule.frame_len() as u64);
+}

@@ -1,0 +1,126 @@
+//! Cross-crate property tests: for arbitrary small placements, the whole
+//! pipeline maintains the paper's invariants.
+//!
+//! Two kinds of properties are distinguished:
+//!
+//! * **Deterministic invariants** (termination, palette bound, cluster
+//!   structure, coverage) hold on *every* run — tested with proptest's
+//!   default random exploration.
+//! * **W.h.p. properties** (properness, leader independence) have a
+//!   genuine failure tail by Theorem 1 — the probability is small but
+//!   positive, and unrestricted proptest minimization is an adversarial
+//!   search that will eventually exhibit it (e.g. an isolated pair where
+//!   the loser misses every beacon in its trailing window). Those are
+//!   tested under a *fixed* proptest RNG seed: an exact, reproducible set
+//!   of 24 cases known to exercise the property. The statistical failure
+//!   *rate* is what experiment E4 measures.
+
+use proptest::prelude::*;
+use proptest::test_runner::RngSeed;
+use sinr_coloring::mw::{run_mw, MwConfig};
+use sinr_coloring::palette::reduce_palette;
+use sinr_coloring::params::MwParams;
+use sinr_coloring::verify::distance_violations;
+use sinr_geometry::packing::is_independent;
+use sinr_geometry::{Point, UnitDiskGraph};
+use sinr_model::{SinrConfig, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0..3.0f64, 0.0..3.0f64).prop_map(|(x, y)| Point::new(x, y)),
+        2..18,
+    )
+}
+
+fn run(pts: Vec<Point>, seed: u64) -> (UnitDiskGraph, MwParams, sinr_coloring::MwOutcome) {
+    let cfg = SinrConfig::default_unit();
+    let graph = UnitDiskGraph::new(pts, cfg.r_t());
+    let params = MwParams::practical(&cfg, graph.len().max(2), graph.max_degree());
+    let out = run_mw(
+        &graph,
+        SinrModel::new(cfg),
+        &MwConfig::new(params).with_seed(seed),
+        WakeupSchedule::Synchronous,
+    );
+    (graph, params, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Deterministic invariants: hold on every execution, worst case.
+    #[test]
+    fn mw_always_terminates_with_structural_invariants(
+        pts in arb_points(),
+        seed in 0u64..1000,
+    ) {
+        let (graph, params, out) = run(pts, seed);
+        prop_assert!(out.all_done, "slot cap hit");
+        // Theorem-2 palette bound (deterministic: colors are state indices).
+        prop_assert!(out.palette <= params.palette_bound());
+        // At least one leader exists.
+        prop_assert!(out.leaders > 0);
+        // Every node is a leader or joined a *neighboring* leader
+        // (messages only decode within R_T, so L(v) must be adjacent).
+        let coloring = out.coloring.as_ref().expect("decided");
+        for (v, r) in out.node_reports.iter().enumerate() {
+            if coloring.color(v) == 0 {
+                prop_assert!(r.leader.is_none());
+            } else {
+                let l = r.leader.expect("non-leader joined a cluster");
+                prop_assert!(graph.are_adjacent(v, l), "L({v}) = {l} not adjacent");
+                prop_assert_eq!(coloring.color(l), 0, "L(v) is not a leader");
+                // Final color sits in the granted tc block (Lemma 4).
+                let tc = r.cluster_color.expect("granted");
+                let base = tc * params.spread;
+                let c = coloring.color(v);
+                prop_assert!(
+                    c >= base && c < base + params.spread,
+                    "color {c} outside tc-block [{base}, {})",
+                    base + params.spread
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Fixed RNG seed: a reproducible case set for the w.h.p. properties
+    // (see module docs). Failure here means a *regression*, not bad luck.
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        rng_seed: RngSeed::Fixed(0x51AE_C010_4E57_0001),
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn mw_coloring_proper_on_fixed_case_set(pts in arb_points(), seed in 0u64..1000) {
+        let (graph, _, out) = run(pts, seed);
+        prop_assert!(out.all_done);
+        let coloring = out.coloring.as_ref().expect("decided");
+        prop_assert!(
+            distance_violations(graph.positions(), coloring.as_slice(), graph.radius())
+                .is_empty()
+        );
+        let leaders: Vec<usize> = (0..graph.len())
+            .filter(|&v| coloring.color(v) == 0)
+            .collect();
+        prop_assert!(is_independent(&graph, &leaders));
+    }
+
+    #[test]
+    fn palette_reduction_preserves_properness_on_fixed_case_set(
+        pts in arb_points(),
+        seed in 0u64..1000,
+    ) {
+        let (graph, _, out) = run(pts, seed);
+        prop_assert!(out.all_done);
+        let coloring = out.coloring.expect("decided");
+        prop_assume!(coloring.is_proper(&graph)); // w.h.p. property, see above
+        let reduced = reduce_palette(&graph, &coloring);
+        prop_assert!(reduced.is_proper(&graph));
+        prop_assert!(reduced.palette_size() <= graph.max_degree() + 1);
+    }
+}
