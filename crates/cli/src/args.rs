@@ -35,9 +35,7 @@ impl Args {
             let Some(name) = token.strip_prefix("--") else {
                 return Err(err(format!("unexpected positional argument {token}")));
             };
-            let takes_value = iter.peek().is_some_and(|v| !v.starts_with("--"));
-            if takes_value {
-                let value = iter.next().expect("peeked");
+            if let Some(value) = iter.next_if(|v| !v.starts_with("--")) {
                 args.options.insert(name.to_string(), value);
             } else {
                 args.flags.push(name.to_string());

@@ -69,3 +69,48 @@ fn missing_file_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn missing_subcommand_exits_2_with_usage() {
+    let out = sinrcolor(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing subcommand"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn missing_required_option_names_the_flag() {
+    let out = sinrcolor(&["color"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing required option --input"));
+}
+
+#[test]
+fn unparsable_option_value_names_flag_and_value() {
+    let gen = sinrcolor(&["generate", "--n", "not-a-number"]);
+    assert!(!gen.status.success());
+    let stderr = String::from_utf8_lossy(&gen.stderr);
+    assert!(stderr.contains("invalid value for --n"));
+    assert!(stderr.contains("not-a-number"));
+}
+
+#[test]
+fn invalid_physical_parameters_are_a_clean_error() {
+    // alpha must exceed 2 for the interference sums to converge; the CLI
+    // must surface the validation error, not panic.
+    let pts = tmp("phys.txt", "0 0\n0.5 0\n");
+    let out = sinrcolor(&["info", "--input", pts.to_str().unwrap(), "--alpha", "1.5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid physical parameters"));
+    assert!(stderr.contains("path-loss exponent must exceed 2"));
+    let _ = std::fs::remove_file(pts);
+}
+
+#[test]
+fn positional_argument_after_command_is_rejected() {
+    let out = sinrcolor(&["color", "stray"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected positional argument"));
+}

@@ -2,14 +2,13 @@
 
 use crate::mw::node::MwNode;
 use crate::params::MwParams;
-use serde::{Deserialize, Serialize};
 use sinr_geometry::greedy::Coloring;
 use sinr_geometry::UnitDiskGraph;
 use sinr_model::InterferenceModel;
 use sinr_radiosim::{Simulator, StepView, WakeupSchedule};
 
 /// Run configuration for [`run_mw`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MwConfig {
     /// The algorithm constants.
     pub params: MwParams,
@@ -60,7 +59,7 @@ impl MwConfig {
 }
 
 /// The result of a coloring run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MwOutcome {
     /// Whether every node decided a color within the slot cap.
     pub all_done: bool,
@@ -93,7 +92,7 @@ pub struct MwOutcome {
 }
 
 /// Per-node diagnostic summary extracted from the automaton after a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeReport {
     /// Final color, if decided.
     pub color: Option<usize>,

@@ -24,13 +24,12 @@
 //! multipliers. The rigorous formulas remain available — and unit-tested
 //! against the paper's inequalities — via [`MwParams::rigorous`].
 
-use serde::{Deserialize, Serialize};
 use sinr_geometry::packing::phi_bound;
 use sinr_model::SinrConfig;
 
 /// All constants the MW automaton consumes, pre-resolved for a given
 /// network size `n` and maximum degree `Δ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MwParams {
     /// Number of nodes `n` (an upper bound is fine; enters only via `ln n`).
     pub n: usize,
@@ -96,7 +95,7 @@ impl std::error::Error for ParamError {}
 
 /// The raw §II constants computed by the rigorous profile, kept for
 /// inspection and for unit-testing the paper's inequalities.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RigorousConstants {
     /// `φ(R_I)`.
     pub phi_i: usize,

@@ -181,4 +181,53 @@ mod tests {
     fn length_mismatch_panics() {
         let _ = distance_violations(&[Point::ORIGIN], &[0, 1], 1.0);
     }
+
+    #[test]
+    fn empty_input_is_vacuously_proper() {
+        assert!(distance_violations(&[], &[], 1.0).is_empty());
+        assert!(is_distance_coloring(&[], &[], 1.0));
+        assert!(class_independence_violations(&[], &[], 1.0).is_empty());
+        assert!(incremental_independence_violations(&[], &[], &[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn pair_exactly_at_max_dist_counts_as_violation() {
+        // A 3-4-5 triangle puts the pair at distance exactly 5 without the
+        // coordinates being axis-aligned; §II's "within distance d·R_T" is
+        // inclusive, so equal colors here must be flagged.
+        let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        assert_eq!(distance_violations(&pts, &[7, 7], 5.0), vec![(0, 1)]);
+        assert!(!is_distance_coloring(&pts, &[7, 7], 5.0));
+        assert!(is_distance_coloring(&pts, &[7, 8], 5.0));
+        // The same pair under the slot audit (distance 5 = r_t).
+        let decided = vec![Some(7), Some(7)];
+        assert_eq!(
+            class_independence_violations(&pts, &decided, 5.0),
+            vec![(0, 1)]
+        );
+        assert_eq!(
+            incremental_independence_violations(&pts, &decided, &[1], 5.0),
+            vec![(0, 1)]
+        );
+    }
+
+    #[test]
+    fn duplicate_positions_conflict_iff_same_color() {
+        // Co-located nodes are at distance 0 — always "within" any positive
+        // threshold, so they conflict exactly when their colors collide.
+        let p = Point::new(1.25, -0.5);
+        let pts = vec![p, p, p];
+        assert_eq!(
+            distance_violations(&pts, &[0, 0, 0], 1.0),
+            vec![(0, 1), (0, 2), (1, 2)]
+        );
+        assert_eq!(distance_violations(&pts, &[0, 1, 0], 1.0), vec![(0, 2)]);
+        assert!(distance_violations(&pts, &[0, 1, 2], 1.0).is_empty());
+        // The incremental audit must not pair a node with itself.
+        let decided = vec![Some(3), Some(3), None];
+        assert_eq!(
+            incremental_independence_violations(&pts, &decided, &[0, 1], 1.0),
+            vec![(0, 1)]
+        );
+    }
 }

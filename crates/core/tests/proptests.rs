@@ -6,7 +6,7 @@ use sinr_coloring::palette::reduce_palette;
 use sinr_coloring::params::MwParams;
 use sinr_coloring::render::{render_svg, RenderOptions};
 use sinr_coloring::verify::{distance_violations, is_distance_coloring};
-use sinr_geometry::greedy::{greedy_coloring, Coloring};
+use sinr_geometry::greedy::greedy_coloring;
 use sinr_geometry::{Point, UnitDiskGraph};
 use sinr_model::SinrConfig;
 
@@ -138,16 +138,4 @@ proptest! {
         prop_assert_eq!(svg.matches("<circle").count(), g.len());
         prop_assert_eq!(svg.matches("<line").count(), g.edge_count());
     }
-}
-
-/// serde is part of the public contract (experiment results are
-/// persisted); pin the impls at compile time.
-#[test]
-fn result_types_implement_serde() {
-    fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-    assert_serde::<Coloring>();
-    assert_serde::<MwParams>();
-    assert_serde::<sinr_coloring::MwOutcome>();
-    assert_serde::<sinr_model::SinrConfig>();
-    assert_serde::<sinr_radiosim::SimStats>();
 }

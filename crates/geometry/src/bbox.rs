@@ -1,7 +1,6 @@
 //! Axis-aligned bounding boxes describing deployment areas.
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert!(!area.contains(Point::new(3.0, 6.0)));
 /// assert_eq!(area.area(), 50.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bbox {
     min_x: f64,
     min_y: f64,

@@ -9,7 +9,7 @@ use crate::graph::UnitDiskGraph;
 use crate::NodeId;
 
 /// A proper node coloring: `colors[v]` is the color of node `v`.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coloring {
     colors: Vec<usize>,
 }

@@ -7,8 +7,8 @@
 
 use crate::bbox::Bbox;
 use crate::point::Point;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sinr_rng::rngs::StdRng;
+use sinr_rng::{Rng, SeedableRng};
 
 /// `n` points drawn i.i.d. uniformly from `[0, width] × [0, height]`.
 ///

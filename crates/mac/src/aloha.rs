@@ -8,10 +8,10 @@
 //! finishes in exactly `V` slots, deterministically. Experiment E13
 //! compares the two.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sinr_geometry::{NodeId, UnitDiskGraph};
 use sinr_model::{InterferenceModel, SinrConfig, SinrModel};
+use sinr_rng::rngs::StdRng;
+use sinr_rng::{Rng, SeedableRng};
 
 /// Result of an ALOHA broadcast race.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,6 +1,7 @@
 //! The Theorem-3 guard distance and helpers for building compliant
 //! colorings.
 
+use sinr_model::config::THEOREM3_PROOF_FACTOR;
 use sinr_model::SinrConfig;
 
 /// The guard distance `d = (32·(α−1)/(α−2)·β)^{1/α}` of Theorem 3.
@@ -23,7 +24,7 @@ pub fn theorem3_distance_factor(cfg: &SinrConfig) -> f64 {
 /// receiver's sender, the interference at any receiver is at most
 /// `16·P/((d·R_T)^α)·(α−1)/(α−2) ≤ P/(2βR_T^α)`.
 pub fn theorem3_interference_bound(cfg: &SinrConfig, d: f64) -> f64 {
-    16.0 * cfg.power() / (d * cfg.r_t()).powf(cfg.alpha()) * (cfg.alpha() - 1.0)
+    THEOREM3_PROOF_FACTOR * cfg.power() / (d * cfg.r_t()).powf(cfg.alpha()) * (cfg.alpha() - 1.0)
         / (cfg.alpha() - 2.0)
 }
 

@@ -291,7 +291,7 @@ pub enum JohanssonMsg {
 pub struct JohanssonColoring {
     id: NodeId,
     palette_size: usize,
-    rng: rand::rngs::StdRng,
+    rng: sinr_rng::rngs::StdRng,
     forbidden: Vec<bool>,
     decided: Option<usize>,
     announced: bool,
@@ -303,11 +303,11 @@ impl JohanssonColoring {
     /// (its own degree suffices for a greedy-style argument), seeded
     /// deterministically from `seed ^ id`.
     pub fn new(id: NodeId, degree: usize, seed: u64) -> Self {
-        use rand::SeedableRng;
+        use sinr_rng::SeedableRng;
         JohanssonColoring {
             id,
             palette_size: degree + 1,
-            rng: rand::rngs::StdRng::seed_from_u64(seed.rotate_left(17) ^ id as u64),
+            rng: sinr_rng::rngs::StdRng::seed_from_u64(seed.rotate_left(17) ^ id as u64),
             forbidden: vec![false; degree + 1],
             decided: None,
             announced: false,
@@ -321,7 +321,7 @@ impl JohanssonColoring {
     }
 
     fn pick_candidate(&mut self) -> usize {
-        use rand::Rng;
+        use sinr_rng::Rng;
         let available: Vec<usize> = (0..self.palette_size)
             .filter(|&c| !self.forbidden[c])
             .collect();

@@ -1,6 +1,5 @@
 //! TDMA frames from colorings, and the SINR broadcast audit.
 
-use serde::{Deserialize, Serialize};
 use sinr_geometry::{NodeId, UnitDiskGraph};
 use sinr_model::{InterferenceModel, SinrConfig, SinrModel};
 use std::collections::BTreeMap;
@@ -12,7 +11,7 @@ use std::collections::BTreeMap;
 /// Colors are compacted to a dense `0..frame_len` range (the MW palette is
 /// sparse); compaction preserves the "same slot ⇒ same color" property that
 /// Theorem 3's proof needs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TdmaSchedule {
     slot_of: Vec<usize>,
     frame_len: usize,
@@ -74,7 +73,7 @@ impl TdmaSchedule {
 
 /// Result of driving one full TDMA frame through the SINR model with
 /// *every* node transmitting in its slot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BroadcastAudit {
     /// Sender→neighbor links attempted (`Σ_v deg(v)`).
     pub links_attempted: u64,

@@ -1,0 +1,277 @@
+#![warn(missing_docs)]
+
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! Consumed under the name `criterion` (see the workspace `Cargo.toml`
+//! dependency rename) so the `benches/` files keep the familiar criterion
+//! API: `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and [`black_box`].
+//!
+//! Measurement model: each benchmark is warmed up once, then timed over a
+//! fixed number of samples with the per-sample iteration count auto-scaled
+//! toward [`Criterion::target_sample_time`]. Mean, minimum, and maximum
+//! per-iteration times are printed. Statistical analysis, HTML reports,
+//! and baseline comparisons are out of scope — run experiments `e1`–`e21`
+//! (`cargo run -p sinr-bench --bin experiments`) for the paper's
+//! quantitative claims.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque barrier preventing the optimizer from deleting a benchmarked
+/// computation or hoisting it out of the timing loop.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level harness state handed to every benchmark function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Samples collected per benchmark.
+    pub sample_size: usize,
+    /// Budget each sample's iteration count is scaled toward.
+    pub target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(10),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let stats = drive(self.sample_size, self.target_sample_time, &mut f);
+        stats.report(name);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let stats = drive(self.samples(), self.criterion.target_sample_time, &mut f);
+        stats.report(&format!("{}/{}", self.name, id.label));
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = drive(
+            self.samples(),
+            self.criterion.target_sample_time,
+            &mut |b| f(b, input),
+        );
+        stats.report(&format!("{}/{}", self.name, id.label));
+    }
+
+    /// Ends the group (kept for criterion API parity; reporting happens
+    /// per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter's rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Hands the benchmark body its timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back-to-back.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+}
+
+impl Stats {
+    fn report(&self, label: &str) {
+        println!(
+            "bench {label:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} it/sample)",
+            self.mean, self.min, self.max, self.iters_per_sample
+        );
+    }
+}
+
+fn drive<F: FnMut(&mut Bencher)>(samples: usize, target: Duration, f: &mut F) -> Stats {
+    // Warmup + calibration: one iteration, timed.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed / iters_per_sample.max(1) as u32);
+    }
+    let total: Duration = per_iter.iter().sum();
+    Stats {
+        mean: total / per_iter.len() as u32,
+        min: per_iter.iter().copied().min().unwrap_or_default(),
+        max: per_iter.iter().copied().max().unwrap_or_default(),
+        iters_per_sample,
+    }
+}
+
+/// Bundles benchmark functions into a callable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_every_iteration() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn group_runs_bodies_and_respects_sample_size() {
+        let mut c = Criterion {
+            sample_size: 3,
+            target_sample_time: Duration::from_micros(50),
+        };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::from_parameter(1), &5u64, |b, &x| {
+                runs += 1;
+                b.iter(|| black_box(x) * 2);
+            });
+            g.finish();
+        }
+        // warmup + 2 samples
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("e1").label, "e1");
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn noop(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(tiny, noop);
+        tiny();
+    }
+}

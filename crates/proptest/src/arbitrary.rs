@@ -1,0 +1,47 @@
+//! `any::<T>()` — canonical strategies for plain types.
+
+use crate::strategy::Strategy;
+use sinr_rng::rngs::StdRng;
+use sinr_rng::Rng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> u64 {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` — a pragmatic default for simulation parameters
+    /// (upstream draws from all bit patterns; nothing here relies on that).
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.random()
+    }
+}
+
+/// The canonical strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}

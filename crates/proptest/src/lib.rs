@@ -1,0 +1,193 @@
+#![warn(missing_docs)]
+
+//! A minimal, dependency-free property-testing harness.
+//!
+//! This crate is consumed under the name `proptest` (see the workspace
+//! `Cargo.toml` dependency rename) and implements exactly the subset of the
+//! upstream proptest API that this workspace's test suites use: the
+//! [`proptest!`] macro with `x in strategy` parameters, range and
+//! collection strategies, `prop_map`/`prop_flat_map`, `prop_assert*!`,
+//! `prop_assume!`, and a [`test_runner::Config`] with a fixable RNG seed.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Fully deterministic.** Case generation never touches OS entropy;
+//!   every test's case sequence is a pure function of the configured seed
+//!   (or a fixed default) and the test's name. This matches the
+//!   workspace-wide seeded-randomness policy enforced by `cargo xtask
+//!   lint` (lint L1, see `docs/LINTING.md`).
+//! * **No shrinking.** A failing case reports its case index and inputs
+//!   (via `Debug` in the assertion message); re-running reproduces it
+//!   exactly, which replaces minimization for debugging purposes.
+//! * **No failure persistence.** `Config::failure_persistence` is accepted
+//!   for source compatibility but ignored; `*.proptest-regressions` files
+//!   are kept in-tree as documentation of historic counterexamples (see
+//!   `docs/LINTING.md`, appendix).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    /// Alias of the crate root so `prop::collection::vec(...)` resolves.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case violated a `prop_assume!` precondition; it is skipped
+    /// without counting against the case budget.
+    Reject(String),
+    /// The case failed a `prop_assert*!`.
+    Fail(String),
+}
+
+/// Result type produced by the body of a [`proptest!`] test.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the case
+/// (not the process) fails with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (by `PartialEq`), reporting both via
+/// `Debug` on failure. An optional trailing format message is appended.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                    stringify!($left), stringify!($right), __l, __r, format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Asserts two expressions are unequal, reporting both via `Debug`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), __l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+                    stringify!($left), stringify!($right), __l, format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Skips the current case (without failing) when its inputs do not satisfy
+/// a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, (a, b) in my_pair_strategy()) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+///
+/// Each `pat in strategy` parameter draws a fresh value per case; the body
+/// runs once per case with `prop_assert*!` failures reported with the case
+/// index and the reproducing seed.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_property(
+                &$config,
+                stringify!($name),
+                |__proptest_rng| {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::new_value(&($strat), __proptest_rng);
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}

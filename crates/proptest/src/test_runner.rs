@@ -1,0 +1,175 @@
+//! The case-loop driver behind the [`proptest!`](crate::proptest) macro.
+
+use crate::{TestCaseError, TestCaseResult};
+use sinr_rng::rngs::StdRng;
+use sinr_rng::SeedableRng;
+
+/// How the per-test RNG is seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngSeed {
+    /// Use the workspace-wide default seed (still fully deterministic —
+    /// this harness never consults OS entropy; the name matches upstream
+    /// proptest for source compatibility).
+    Random,
+    /// Use exactly this seed, pinning the generated case set.
+    Fixed(u64),
+}
+
+/// Configuration for one `proptest!` block (a subset of upstream's
+/// `proptest::test_runner::Config`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Seeding mode; see [`RngSeed`].
+    pub rng_seed: RngSeed,
+    /// Accepted for source compatibility; this harness never persists
+    /// failures (see the crate docs and `docs/LINTING.md`).
+    pub failure_persistence: Option<()>,
+    /// Maximum `prop_assume!` rejections tolerated before the test errors
+    /// out as vacuous.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            rng_seed: RngSeed::Random,
+            failure_persistence: None,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// FNV-1a, used to give every test its own deterministic stream even under
+/// the shared default seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const DEFAULT_SEED: u64 = 0x5eed_517e_ab1e_0001;
+
+/// Seed of the generator handed to case `case` of test `name`.
+///
+/// Public so a failure message's `(name, case)` pair can be replayed
+/// exactly in a debugger or a scratch test.
+pub fn case_seed(config: &Config, name: &str, case: u32) -> u64 {
+    let base = match config.rng_seed {
+        RngSeed::Random => DEFAULT_SEED,
+        RngSeed::Fixed(s) => s,
+    };
+    base ^ hash_name(name) ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Runs `body` over `config.cases` generated cases; panics (failing the
+/// enclosing `#[test]`) on the first case failure, reporting the case
+/// index and seed needed to reproduce it.
+pub fn run_property<F>(config: &Config, name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    while passed < config.cases {
+        if rejected > config.max_global_rejects {
+            panic!(
+                "proptest {name}: gave up after {rejected} prop_assume! rejections \
+                 ({passed}/{} cases passed)",
+                config.cases
+            );
+        }
+        let seed = case_seed(config, name, case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        case += 1;
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(cond))) => {
+                rejected += 1;
+                let _ = cond;
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest {name}: case {} failed (case seed {seed:#018x}):\n{msg}",
+                    case - 1
+                );
+            }
+            Err(panic_payload) => {
+                eprintln!(
+                    "proptest {name}: case {} panicked (case seed {seed:#018x})",
+                    case - 1
+                );
+                std::panic::resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        let config = Config::default();
+        let mut count = 0u32;
+        run_property(&config, "always_ok", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, config.cases);
+    }
+
+    #[test]
+    fn case_seeds_are_name_and_index_sensitive() {
+        let c = Config::default();
+        assert_ne!(case_seed(&c, "a", 0), case_seed(&c, "b", 0));
+        assert_ne!(case_seed(&c, "a", 0), case_seed(&c, "a", 1));
+        assert_eq!(case_seed(&c, "a", 3), case_seed(&c, "a", 3));
+    }
+
+    #[test]
+    fn fixed_seed_changes_the_stream() {
+        let mut d = Config::default();
+        let base = case_seed(&d, "t", 0);
+        d.rng_seed = RngSeed::Fixed(12345);
+        assert_ne!(case_seed(&d, "t", 0), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0 failed")]
+    fn failing_case_reports_index() {
+        run_property(&Config::default(), "always_fails", |_| {
+            Err(TestCaseError::Fail("boom".to_string()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn vacuous_property_errors_out() {
+        run_property(&Config::default(), "always_rejects", |_| {
+            Err(TestCaseError::Reject("never".to_string()))
+        });
+    }
+
+    #[test]
+    fn macro_end_to_end() {
+        // Exercise the macro exactly as test suites use it.
+        crate::proptest! {
+            #![proptest_config(crate::test_runner::Config { cases: 8, ..Default::default() })]
+
+            #[allow(clippy::absurd_extreme_comparisons)]
+            fn sums_commute(a in 0u64..1000, b in 0u64..1000) {
+                crate::prop_assert_eq!(a + b, b + a);
+            }
+        }
+        sums_commute();
+    }
+}

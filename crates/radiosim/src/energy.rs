@@ -8,11 +8,10 @@
 //! listening costs about as much as transmitting).
 
 use crate::stats::SimStats;
-use serde::{Deserialize, Serialize};
 use sinr_geometry::NodeId;
 
 /// Per-slot energy costs (arbitrary units, e.g. µJ per slot).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Cost of a slot spent transmitting.
     pub tx_cost: f64,

@@ -4,10 +4,10 @@ use crate::protocol::{Action, NodeCtx, Protocol, RandSlotRng};
 use crate::stats::SimStats;
 use crate::trace::{Event, Trace};
 use crate::wakeup::WakeupSchedule;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sinr_geometry::{NodeId, UnitDiskGraph};
 use sinr_model::{InterferenceModel, ReceptionTable};
+use sinr_rng::rngs::StdRng;
+use sinr_rng::SeedableRng;
 use std::collections::HashMap;
 
 /// Everything that happened in one simulated slot (owned snapshot).

@@ -49,11 +49,11 @@ pub trait SlotRng {
     fn pick(&mut self, bound: u64) -> u64;
 }
 
-/// A [`SlotRng`] backed by any [`rand::Rng`].
+/// A [`SlotRng`] backed by any [`sinr_rng::Rng`].
 #[derive(Debug)]
 pub struct RandSlotRng<R>(pub R);
 
-impl<R: rand::Rng> SlotRng for RandSlotRng<R> {
+impl<R: sinr_rng::Rng> SlotRng for RandSlotRng<R> {
     fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             false
@@ -117,8 +117,8 @@ pub trait Protocol {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sinr_rng::rngs::StdRng;
+    use sinr_rng::SeedableRng;
 
     #[test]
     fn action_is_transmit() {

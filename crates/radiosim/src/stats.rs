@@ -1,10 +1,9 @@
 //! Run statistics collected by the engine.
 
-use serde::{Deserialize, Serialize};
 use sinr_geometry::NodeId;
 
 /// Counters and per-node timing collected during a simulation.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total slots simulated.
     pub slots: u64,

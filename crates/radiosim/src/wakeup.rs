@@ -5,12 +5,11 @@
 //! incoming messages" (§II). A schedule assigns each node the slot in which
 //! it wakes; before that slot the node neither transmits nor receives.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use sinr_rng::rngs::StdRng;
+use sinr_rng::{Rng, SeedableRng};
 
 /// A policy assigning a wake-up slot to every node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WakeupSchedule {
     /// All nodes wake in slot 0 (the easiest case; no asynchrony).
     #[default]

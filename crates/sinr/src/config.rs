@@ -1,7 +1,11 @@
 //! Physical-layer parameters and every radius/constant derived from them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// The `16` of Theorem 3's proof: with same-color transmitters kept at
+/// pairwise distance `> d·R_T`, the interference any receiver accumulates
+/// is at most `16·P/((d·R_T)^α)·(α−1)/(α−2)` (annulus-counting argument).
+pub const THEOREM3_PROOF_FACTOR: f64 = 16.0;
 
 /// Errors produced when validating a [`SinrConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +64,7 @@ impl std::error::Error for ConfigError {}
 /// assert!(cfg.r_t() < cfg.r_max());
 /// # Ok::<(), sinr_model::config::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SinrConfig {
     power: f64,
     alpha: f64,

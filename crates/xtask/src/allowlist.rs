@@ -1,0 +1,232 @@
+//! The `xtask-lint.toml` allowlist: vetted exceptions to the lints.
+//!
+//! Format — an array of tables, every field required:
+//!
+//! ```toml
+//! [[allow]]
+//! lint = "L2"
+//! path = "crates/geometry/src/graph.rs"
+//! pattern = "expect(\"queued node has distance\")"
+//! reason = "BFS invariant: every dequeued node was assigned a distance"
+//! ```
+//!
+//! A violation is suppressed when an entry's `lint` matches, `path` equals
+//! the violation's workspace-relative path, and the offending source line
+//! contains `pattern`. Matching on line *content* rather than line
+//! *numbers* keeps entries stable across unrelated edits; the `reason` is
+//! the review record. The file is parsed with a deliberately small TOML
+//! subset (only `[[allow]]` tables of string keys) — anything else is a
+//! hard error so typos cannot silently disable enforcement.
+
+use crate::lints::Violation;
+
+/// One vetted exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint id, e.g. `"L2"`.
+    pub lint: String,
+    /// Workspace-relative path the exception applies to.
+    pub path: String,
+    /// Substring of the offending line that identifies the site.
+    pub pattern: String,
+    /// Why this site is acceptable (the documented invariant).
+    pub reason: String,
+    /// Line in `xtask-lint.toml` where the entry starts (for diagnostics).
+    pub defined_at: usize,
+}
+
+impl AllowEntry {
+    /// Whether this entry covers `v`.
+    pub fn covers(&self, v: &Violation) -> bool {
+        self.lint == v.lint && self.path == v.file && v.snippet.contains(&self.pattern)
+    }
+}
+
+/// Parses the allowlist. Unknown keys, missing fields, or non-string
+/// values are errors, not warnings.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<(usize, Vec<(String, String)>)> = None;
+
+    fn finish(
+        current: Option<(usize, Vec<(String, String)>)>,
+        entries: &mut Vec<AllowEntry>,
+    ) -> Result<(), String> {
+        let Some((at, fields)) = current else {
+            return Ok(());
+        };
+        let get = |key: &str| -> Result<String, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("allow entry at line {at}: missing required key `{key}`"))
+        };
+        let entry = AllowEntry {
+            lint: get("lint")?,
+            path: get("path")?,
+            pattern: get("pattern")?,
+            reason: get("reason")?,
+            defined_at: at,
+        };
+        if entry.reason.trim().is_empty() {
+            return Err(format!("allow entry at line {at}: empty `reason`"));
+        }
+        for (k, _) in &fields {
+            if !["lint", "path", "pattern", "reason"].contains(&k.as_str()) {
+                return Err(format!("allow entry at line {at}: unknown key `{k}`"));
+            }
+        }
+        entries.push(entry);
+        Ok(())
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut entries)?;
+            current = Some((lineno, Vec::new()));
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!(
+                "line {lineno}: expected `key = \"value\"`, got {raw:?}"
+            ));
+        };
+        let key = line[..eq].trim().to_string();
+        let value = parse_string(line[eq + 1..].trim())
+            .ok_or_else(|| format!("line {lineno}: value must be a double-quoted string"))?;
+        match current.as_mut() {
+            Some((_, fields)) => fields.push((key, value)),
+            None => return Err(format!("line {lineno}: `{key}` outside an [[allow]] table")),
+        }
+    }
+    finish(current, &mut entries)?;
+    Ok(entries)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Parses a double-quoted TOML basic string with `\"` and `\\` escapes.
+fn parse_string(s: &str) -> Option<String> {
+    let b = s.as_bytes();
+    if b.len() < 2 || b[0] != b'"' || b[b.len() - 1] != b'"' {
+        return None;
+    }
+    let mut out = String::new();
+    let mut i = 1;
+    while i < b.len() - 1 {
+        match b[i] {
+            b'\\' => {
+                i += 1;
+                match b.get(i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    _ => return None,
+                }
+            }
+            c => out.push(c as char),
+        }
+        i += 1;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(lint: &'static str, file: &str, snippet: &str) -> Violation {
+        Violation {
+            lint,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let text = r#"
+# vetted exceptions
+[[allow]]
+lint = "L2"
+path = "crates/mac/src/srs.rs"
+pattern = "expect(\"scheduled sender has a message\")"
+reason = "schedule construction guarantees a queued message"
+"#;
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].lint, "L2");
+        assert!(entries[0].covers(&violation(
+            "L2",
+            "crates/mac/src/srs.rs",
+            r#"let m = q.expect("scheduled sender has a message");"#
+        )));
+        assert!(!entries[0].covers(&violation("L2", "crates/mac/src/srs.rs", "x.unwrap()")));
+        assert!(!entries[0].covers(&violation(
+            "L2",
+            "crates/mac/src/other.rs",
+            r#"q.expect("scheduled sender has a message")"#
+        )));
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let text = "[[allow]]\nlint = \"L2\"\npath = \"a.rs\"\npattern = \"x\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn empty_reason_is_an_error() {
+        let text = "[[allow]]\nlint = \"L2\"\npath = \"a\"\npattern = \"b\"\nreason = \"  \"\n";
+        assert!(parse(text).unwrap_err().contains("empty `reason`"));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let text = "[[allow]]\nlint = \"L2\"\npath = \"a\"\npattern = \"b\"\nreason = \"c\"\nline = \"7\"\n";
+        assert!(parse(text).unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn keys_outside_a_table_are_an_error() {
+        assert!(parse("lint = \"L1\"\n").unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "\n# header\n[[allow]]  # entry\nlint = \"L1\" # id\npath = \"p\"\npattern = \"q#r\"\nreason = \"s\"\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries[0].pattern, "q#r");
+    }
+
+    #[test]
+    fn empty_file_is_a_valid_empty_allowlist() {
+        assert_eq!(parse("").unwrap(), Vec::new());
+        assert_eq!(parse("# nothing vetted yet\n").unwrap(), Vec::new());
+    }
+}

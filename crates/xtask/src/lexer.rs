@@ -1,0 +1,315 @@
+//! A small Rust source "masker": comments and literal contents are blanked
+//! out (preserving byte offsets and newlines) so lints can scan for tokens
+//! without false positives from strings or docs, and `#[cfg(test)]` item
+//! regions are identified by brace matching.
+//!
+//! This is deliberately a lexer, not a parser (`syn` is not vendored in
+//! this workspace): it understands exactly as much Rust syntax as needed
+//! to classify every byte as code / comment / string / char literal.
+
+/// Returns `src` with every byte that is not executable code replaced by a
+/// space: comment bodies, string contents (including raw strings), and
+/// char literals. Newlines are preserved so line numbers keep working, and
+/// the quotes of string literals are kept (masked contents only) so the
+/// result remains visually alignable with the input.
+pub fn mask_non_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+
+    // Push `n` bytes of masked filler, preserving newlines.
+    fn blank(out: &mut Vec<u8>, bytes: &[u8]) {
+        for &c in bytes {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+    }
+
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(b.len(), |k| i + k);
+                blank(&mut out, &b[i..end]);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, &b[i..j]);
+                i = j;
+            }
+            b'r' if starts_raw_string(b, i) => {
+                let hashes = count_hashes(b, i + 1);
+                let open = i + 1 + hashes; // index of the opening quote
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let body_start = open + 1;
+                let end = find_subslice(&b[body_start..], &closer)
+                    .map_or(b.len(), |k| body_start + k + closer.len());
+                out.extend_from_slice(&b[i..body_start]);
+                blank(&mut out, &b[body_start..end.saturating_sub(closer.len())]);
+                out.extend_from_slice(&b[end.saturating_sub(closer.len())..end]);
+                i = end;
+            }
+            b'"' => {
+                out.push(b'"');
+                let mut j = i + 1;
+                while j < b.len() {
+                    match b[j] {
+                        b'\\' => {
+                            blank(&mut out, &b[j..(j + 2).min(b.len())]);
+                            j += 2;
+                        }
+                        b'"' => break,
+                        c => {
+                            out.push(if c == b'\n' { b'\n' } else { b' ' });
+                            j += 1;
+                        }
+                    }
+                }
+                if j < b.len() {
+                    out.push(b'"');
+                    j += 1;
+                }
+                i = j;
+            }
+            b'\'' if is_char_literal(b, i) => {
+                let mut j = i + 1;
+                if j < b.len() && b[j] == b'\\' {
+                    j += 2;
+                } else {
+                    // Multi-byte UTF-8 scalar: advance to the closing quote.
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    j = j.max(i + 1);
+                }
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                let end = (j + 1).min(b.len());
+                blank(&mut out, &b[i..end]);
+                i = end;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Masking preserves length and only replaces bytes with ASCII spaces,
+    // so the result is valid UTF-8 whenever the input was.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    // `r"` or `r#...#"`, but not part of an identifier like `for"` (the
+    // preceding byte must not be ident-continue).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn count_hashes(b: &[u8], mut i: usize) -> usize {
+    let start = i;
+    while i < b.len() && b[i] == b'#' {
+        i += 1;
+    }
+    i - start
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    // Distinguish 'x' / '\n' (char literals) from 'a in lifetimes: a char
+    // literal closes with a quote within a couple of characters; a
+    // lifetime never has a closing quote.
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // 'c' — one scalar then a quote. Look a few bytes ahead to cover
+    // multi-byte UTF-8 scalars.
+    for &c in &b[(i + 2).min(b.len())..(i + 6).min(b.len())] {
+        if c == b'\'' {
+            return true;
+        }
+        if c == b'\n' {
+            return false;
+        }
+    }
+    false
+}
+
+/// A half-open line range `[start, end)` (1-based) of a `#[cfg(test)]`
+/// item, including the attribute line itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestRegion {
+    /// First line of the region (the attribute's line).
+    pub start_line: usize,
+    /// Last line of the region, inclusive.
+    pub end_line: usize,
+}
+
+/// Finds `#[cfg(test)]`-gated item regions in *masked* source by matching
+/// the braces of the following item (or running to the terminating `;` for
+/// brace-less items like `#[cfg(test)] use …;`).
+pub fn find_test_regions(masked: &str) -> Vec<TestRegion> {
+    let mut regions = Vec::new();
+    let mut search_from = 0usize;
+    while let Some(rel) = masked[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + rel;
+        let start_line = line_of(masked, attr_at);
+        let after = attr_at + "#[cfg(test)]".len();
+        let bytes = masked.as_bytes();
+        let mut j = after;
+        let mut depth = 0usize;
+        let mut opened = false;
+        let end_at = loop {
+            if j >= bytes.len() {
+                break bytes.len().saturating_sub(1);
+            }
+            match bytes[j] {
+                b'{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        break j;
+                    }
+                }
+                b';' if !opened => break j,
+                _ => {}
+            }
+            j += 1;
+        };
+        regions.push(TestRegion {
+            start_line,
+            end_line: line_of(masked, end_at),
+        });
+        search_from = end_at + 1;
+    }
+    regions
+}
+
+/// 1-based line number of byte offset `at`.
+pub fn line_of(s: &str, at: usize) -> usize {
+    s.as_bytes()[..at.min(s.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let src = "let x = 1; // thread_rng\n/* panic! */ let y = 2;";
+        let m = mask_non_code(src);
+        assert!(!m.contains("thread_rng"));
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = mask_non_code("/* a /* unwrap() */ b */ code()");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("code()"));
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_quotes() {
+        let m = mask_non_code(r#"err("call .unwrap() now") ; x.unwrap()"#);
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+        assert!(m.contains("err(\""));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let src = r###"let s = r#"panic! "quoted" panic!"# ; real_code()"###;
+        let m = mask_non_code(src);
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("real_code()"));
+    }
+
+    #[test]
+    fn masks_escapes_inside_strings() {
+        let m = mask_non_code(r#"print("a\"b.unwrap()\"c") ; keep"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("keep"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let m = mask_non_code("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'y'; }");
+        assert!(m.contains("<'a>"));
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("'y'"));
+        // The masked char literal must not unbalance later string handling.
+        assert!(m.contains("let d ="));
+    }
+
+    #[test]
+    fn preserves_newlines_for_line_numbers() {
+        let src = "a\n// x\nb\n\"s\ntr\"\nc";
+        let m = mask_non_code(src);
+        assert_eq!(
+            src.matches('\n').count(),
+            m.matches('\n').count(),
+            "newline count must survive masking"
+        );
+    }
+
+    #[test]
+    fn finds_cfg_test_mod_region() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn b() {}\n";
+        let regions = find_test_regions(&mask_non_code(src));
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].start_line, 2);
+        assert_eq!(regions[0].end_line, 5);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let regions = find_test_regions(&mask_non_code(src));
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].end_line, 2);
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod_are_matched() {
+        let src = "#[cfg(test)]\nmod t {\n fn a() { if x { y(); } }\n struct S { f: u8 }\n}\nfn after() {}\n";
+        let regions = find_test_regions(&mask_non_code(src));
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].end_line, 5);
+    }
+}

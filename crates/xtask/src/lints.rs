@@ -1,0 +1,381 @@
+//! The four repo-specific lints (see `docs/LINTING.md`).
+//!
+//! All lints operate on *masked* source (comments and literal contents
+//! blanked — see [`crate::lexer`]) so tokens inside strings and docs never
+//! trigger, and honor `#[cfg(test)]` regions.
+
+use crate::lexer::{find_test_regions, line_of, mask_non_code, TestRegion};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Lint identifier: `"L1"` … `"L4"`.
+    pub lint: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The library crates whose non-test code must be panic-free (L2) and free
+/// of lossy id/slot casts (L4).
+pub const LIB_CRATES: [&str; 5] = [
+    "crates/geometry/",
+    "crates/sinr/",
+    "crates/radiosim/",
+    "crates/core/",
+    "crates/mac/",
+];
+
+/// Files allowed to spell out paper constants (L3): the audited definitions.
+pub const CONSTANT_HOMES: [&str; 2] = ["crates/sinr/src/config.rs", "crates/core/src/params.rs"];
+
+/// Entropy-based RNG constructors banned outside `#[cfg(test)]` (L1).
+const L1_TOKENS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "ThreadRng",
+    "OsRng",
+];
+
+/// Panicking constructs banned in library non-test code (L2).
+const L2_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Paper-formula magic values (L3): the `96` of `R_I`, the `32` of the
+/// Theorem-3 guard distance `d`, and the `16` of the Theorem-3 proof's
+/// interference bound. Only their audited homes may spell these out.
+const L3_TOKENS: [&str; 3] = ["96.0", "32.0", "16.0"];
+
+/// Narrowing integer casts (L4): node ids are `usize` and slot counters
+/// `u64` throughout; casting them to anything smaller silently truncates.
+const L4_TOKENS: [&str; 6] = ["as u8", "as u16", "as u32", "as i8", "as i16", "as i32"];
+
+/// Whether `path` (workspace-relative, forward slashes) is test-only code:
+/// integration tests, benches, or proptest suites.
+fn is_test_path(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| seg == "tests" || seg == "benches")
+}
+
+fn in_lib_crate(path: &str) -> bool {
+    LIB_CRATES
+        .iter()
+        .any(|c| path.starts_with(c) && path[c.len()..].starts_with("src/"))
+}
+
+fn is_constant_home(path: &str) -> bool {
+    CONSTANT_HOMES.contains(&path)
+}
+
+/// A word boundary for identifier-like tokens: the neighbor byte must not
+/// continue an identifier.
+fn ident_boundary(masked: &str, start: usize, len: usize) -> bool {
+    let b = masked.as_bytes();
+    let before_ok = start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_');
+    let end = start + len;
+    let after_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+    before_ok && after_ok
+}
+
+/// A numeric boundary: the token must not be part of a longer number
+/// (`132.0`, `96.05`), but float suffixes (`32.0f64`, `32.0_f64`) still
+/// count as the constant.
+fn numeric_boundary(masked: &str, start: usize, len: usize) -> bool {
+    let b = masked.as_bytes();
+    let before_ok = start == 0
+        || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_' || b[start - 1] == b'.');
+    let rest = &b[start + len..];
+    let after_ok = match rest.first() {
+        None => true,
+        Some(c) if c.is_ascii_digit() => false,
+        Some(&c) if c == b'_' || c == b'f' => {
+            let r = if c == b'_' { &rest[1..] } else { rest };
+            (r.starts_with(b"f64") || r.starts_with(b"f32"))
+                && (r.len() == 3 || !(r[3].is_ascii_alphanumeric() || r[3] == b'_'))
+        }
+        Some(_) => true,
+    };
+    before_ok && after_ok
+}
+
+fn line_text(src: &str, line: usize) -> String {
+    src.lines().nth(line - 1).unwrap_or("").trim().to_string()
+}
+
+fn in_test_region(regions: &[TestRegion], line: usize) -> bool {
+    regions
+        .iter()
+        .any(|r| (r.start_line..=r.end_line).contains(&line))
+}
+
+struct TokenScan<'a> {
+    token: &'a str,
+    boundary: fn(&str, usize, usize) -> bool,
+}
+
+/// One file's scan state: the original source, its masked form, and the
+/// `#[cfg(test)]` regions (always exempt from every lint).
+struct FileCtx<'a> {
+    path: &'a str,
+    src: &'a str,
+    masked: String,
+    regions: Vec<TestRegion>,
+}
+
+impl FileCtx<'_> {
+    fn scan(
+        &self,
+        scans: &[TokenScan<'_>],
+        lint: &'static str,
+        message: &dyn Fn(&str) -> String,
+        out: &mut Vec<Violation>,
+    ) {
+        for s in scans {
+            let mut from = 0usize;
+            while let Some(rel) = self.masked[from..].find(s.token) {
+                let at = from + rel;
+                from = at + 1;
+                if !(s.boundary)(&self.masked, at, s.token.len()) {
+                    continue;
+                }
+                let line = line_of(&self.masked, at);
+                if in_test_region(&self.regions, line) {
+                    continue;
+                }
+                out.push(Violation {
+                    lint,
+                    file: self.path.to_string(),
+                    line,
+                    message: message(s.token),
+                    snippet: line_text(self.src, line),
+                });
+            }
+        }
+    }
+}
+
+/// Runs every applicable lint over one file. `path` must be
+/// workspace-relative with forward slashes.
+pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
+    let masked = mask_non_code(src);
+    let regions = find_test_regions(&masked);
+    let ctx = FileCtx {
+        path,
+        src,
+        masked,
+        regions,
+    };
+    let mut out = Vec::new();
+
+    // L1 — no unseeded RNG anywhere outside test code. Applies to every
+    // production file in the workspace: determinism is load-bearing
+    // (tests/determinism.rs; experiment results cite seeds).
+    if !is_test_path(path) {
+        let scans: Vec<TokenScan> = L1_TOKENS
+            .iter()
+            .map(|&token| TokenScan {
+                token,
+                boundary: ident_boundary,
+            })
+            .collect();
+        ctx.scan(
+            &scans,
+            "L1",
+            &|t| {
+                format!(
+                    "unseeded RNG source `{t}`: construct generators only via \
+                     sinr_rng::SeedableRng::seed_from_u64 so runs are reproducible"
+                )
+            },
+            &mut out,
+        );
+    }
+
+    // L2 — no panicking constructs in library non-test code.
+    if in_lib_crate(path) {
+        let scans: Vec<TokenScan> = L2_TOKENS
+            .iter()
+            .map(|&token| TokenScan {
+                token,
+                boundary: |m, s, l| {
+                    // `.unwrap()` / `.expect(` start with '.', macros need
+                    // an identifier boundary on the left only.
+                    let b = m.as_bytes();
+                    if b[s] == b'.' {
+                        true
+                    } else {
+                        ident_boundary(m, s, l - 1) // exclude the trailing `!`/`(`
+                    }
+                },
+            })
+            .collect();
+        ctx.scan(
+            &scans,
+            "L2",
+            &|t| {
+                format!(
+                    "panicking construct `{t}` in library code: return a Result \
+                     through the crate's error type, or document the invariant and \
+                     allowlist it in xtask-lint.toml"
+                )
+            },
+            &mut out,
+        );
+    }
+
+    // L3 — paper-formula constants only in their audited homes.
+    if !is_test_path(path) && !is_constant_home(path) {
+        let scans: Vec<TokenScan> = L3_TOKENS
+            .iter()
+            .map(|&token| TokenScan {
+                token,
+                boundary: numeric_boundary,
+            })
+            .collect();
+        ctx.scan(
+            &scans,
+            "L3",
+            &|t| {
+                format!(
+                    "paper constant `{t}` outside its audited home: derive it from \
+                     sinr_model::SinrConfig (crates/sinr/src/config.rs) or \
+                     MwParams (crates/core/src/params.rs) instead of restating it"
+                )
+            },
+            &mut out,
+        );
+    }
+
+    // L4 — no narrowing casts on ids/slot counters in library code.
+    if in_lib_crate(path) {
+        let scans: Vec<TokenScan> = L4_TOKENS
+            .iter()
+            .map(|&token| TokenScan {
+                token,
+                boundary: ident_boundary,
+            })
+            .collect();
+        ctx.scan(
+            &scans,
+            "L4",
+            &|t| {
+                format!(
+                    "narrowing cast `{t}`: node ids are usize and slot counters \
+                     u64; use TryFrom/try_into with explicit error handling"
+                )
+            },
+            &mut out,
+        );
+    }
+
+    out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/mac/src/fake.rs";
+
+    fn lints_of(path: &str, src: &str) -> Vec<(&'static str, usize)> {
+        lint_file(path, src)
+            .into_iter()
+            .map(|v| (v.lint, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn l1_catches_thread_rng_in_production_code() {
+        let hits = lints_of(
+            "crates/cli/src/fake.rs",
+            "let mut r = rand::thread_rng();\n",
+        );
+        assert_eq!(hits, vec![("L1", 1)]);
+    }
+
+    #[test]
+    fn l1_ignores_test_modules_and_strings_and_comments() {
+        let src = "\
+// thread_rng is banned\n\
+fn f() { let s = \"thread_rng\"; }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { let _ = fake::thread_rng(); }\n\
+}\n";
+        assert!(lints_of("crates/cli/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_requires_word_boundary() {
+        let hits = lints_of("src/fake.rs", "fn my_thread_rng_helper() {}\n");
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn l2_catches_unwrap_expect_and_panics_in_lib_code() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); }\n";
+        let hits = lints_of(LIB, src);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|&(l, _)| l == "L2"));
+    }
+
+    #[test]
+    fn l2_skips_test_code_and_non_lib_crates() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        assert!(lints_of(LIB, src).is_empty());
+        // CLI and bench crates may panic (they surface errors elsewhere).
+        assert!(lints_of("crates/cli/src/fake.rs", "fn f() { x.unwrap(); }").is_empty());
+        // Lib crates' integration tests may panic too.
+        assert!(lints_of("crates/mac/tests/t.rs", "fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn l2_does_not_confuse_unwrap_or() {
+        assert!(lints_of(LIB, "let v = x.unwrap_or(0);\n").is_empty());
+    }
+
+    #[test]
+    fn l3_flags_magic_constants_outside_homes() {
+        let hits = lints_of(LIB, "let r = 96.0 * rho; let d = (32.0_f64).sqrt();\n");
+        // Both the bare literal and the `_f64`-suffixed form are flagged.
+        assert_eq!(hits, vec![("L3", 1), ("L3", 1)], "{hits:?}");
+    }
+
+    #[test]
+    fn l3_allows_the_audited_homes_and_unrelated_numbers() {
+        assert!(lints_of("crates/sinr/src/config.rs", "let x = 96.0 * 32.0;").is_empty());
+        assert!(lints_of("crates/core/src/params.rs", "let x = 32.0;").is_empty());
+        assert!(lints_of(LIB, "let x = 132.0 + 96.05 + 0.32;\n").is_empty());
+    }
+
+    #[test]
+    fn l4_flags_narrowing_casts_in_lib_code_only() {
+        let hits = lints_of(LIB, "let small = node_id as u32;\n");
+        assert_eq!(hits, vec![("L4", 1)]);
+        assert!(lints_of("crates/bench/src/fake.rs", "let s = x as u32;").is_empty());
+        assert!(lints_of(LIB, "let wide = v as u64; let f = v as f64;").is_empty());
+    }
+
+    #[test]
+    fn violations_carry_line_numbers_and_snippets() {
+        let src = "fn ok() {}\nfn bad() {\n    q.unwrap();\n}\n";
+        let v = lint_file(LIB, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[0].snippet, "q.unwrap();");
+        assert!(v[0].message.contains("Result"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Text and JSON report emitters.
+//!
+//! The JSON schema (stable, versioned — consumed by CI tooling):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "summary": {"files_scanned": N, "allowed": N, "reported": N},
+//!   "violations": [
+//!     {"lint": "L2", "file": "…", "line": 12, "message": "…", "snippet": "…"}
+//!   ],
+//!   "stale_allows": [{"lint": "L2", "path": "…", "pattern": "…", "defined_at": N}]
+//! }
+//! ```
+
+use crate::allowlist::AllowEntry;
+use crate::lints::Violation;
+
+/// Report style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable, one block per violation.
+    Text,
+    /// Machine-readable single JSON object on stdout.
+    Json,
+}
+
+/// Prints the report for one run.
+pub fn emit(
+    format: Format,
+    reported: &[Violation],
+    files_scanned: usize,
+    allowed: usize,
+    stale: &[&AllowEntry],
+) {
+    match format {
+        Format::Text => emit_text(reported, files_scanned, allowed, stale),
+        Format::Json => emit_json(reported, files_scanned, allowed, stale),
+    }
+}
+
+fn emit_text(reported: &[Violation], files_scanned: usize, allowed: usize, stale: &[&AllowEntry]) {
+    for v in reported {
+        println!("{}: {}:{}", v.lint, v.file, v.line);
+        println!("  {}", v.message);
+        if !v.snippet.is_empty() {
+            println!("  | {}", v.snippet);
+        }
+        println!();
+    }
+    for e in stale {
+        println!(
+            "warning: stale allowlist entry (xtask-lint.toml:{}) — {} {} `{}` matched nothing; \
+             remove it",
+            e.defined_at, e.lint, e.path, e.pattern
+        );
+    }
+    println!(
+        "xtask lint: {} file(s) scanned, {} violation(s) reported, {} allowlisted",
+        files_scanned,
+        reported.len(),
+        allowed
+    );
+    if !reported.is_empty() {
+        println!("see docs/LINTING.md for the lint catalog and the allowlist format");
+    }
+}
+
+fn emit_json(reported: &[Violation], files_scanned: usize, allowed: usize, stale: &[&AllowEntry]) {
+    let mut out = String::from("{\"version\":1,\"summary\":{");
+    out.push_str(&format!(
+        "\"files_scanned\":{files_scanned},\"allowed\":{allowed},\"reported\":{}",
+        reported.len()
+    ));
+    out.push_str("},\"violations\":[");
+    for (i, v) in reported.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":{},\"file\":{},\"line\":{},\"message\":{},\"snippet\":{}}}",
+            json_str(v.lint),
+            json_str(&v.file),
+            v.line,
+            json_str(&v.message),
+            json_str(&v.snippet)
+        ));
+    }
+    out.push_str("],\"stale_allows\":[");
+    for (i, e) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":{},\"path\":{},\"pattern\":{},\"defined_at\":{}}}",
+            json_str(&e.lint),
+            json_str(&e.path),
+            json_str(&e.pattern),
+            e.defined_at
+        ));
+    }
+    out.push_str("]}");
+    println!("{out}");
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_quotes_backslashes_and_control_bytes() {
+        assert_eq!(json_str(r#"a"b\c"#), r#""a\"b\\c""#);
+        assert_eq!(json_str("x\ny\tz"), r#""x\ny\tz""#);
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_str("plain"), r#""plain""#);
+    }
+}
