@@ -1,0 +1,220 @@
+//! Perf baseline for the SINR resolvers: naive `SinrModel` vs the
+//! grid-tiled `FastSinrModel`, on transmit sets captured from real MW runs.
+//!
+//! Emits a machine-readable `BENCH_resolver.json` (schema documented in
+//! `docs/PERFORMANCE.md`) so every PR has a tracked perf trajectory:
+//!
+//! ```text
+//! cargo bench -p sinr-bench --bench resolver            # full (n ≤ 2048)
+//! cargo bench -p sinr-bench --bench resolver -- --quick # CI smoke
+//! BENCH_RESOLVER_JSON=/tmp/out.json cargo bench -p sinr-bench --bench resolver
+//! ```
+//!
+//! The replay phase also re-checks bit-identity: both resolvers must
+//! produce equal `ReceptionTable`s on every captured slot.
+
+use std::time::Instant;
+
+use sinr_bench::workload::Instance;
+use sinr_coloring::mw::{run_mw, run_mw_observed, MwConfig};
+use sinr_model::{FastSinrModel, InterferenceModel, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+/// Quick-mode slot cap (CI smoke); full mode replays the complete run so
+/// the dense contention phases — where resolution cost concentrates — are
+/// represented, not just the quiet initial listen phase.
+const QUICK_SLOTS: u64 = 400;
+/// Replay repetitions; the fastest repetition is reported.
+const REPS: usize = 3;
+
+struct ModelNumbers {
+    resolve_ns_per_slot: f64,
+    slots_per_sec: f64,
+}
+
+struct SizeResult {
+    n: usize,
+    max_degree: usize,
+    slots_captured: usize,
+    mean_tx_per_slot: f64,
+    naive: ModelNumbers,
+    fast: ModelNumbers,
+    fast_path_hit_rate: Option<f64>,
+}
+
+fn config(inst: &Instance, seed: u64, quick: bool) -> MwConfig {
+    let config = MwConfig::new(inst.params).with_seed(seed);
+    if quick {
+        config.with_max_slots(QUICK_SLOTS)
+    } else {
+        config
+    }
+}
+
+/// Captures the per-slot transmitter sets of a fixed-seed MW run.
+fn capture_slots(inst: &Instance, config: &MwConfig) -> Vec<Vec<usize>> {
+    let mut slots = Vec::new();
+    run_mw_observed(
+        &inst.graph,
+        FastSinrModel::new(inst.cfg),
+        config,
+        WakeupSchedule::Synchronous,
+        |_, view| slots.push(view.transmitters.clone()),
+    );
+    slots
+}
+
+/// Times `model.resolve` over every captured slot; returns the fastest
+/// repetition's ns/slot and a reception checksum guarding dead-code elim.
+fn time_replay<M: InterferenceModel>(
+    model: &M,
+    inst: &Instance,
+    slots: &[Vec<usize>],
+    reps: usize,
+) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
+    for _ in 0..reps {
+        checksum = 0;
+        let start = Instant::now();
+        for tx in slots {
+            checksum += model.resolve(&inst.graph, tx).len() as u64;
+        }
+        let ns = start.elapsed().as_nanos() as f64 / slots.len().max(1) as f64;
+        best = best.min(ns);
+    }
+    (best, checksum)
+}
+
+/// Times a full fixed-seed MW run under `model`; returns slots/sec.
+fn time_end_to_end<M: InterferenceModel>(model: M, inst: &Instance, config: &MwConfig) -> f64 {
+    let start = Instant::now();
+    let out = run_mw(&inst.graph, model, config, WakeupSchedule::Synchronous);
+    out.slots as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn bench_size(n: usize, quick: bool) -> SizeResult {
+    let degree = 12.0;
+    let seed = 1000 + n as u64;
+    let inst = Instance::uniform(n, degree, seed);
+    let cfg = config(&inst, seed, quick);
+    let reps = if quick { 2 } else { REPS };
+
+    let slots = capture_slots(&inst, &cfg);
+    let total_tx: usize = slots.iter().map(Vec::len).sum();
+
+    let naive_model = SinrModel::new(inst.cfg);
+    let fast_model = FastSinrModel::new(inst.cfg);
+
+    // Bit-identity audit over every captured slot (outside the timed loop).
+    for (i, tx) in slots.iter().enumerate() {
+        let a = naive_model.resolve(&inst.graph, tx);
+        let b = fast_model.resolve(&inst.graph, tx);
+        assert_eq!(a, b, "n={n}: reception tables diverge at captured slot {i}");
+    }
+    fast_model.reset_stats();
+
+    let (naive_ns, naive_sum) = time_replay(&naive_model, &inst, &slots, reps);
+    let (fast_ns, fast_sum) = time_replay(&fast_model, &inst, &slots, reps);
+    assert_eq!(naive_sum, fast_sum, "n={n}: reception checksums diverge");
+    let hit_rate = fast_model.stats().hit_rate();
+
+    let naive_sps = time_end_to_end(SinrModel::new(inst.cfg), &inst, &cfg);
+    let fast_sps = time_end_to_end(FastSinrModel::new(inst.cfg), &inst, &cfg);
+
+    SizeResult {
+        n,
+        max_degree: inst.graph.max_degree(),
+        slots_captured: slots.len(),
+        mean_tx_per_slot: total_tx as f64 / slots.len().max(1) as f64,
+        naive: ModelNumbers {
+            resolve_ns_per_slot: naive_ns,
+            slots_per_sec: naive_sps,
+        },
+        fast: ModelNumbers {
+            resolve_ns_per_slot: fast_ns,
+            slots_per_sec: fast_sps,
+        },
+        fast_path_hit_rate: hit_rate,
+    }
+}
+
+fn render_json(results: &[SizeResult], quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"resolver\",\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"workload\": \"MW coloring, uniform placement, expected degree 12, synchronous wakeup, seed 1000+n\",\n");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let speedup_resolve = r.naive.resolve_ns_per_slot / r.fast.resolve_ns_per_slot.max(1e-9);
+        let speedup_e2e = r.fast.slots_per_sec / r.naive.slots_per_sec.max(1e-9);
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"n\": {},\n", r.n));
+        s.push_str(&format!("      \"max_degree\": {},\n", r.max_degree));
+        s.push_str(&format!(
+            "      \"slots_captured\": {},\n",
+            r.slots_captured
+        ));
+        s.push_str(&format!(
+            "      \"mean_tx_per_slot\": {:.2},\n",
+            r.mean_tx_per_slot
+        ));
+        s.push_str(&format!(
+            "      \"naive\": {{ \"resolve_ns_per_slot\": {:.1}, \"slots_per_sec\": {:.1} }},\n",
+            r.naive.resolve_ns_per_slot, r.naive.slots_per_sec
+        ));
+        s.push_str(&format!(
+            "      \"fast\": {{ \"resolve_ns_per_slot\": {:.1}, \"slots_per_sec\": {:.1} }},\n",
+            r.fast.resolve_ns_per_slot, r.fast.slots_per_sec
+        ));
+        s.push_str(&format!(
+            "      \"fast_path_hit_rate\": {},\n",
+            r.fast_path_hit_rate
+                .map_or_else(|| "null".to_string(), |h| format!("{h:.4}"))
+        ));
+        s.push_str(&format!(
+            "      \"speedup_resolve\": {speedup_resolve:.2},\n"
+        ));
+        s.push_str(&format!("      \"speedup_end_to_end\": {speedup_e2e:.2}\n"));
+        s.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 2048]
+    };
+
+    let mut results = Vec::new();
+    for &n in sizes {
+        eprintln!("resolver bench: n = {n} ...");
+        let r = bench_size(n, quick);
+        eprintln!(
+            "  naive {:>10.1} ns/slot   fast {:>10.1} ns/slot   speedup {:.2}x   hit rate {}",
+            r.naive.resolve_ns_per_slot,
+            r.fast.resolve_ns_per_slot,
+            r.naive.resolve_ns_per_slot / r.fast.resolve_ns_per_slot.max(1e-9),
+            r.fast_path_hit_rate
+                .map_or_else(|| "n/a".to_string(), |h| format!("{:.1}%", 100.0 * h)),
+        );
+        results.push(r);
+    }
+
+    let json = render_json(&results, quick);
+    let path = std::env::var("BENCH_RESOLVER_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_resolver.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&path, &json).expect("write BENCH_resolver.json");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -3,7 +3,7 @@
 use sinr_coloring::mw::{run_mw, MwConfig, MwOutcome};
 use sinr_coloring::params::MwParams;
 use sinr_geometry::{placement, UnitDiskGraph};
-use sinr_model::{InterferenceModel, SinrConfig, SinrModel};
+use sinr_model::{FastSinrModel, InterferenceModel, SinrConfig};
 use sinr_radiosim::WakeupSchedule;
 
 /// The default physical configuration used by all experiments:
@@ -36,10 +36,14 @@ impl Instance {
     }
 
     /// Runs the MW algorithm under the SINR model with the given seed.
+    ///
+    /// Uses the grid-tiled [`FastSinrModel`], whose reception tables are
+    /// bit-identical to the naive `SinrModel` (see `docs/PERFORMANCE.md`),
+    /// so experiment outputs are unchanged while sweeps run much faster.
     pub fn run_sinr(&self, seed: u64, schedule: WakeupSchedule) -> MwOutcome {
         run_mw(
             &self.graph,
-            SinrModel::new(self.cfg),
+            FastSinrModel::new(self.cfg),
             &MwConfig::new(self.params).with_seed(seed),
             schedule,
         )
@@ -58,6 +62,26 @@ impl Instance {
             &MwConfig::new(self.params).with_seed(seed),
             schedule,
         )
+    }
+}
+
+/// Aggregates resolver fast-path counters over a batch of outcomes and
+/// returns the combined hit rate, if any run tracked them.
+pub fn resolver_hit_rate(outs: &[MwOutcome]) -> Option<f64> {
+    let mut total = sinr_model::ResolverStats::default();
+    let mut any = false;
+    for out in outs {
+        if let Some(s) = out.stats.resolver {
+            total.fast_path_hits += s.fast_path_hits;
+            total.exact_fallbacks += s.exact_fallbacks;
+            total.cells_scanned += s.cells_scanned;
+            any = true;
+        }
+    }
+    if any {
+        total.hit_rate()
+    } else {
+        None
     }
 }
 

@@ -16,7 +16,7 @@ use sinr_mac::guard::theorem3_distance_factor;
 use sinr_mac::mp::{BfsLayers, Convergecast, Flooding};
 use sinr_mac::srs::{simulate_general_bundled, simulate_uniform};
 use sinr_mac::tdma::{broadcast_audit, TdmaSchedule};
-use sinr_model::{GraphModel, IdealModel, SinrConfig, SinrModel};
+use sinr_model::{FastSinrModel, GraphModel, IdealModel, SinrConfig, SinrModel};
 use sinr_radiosim::WakeupSchedule;
 use std::io::Write;
 
@@ -31,7 +31,7 @@ COMMANDS:
             emit a placement (x y per line) on stdout
   info      --input FILE [--alpha A --beta B --rho R]
             print graph statistics for a placement
-  color     --input FILE [--seed S] [--model sinr|graph|ideal] [--distance D]
+  color     --input FILE [--seed S] [--model sinr|sinr-fast|graph|ideal] [--distance D]
             run the MW coloring; emit 'node color' per line on stdout
   reduce    --input FILE --colors FILE
             palette-reduce an existing proper coloring to Δ+1 colors
@@ -143,6 +143,13 @@ pub fn color(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult
             "sinr" => run_mw(
                 &graph,
                 SinrModel::new(cfg),
+                &mw_cfg,
+                WakeupSchedule::Synchronous,
+            ),
+            // Same tables as "sinr" (bit-identical), grid-tiled resolver.
+            "sinr-fast" => run_mw(
+                &graph,
+                FastSinrModel::new(cfg),
                 &mw_cfg,
                 WakeupSchedule::Synchronous,
             ),
@@ -604,5 +611,14 @@ mod tests {
         let f = tmp_positions(10);
         let (r, _, _) = run(&["color", "--input", f.path(), "--model", "psychic"]);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn color_sinr_fast_matches_sinr() {
+        let f = tmp_positions(25);
+        let (r1, naive, _) = run(&["color", "--input", f.path(), "--model", "sinr"]);
+        let (r2, fast, _) = run(&["color", "--input", f.path(), "--model", "sinr-fast"]);
+        assert!(r1.is_ok() && r2.is_ok());
+        assert_eq!(naive, fast, "fast resolver yields the identical coloring");
     }
 }

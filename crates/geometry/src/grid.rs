@@ -27,8 +27,15 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     cell: f64,
-    cells: HashMap<(i64, i64), Vec<NodeId>>,
+    cells: HashMap<GridKey, Vec<NodeId>>,
+    /// Keys of currently non-empty cells, in insertion order. Lets
+    /// [`SpatialGrid::clear`] reset an incrementally-filled grid without
+    /// touching (or deallocating) cells that were never occupied.
+    occupied: Vec<GridKey>,
 }
+
+/// Integer cell coordinates `(floor(x/cell), floor(y/cell))`.
+pub type GridKey = (i64, i64);
 
 impl SpatialGrid {
     /// Builds a grid over `points` with the given cell side.
@@ -41,20 +48,58 @@ impl SpatialGrid {
     /// Panics if `cell` is not finite and strictly positive, or if any point
     /// has a non-finite coordinate.
     pub fn build(points: &[Point], cell: f64) -> Self {
+        let mut grid = SpatialGrid::empty(cell);
+        for (id, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {id} has non-finite coordinates");
+            grid.insert(id, *p);
+        }
+        grid
+    }
+
+    /// Creates an empty grid with the given cell side, for incremental use
+    /// via [`SpatialGrid::insert`] / [`SpatialGrid::clear`] (e.g. bucketing
+    /// the per-slot transmitter set without reallocating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not finite and strictly positive.
+    pub fn empty(cell: f64) -> Self {
         assert!(
             cell.is_finite() && cell > 0.0,
             "grid cell side must be positive and finite"
         );
-        let mut cells: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
-        for (id, p) in points.iter().enumerate() {
-            assert!(p.is_finite(), "point {id} has non-finite coordinates");
-            cells.entry(Self::key(*p, cell)).or_default().push(id);
+        SpatialGrid {
+            cell,
+            cells: HashMap::new(),
+            occupied: Vec::new(),
         }
-        SpatialGrid { cell, cells }
+    }
+
+    /// Inserts point `id` at position `p`.
+    ///
+    /// Ids within a cell keep insertion order; inserting the same id twice
+    /// simply buckets it twice.
+    pub fn insert(&mut self, id: NodeId, p: Point) {
+        let key = Self::key(p, self.cell);
+        let bucket = self.cells.entry(key).or_default();
+        if bucket.is_empty() {
+            self.occupied.push(key);
+        }
+        bucket.push(id);
+    }
+
+    /// Removes every point while keeping all allocated buckets, so a
+    /// subsequent refill is allocation-free in steady state.
+    pub fn clear(&mut self) {
+        for key in self.occupied.drain(..) {
+            if let Some(bucket) = self.cells.get_mut(&key) {
+                bucket.clear();
+            }
+        }
     }
 
     #[inline]
-    fn key(p: Point, cell: f64) -> (i64, i64) {
+    fn key(p: Point, cell: f64) -> GridKey {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
     }
 
@@ -63,9 +108,69 @@ impl SpatialGrid {
         self.cell
     }
 
+    /// The cell key of the cell containing `p`.
+    pub fn key_of(&self, p: Point) -> GridKey {
+        Self::key(p, self.cell)
+    }
+
+    /// Ids bucketed in cell `key` (empty slice for untouched cells).
+    pub fn ids_in_cell(&self, key: GridKey) -> &[NodeId] {
+        self.cells.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Number of non-empty cells.
     pub fn occupied_cells(&self) -> usize {
-        self.cells.len()
+        self.occupied.len()
+    }
+
+    /// Keys of all non-empty cells, in first-insertion order.
+    ///
+    /// Combined with [`SpatialGrid::ids_in_cell`] this lets a caller
+    /// snapshot the whole occupancy in `O(occupied)` — the SINR resolver
+    /// classifies every occupied cell as near/far by integer cell distance
+    /// instead of probing the `(2·reach+1)²` window cell by cell.
+    pub fn occupied_keys(&self) -> &[GridKey] {
+        &self.occupied
+    }
+
+    /// Total number of bucketed points.
+    pub fn len(&self) -> usize {
+        self.occupied
+            .iter()
+            .map(|k| self.ids_in_cell(*k).len())
+            .sum()
+    }
+
+    /// Whether the grid holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.occupied.is_empty()
+    }
+
+    /// Calls `f` with each non-empty cell in the `(2·reach + 1)²` square
+    /// window of cells centered on `center`'s cell, in deterministic
+    /// row-major key order.
+    ///
+    /// Every point within Euclidean distance `reach · cell_side` of
+    /// `center` lies inside the window, and every point *outside* the
+    /// window is farther than `reach · cell_side` away — the invariant the
+    /// SINR resolver's near/far interference split relies on.
+    pub fn for_each_cell_in_window<F: FnMut(&[NodeId])>(
+        &self,
+        center: Point,
+        reach: i64,
+        mut f: F,
+    ) {
+        debug_assert!(reach >= 0, "window reach must be non-negative");
+        let (cx, cy) = self.key_of(center);
+        for gx in (cx - reach)..=(cx + reach) {
+            for gy in (cy - reach)..=(cy + reach) {
+                if let Some(ids) = self.cells.get(&(gx, gy)) {
+                    if !ids.is_empty() {
+                        f(ids);
+                    }
+                }
+            }
+        }
     }
 
     /// Ids of all points within Euclidean distance `radius` (inclusive) of
@@ -196,5 +301,88 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cell_panics() {
         let _ = SpatialGrid::build(&[], 0.0);
+    }
+
+    #[test]
+    fn incremental_insert_matches_build() {
+        let pts = vec![
+            Point::new(0.2, 0.3),
+            Point::new(-1.4, 2.0),
+            Point::new(3.3, 3.3),
+        ];
+        let built = SpatialGrid::build(&pts, 1.0);
+        let mut inc = SpatialGrid::empty(1.0);
+        for (id, &p) in pts.iter().enumerate() {
+            inc.insert(id, p);
+        }
+        assert_eq!(inc.occupied_cells(), built.occupied_cells());
+        assert_eq!(inc.occupied_keys(), built.occupied_keys());
+        assert_eq!(inc.occupied_keys().len(), 3, "three distinct cells");
+        assert_eq!(inc.len(), 3);
+        for &p in &pts {
+            assert_eq!(
+                inc.ids_in_cell(inc.key_of(p)),
+                built.ids_in_cell(built.key_of(p))
+            );
+        }
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_buckets_reusable() {
+        let pts = vec![Point::new(0.5, 0.5), Point::new(2.5, 0.5)];
+        let mut grid = SpatialGrid::build(&pts, 1.0);
+        assert!(!grid.is_empty());
+        grid.clear();
+        assert!(grid.is_empty());
+        assert_eq!(grid.occupied_cells(), 0);
+        assert!(grid.ids_in_cell(grid.key_of(pts[0])).is_empty());
+        // Refill: subset of ids, same answers as a fresh build over them.
+        grid.insert(1, pts[1]);
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.ids_in_cell(grid.key_of(pts[1])), &[1]);
+        assert_eq!(grid.within(&pts, pts[1], 0.1), vec![1]);
+    }
+
+    #[test]
+    fn window_covers_disk_and_excludes_far_points() {
+        // Deterministic scatter over ~8×8 cells.
+        let pts: Vec<Point> = (0..120)
+            .map(|i| Point::new((i as f64 * 0.61) % 8.0, (i as f64 * 0.37) % 8.0))
+            .collect();
+        let grid = SpatialGrid::build(&pts, 1.0);
+        for &reach in &[0i64, 1, 3] {
+            for &c in pts.iter().step_by(17) {
+                let mut seen = Vec::new();
+                grid.for_each_cell_in_window(c, reach, |ids| seen.extend_from_slice(ids));
+                seen.sort_unstable();
+                // Everything within reach·cell is inside the window...
+                for id in brute_within(&pts, c, reach as f64 * grid.cell_side()) {
+                    assert!(seen.binary_search(&id).is_ok(), "missed near point {id}");
+                }
+                // ...and everything outside is strictly farther than reach·cell.
+                for (id, &p) in pts.iter().enumerate() {
+                    if seen.binary_search(&id).is_err() {
+                        assert!(p.distance(c) > reach as f64 * grid.cell_side());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_cells_visited_in_deterministic_order() {
+        let pts = vec![
+            Point::new(0.5, 0.5),
+            Point::new(1.5, 0.5),
+            Point::new(0.5, 1.5),
+        ];
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let collect = || {
+            let mut order = Vec::new();
+            grid.for_each_cell_in_window(pts[0], 2, |ids| order.push(ids.to_vec()));
+            order
+        };
+        assert_eq!(collect(), collect());
+        assert_eq!(collect(), vec![vec![0], vec![2], vec![1]]);
     }
 }

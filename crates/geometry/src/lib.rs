@@ -41,7 +41,7 @@ pub mod point;
 
 pub use bbox::Bbox;
 pub use graph::UnitDiskGraph;
-pub use grid::SpatialGrid;
+pub use grid::{GridKey, SpatialGrid};
 pub use point::Point;
 
 /// Identifier of a node in a placement / graph: the index into the point set.

@@ -8,7 +8,6 @@ use sinr_geometry::{NodeId, UnitDiskGraph};
 use sinr_model::{InterferenceModel, ReceptionTable};
 use sinr_rng::rngs::StdRng;
 use sinr_rng::SeedableRng;
-use std::collections::HashMap;
 
 /// Everything that happened in one simulated slot (owned snapshot).
 #[derive(Debug, Clone)]
@@ -48,6 +47,13 @@ pub struct Simulator<P: Protocol, M: InterferenceModel> {
     stats: SimStats,
     done: Vec<bool>,
     trace: Option<Trace>,
+    // Dense per-slot buffers, reused across slots so the steady-state hot
+    // loop performs no allocation (previously a fresh HashMap + Vecs per
+    // slot).
+    tx_ids: Vec<NodeId>,
+    is_tx: Vec<bool>,
+    tx_msg: Vec<Option<P::Message>>,
+    inbox: Vec<(NodeId, P::Message)>,
 }
 
 impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
@@ -77,6 +83,10 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             stats,
             done: vec![false; n],
             trace: None,
+            tx_ids: Vec::new(),
+            is_tx: vec![false; n],
+            tx_msg: (0..n).map(|_| None).collect(),
+            inbox: Vec::new(),
         }
     }
 
@@ -157,16 +167,16 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             }
         }
 
-        // 2. Actions.
-        let mut tx_ids: Vec<NodeId> = Vec::new();
-        let mut tx_msgs: HashMap<NodeId, P::Message> = HashMap::new();
+        // 2. Actions — recorded into the dense reused buffers.
+        self.tx_ids.clear();
         for v in 0..n {
             if self.is_awake(v) && self.nodes[v].is_active() {
                 let ctx = self.ctx(v);
                 let mut rng = RandSlotRng(&mut self.rngs[v]);
                 if let Action::Transmit(msg) = self.nodes[v].begin_slot(&ctx, &mut rng) {
-                    tx_ids.push(v);
-                    tx_msgs.insert(v, msg);
+                    self.tx_ids.push(v);
+                    self.is_tx[v] = true;
+                    self.tx_msg[v] = Some(msg);
                     if let Some(t) = &mut self.trace {
                         t.push(slot, Event::Transmit(v));
                     }
@@ -174,29 +184,30 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             }
         }
 
-        // 3. Channel resolution + activity accounting.
-        let table = self.model.resolve(&self.graph, &tx_ids);
-        self.stats.transmissions += tx_ids.len() as u64;
-        self.stats.record_channel_load(tx_ids.len());
-        for &t in &tx_ids {
+        // 3. Channel resolution + activity accounting (listen status is
+        // derived from the `is_tx` bitmap: awake ∧ active ∧ ¬transmitting).
+        let table = self.model.resolve(&self.graph, &self.tx_ids);
+        self.stats.transmissions += self.tx_ids.len() as u64;
+        self.stats.record_channel_load(self.tx_ids.len());
+        for &t in &self.tx_ids {
             self.stats.tx_slots[t] += 1;
         }
         for v in 0..n {
-            if self.is_awake(v) && self.nodes[v].is_active() && !tx_msgs.contains_key(&v) {
+            if self.is_awake(v) && self.nodes[v].is_active() && !self.is_tx[v] {
                 self.stats.listen_slots[v] += 1;
             }
         }
 
         // 4. Delivery + end-of-slot processing for every awake node.
-        let mut inbox: Vec<(NodeId, P::Message)> = Vec::new();
+        let mut inbox = std::mem::take(&mut self.inbox);
         for v in 0..n {
             if !self.is_awake(v) || !self.nodes[v].is_active() {
                 continue;
             }
             inbox.clear();
             for &(_, sender) in table.heard_by(v) {
-                let msg = tx_msgs
-                    .get(&sender)
+                let msg = self.tx_msg[sender]
+                    .as_ref()
                     .expect("reception from a node that transmitted")
                     .clone();
                 inbox.push((sender, msg));
@@ -214,6 +225,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             let ctx = self.ctx(v);
             self.nodes[v].end_slot(&ctx, &inbox);
         }
+        self.inbox = inbox;
 
         // 5. Termination bookkeeping.
         let mut newly_done = Vec::new();
@@ -228,12 +240,20 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             }
         }
 
+        // 6. Reset the dense buffers for the next slot (O(transmitters),
+        // not O(n)) and snapshot resolver statistics.
+        for &t in &self.tx_ids {
+            self.is_tx[t] = false;
+            self.tx_msg[t] = None;
+        }
+        self.stats.resolver = self.model.resolver_stats();
+
         self.slot += 1;
         self.stats.slots = self.slot;
 
         StepView {
             slot,
-            transmitters: tx_ids,
+            transmitters: self.tx_ids.clone(),
             receptions: table,
             newly_done,
         }
@@ -505,6 +525,11 @@ mod tests {
             );
             assert_eq!(stats.tx_slots[v], 1, "node {v} fired exactly once");
         }
+        assert_eq!(
+            stats.transmissions,
+            stats.tx_slots.iter().sum::<u64>(),
+            "global transmission count equals the per-node tx totals"
+        );
     }
 
     #[test]

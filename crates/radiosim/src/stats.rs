@@ -1,6 +1,7 @@
 //! Run statistics collected by the engine.
 
 use sinr_geometry::NodeId;
+use sinr_model::ResolverStats;
 
 /// Counters and per-node timing collected during a simulation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -23,6 +24,9 @@ pub struct SimStats {
     /// exactly `k` simultaneous transmitters; the last bucket aggregates
     /// everything at or above [`SimStats::TX_HISTOGRAM_BUCKETS`] − 1.
     pub concurrent_tx: Vec<u64>,
+    /// Cumulative fast-path counters of the interference resolver, if the
+    /// model tracks them (see [`ResolverStats`]); refreshed every slot.
+    pub resolver: Option<ResolverStats>,
 }
 
 impl SimStats {
@@ -41,7 +45,14 @@ impl SimStats {
             tx_slots: vec![0; n],
             listen_slots: vec![0; n],
             concurrent_tx: vec![0; Self::TX_HISTOGRAM_BUCKETS],
+            resolver: None,
         }
+    }
+
+    /// Fast-path hit rate of the resolver, if tracked (see
+    /// [`ResolverStats::hit_rate`]).
+    pub fn resolver_hit_rate(&self) -> Option<f64> {
+        self.resolver.as_ref().and_then(ResolverStats::hit_rate)
     }
 
     /// Records one slot's concurrent-transmitter count in the histogram.

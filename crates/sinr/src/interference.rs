@@ -6,6 +6,30 @@
 use crate::config::SinrConfig;
 use sinr_geometry::{NodeId, Point};
 
+/// `dist^α`, with a multiply-only fast path for the common integer
+/// exponents (`α ∈ {2, 3, 4, 6}`, covering every profile in
+/// `docs/PARAMETERS.md`; `α = 4` is the default).
+///
+/// `powf` dominates the resolver's inner loop, so the α = 4 case alone is
+/// worth several ×. All SINR evaluation funnels through this function, so
+/// fast and naive resolvers stay bit-identical by construction.
+#[inline]
+pub fn dist_pow_alpha(dist: f64, alpha: f64) -> f64 {
+    if alpha == 4.0 {
+        let d2 = dist * dist;
+        d2 * d2
+    } else if alpha == 2.0 {
+        dist * dist
+    } else if alpha == 3.0 {
+        dist * dist * dist
+    } else if alpha == 6.0 {
+        let d2 = dist * dist;
+        d2 * d2 * d2
+    } else {
+        dist.powf(alpha)
+    }
+}
+
 /// Power received at distance `dist` from a transmitter of power `power`
 /// under path loss `α`: `P / δ^α`.
 ///
@@ -16,7 +40,30 @@ pub fn received_power(power: f64, dist: f64, alpha: f64) -> f64 {
     if dist <= 0.0 {
         f64::INFINITY
     } else {
-        power / dist.powf(alpha)
+        power / dist_pow_alpha(dist, alpha)
+    }
+}
+
+/// [`received_power`] from the *squared* distance, skipping the square
+/// root for even `α` (`δ^α = (δ²)^{α/2}`).
+///
+/// Agrees with `received_power(p, d2.sqrt(), α)` up to floating-point
+/// rounding — callers that need bit-exact parity with the distance-based
+/// path (the resolvers' fallback sums) must keep using [`received_power`];
+/// this variant is for bound computations that carry their own slack.
+#[inline]
+pub fn received_power_d2(power: f64, dist_sq: f64, alpha: f64) -> f64 {
+    if dist_sq <= 0.0 {
+        f64::INFINITY
+    } else if alpha == 4.0 {
+        power / (dist_sq * dist_sq)
+    } else if alpha == 2.0 {
+        power / dist_sq
+    } else if alpha == 6.0 {
+        let d4 = dist_sq * dist_sq;
+        power / (d4 * dist_sq)
+    } else {
+        power / dist_sq.powf(alpha * 0.5)
     }
 }
 
@@ -75,7 +122,7 @@ pub fn psi_single(send_probability: f64, dist: f64, alpha: f64) -> f64 {
     if dist <= 0.0 {
         f64::INFINITY
     } else {
-        send_probability / dist.powf(alpha)
+        send_probability / dist_pow_alpha(dist, alpha)
     }
 }
 
@@ -122,6 +169,37 @@ mod tests {
 
     fn cfg() -> SinrConfig {
         SinrConfig::default_unit()
+    }
+
+    #[test]
+    fn dist_pow_alpha_matches_powf_for_integer_exponents() {
+        for &alpha in &[2.0, 3.0, 4.0, 6.0] {
+            for &d in &[0.1, 0.73, 1.0, 2.5, 17.0] {
+                let fast = dist_pow_alpha(d, alpha);
+                let slow = d.powf(alpha);
+                assert!(
+                    (fast - slow).abs() <= 1e-12 * slow,
+                    "alpha={alpha} d={d}: {fast} vs {slow}"
+                );
+            }
+        }
+        // Non-integer exponents fall through to powf exactly.
+        assert_eq!(dist_pow_alpha(1.7, 2.5), 1.7f64.powf(2.5));
+    }
+
+    #[test]
+    fn received_power_d2_matches_distance_based_path() {
+        for &alpha in &[2.0, 2.5, 3.0, 4.0, 6.0] {
+            for &d in &[0.1, 0.73, 1.0, 2.5, 17.0] {
+                let from_d2 = received_power_d2(2.0, d * d, alpha);
+                let from_d = received_power(2.0, d, alpha);
+                assert!(
+                    (from_d2 - from_d).abs() <= 1e-12 * from_d,
+                    "alpha={alpha} d={d}: {from_d2} vs {from_d}"
+                );
+            }
+        }
+        assert!(received_power_d2(2.0, 0.0, 4.0).is_infinite());
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   graph-based model the original MW analysis assumed), and
 //!   [`IdealModel`] (collision-free message passing, the substrate simulated
 //!   by Corollary 1).
+//! * [`resolver`] — [`FastSinrModel`], a grid-tiled exact resolver producing
+//!   bit-identical tables to [`SinrModel`] at a fraction of the per-slot
+//!   cost (see `docs/PERFORMANCE.md`).
 //!
 //! # Example
 //!
@@ -44,8 +47,10 @@ pub mod fading;
 pub mod interference;
 pub mod model;
 pub mod power;
+pub mod resolver;
 
 pub use config::SinrConfig;
 pub use fading::FadingSinrModel;
 pub use model::{GraphModel, IdealModel, InterferenceModel, ReceptionTable, SinrModel};
 pub use power::{NonUniformSinrModel, PowerAssignment};
+pub use resolver::{FastSinrModel, ResolverStats};

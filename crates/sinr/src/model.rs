@@ -3,6 +3,7 @@
 
 use crate::config::SinrConfig;
 use crate::interference::{received_power, sinr_from_total};
+use crate::resolver::ResolverStats;
 use sinr_geometry::{NodeId, UnitDiskGraph};
 
 /// The outcome of one time slot: which receivers heard which senders.
@@ -78,6 +79,12 @@ pub trait InterferenceModel {
 
     /// Short model name for reports.
     fn name(&self) -> &'static str;
+
+    /// Cumulative fast-path statistics, for resolvers that track them
+    /// (see [`FastSinrModel`](crate::FastSinrModel)); `None` otherwise.
+    fn resolver_stats(&self) -> Option<ResolverStats> {
+        None
+    }
 }
 
 impl<M: InterferenceModel + ?Sized> InterferenceModel for Box<M> {
@@ -87,6 +94,10 @@ impl<M: InterferenceModel + ?Sized> InterferenceModel for Box<M> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn resolver_stats(&self) -> Option<ResolverStats> {
+        (**self).resolver_stats()
     }
 }
 
@@ -187,6 +198,7 @@ impl InterferenceModel for GraphModel {
     fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
         let mut is_tx = vec![false; g.len()];
         for &t in transmitting {
+            debug_assert!(!is_tx[t], "node {t} transmits twice in one slot");
             is_tx[t] = true;
         }
         // Count transmitting neighbors per listener.
@@ -230,6 +242,7 @@ impl InterferenceModel for IdealModel {
     fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
         let mut is_tx = vec![false; g.len()];
         for &t in transmitting {
+            debug_assert!(!is_tx[t], "node {t} transmits twice in one slot");
             is_tx[t] = true;
         }
         let mut pairs = Vec::new();
@@ -378,6 +391,46 @@ mod tests {
         ] {
             assert!(model.resolve(&g, &[]).is_empty());
         }
+    }
+
+    // A duplicate transmitter id would double-count interference (SINR) or
+    // inflate the neighbor-transmission count into a phantom collision
+    // (graph model): every model rejects duplicates in debug builds.
+    #[cfg(debug_assertions)]
+    mod duplicate_transmitters {
+        use super::*;
+
+        fn dup_graph() -> UnitDiskGraph {
+            graph(vec![Point::new(0.0, 0.0), Point::new(0.8, 0.0)])
+        }
+
+        #[test]
+        #[should_panic(expected = "transmits twice")]
+        fn sinr_model_rejects_duplicates() {
+            let _ = sinr_model().resolve(&dup_graph(), &[0, 0]);
+        }
+
+        #[test]
+        #[should_panic(expected = "transmits twice")]
+        fn graph_model_rejects_duplicates() {
+            let _ = GraphModel::new().resolve(&dup_graph(), &[0, 0]);
+        }
+
+        #[test]
+        #[should_panic(expected = "transmits twice")]
+        fn ideal_model_rejects_duplicates() {
+            let _ = IdealModel::new().resolve(&dup_graph(), &[0, 0]);
+        }
+    }
+
+    #[test]
+    fn resolver_stats_default_to_none() {
+        assert!(sinr_model().resolver_stats().is_none());
+        assert!(GraphModel::new().resolver_stats().is_none());
+        assert!(IdealModel::new().resolver_stats().is_none());
+        // Box forwarding preserves the answer.
+        let boxed: Box<dyn InterferenceModel> = Box::new(GraphModel::new());
+        assert!(boxed.resolver_stats().is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use sinr_geometry::{NodeId, Point, UnitDiskGraph};
 use sinr_model::interference::{decodes, received_power, total_received_power};
-use sinr_model::{GraphModel, IdealModel, InterferenceModel, SinrConfig, SinrModel};
+use sinr_model::{FastSinrModel, GraphModel, IdealModel, InterferenceModel, SinrConfig, SinrModel};
 
 fn arb_points(max_n: usize, extent: f64) -> impl Strategy<Value = Vec<Point>> {
     prop::collection::vec(
@@ -19,6 +19,18 @@ fn arb_scenario() -> impl Strategy<Value = (Vec<Point>, Vec<NodeId>)> {
         (Just(pts), prop::collection::btree_set(0..n, 0..=n.min(10)))
             .prop_map(|(pts, set)| (pts, set.into_iter().collect()))
     })
+}
+
+/// A denser scenario whose transmit sets routinely exceed the fast
+/// resolver's small-slot cutoff, over a range of placement densities.
+fn arb_dense_scenario() -> impl Strategy<Value = (Vec<Point>, Vec<NodeId>)> {
+    (2.0..10.0f64)
+        .prop_flat_map(|extent| arb_points(80, extent))
+        .prop_flat_map(|pts| {
+            let n = pts.len();
+            (Just(pts), prop::collection::btree_set(0..n, 0..=n))
+                .prop_map(|(pts, set)| (pts, set.into_iter().collect()))
+        })
 }
 
 proptest! {
@@ -119,6 +131,28 @@ proptest! {
                 prop_assert!(g.are_adjacent(r, s));
             }
         }
+    }
+
+    #[test]
+    fn fast_resolver_is_bit_identical_to_naive(
+        (pts, tx) in arb_dense_scenario(),
+        alpha_idx in 0usize..4,
+        reach_raw in 0usize..5,
+    ) {
+        // α sweep covers the powi fast paths (3, 4, 6) and the powf
+        // fallback (2.5); reach sweeps the near/far split from the tightest
+        // window to one far larger than the default.
+        let alpha = [2.5f64, 3.0, 4.0, 6.0][alpha_idx];
+        let cfg = SinrConfig::with_unit_range(alpha, 1.5, 2.0);
+        let g = UnitDiskGraph::new(pts, cfg.r_t());
+        let tx: Vec<NodeId> = tx.into_iter().filter(|&t| t < g.len()).collect();
+        let reach = 1 + reach_raw as i64;
+        let naive = SinrModel::new(cfg).resolve(&g, &tx);
+        let fast_model = FastSinrModel::with_near_reach(cfg, reach);
+        let fast = fast_model.resolve(&g, &tx);
+        prop_assert_eq!(&fast, &naive, "tables must be bit-identical");
+        // Resolving the same slot again (scratch reuse) must not drift.
+        prop_assert_eq!(&fast_model.resolve(&g, &tx), &naive);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Integration: the fast grid-tiled SINR resolver is observationally
+//! identical to the naive one across a whole MW coloring run.
+//!
+//! `FastSinrModel` promises bit-identical `ReceptionTable`s (see the
+//! differential proptests in `crates/sinr/tests/proptests.rs`); here we pin
+//! the end-to-end consequence — same message deliveries every slot means
+//! the same protocol trajectory, slot count, and final coloring.
+
+use sinr_coloring::mw::{run_mw, MwConfig, MwOutcome};
+use sinr_coloring::params::MwParams;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_model::{FastSinrModel, InterferenceModel, SinrConfig, SinrModel};
+use sinr_radiosim::WakeupSchedule;
+
+fn run_with<M: InterferenceModel>(model: M, graph: &UnitDiskGraph, seed: u64) -> MwOutcome {
+    let cfg = SinrConfig::default_unit();
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    run_mw(
+        graph,
+        model,
+        &MwConfig::new(params).with_seed(seed),
+        WakeupSchedule::Synchronous,
+    )
+}
+
+#[test]
+fn fast_and_naive_resolvers_produce_identical_runs() {
+    let cfg = SinrConfig::default_unit();
+    // Dense enough that many slots exceed the fast path's small-slot
+    // cutoff, so both the grid path and the exact fallback are exercised.
+    let graph = UnitDiskGraph::new(placement::uniform(120, 5.0, 5.0, 99), cfg.r_t());
+    for seed in [0u64, 7] {
+        let naive = run_with(SinrModel::new(cfg), &graph, seed);
+        let fast = run_with(FastSinrModel::new(cfg), &graph, seed);
+
+        assert_eq!(fast.all_done, naive.all_done, "seed {seed}");
+        assert_eq!(fast.slots, naive.slots, "seed {seed}: slot counts");
+        assert_eq!(fast.coloring, naive.coloring, "seed {seed}: colorings");
+        assert_eq!(fast.transmissions, naive.transmissions, "seed {seed}");
+        assert_eq!(fast.receptions, naive.receptions, "seed {seed}");
+        assert_eq!(fast.node_reports, naive.node_reports, "seed {seed}");
+
+        // The full statistics agree except for the resolver counters,
+        // which only the fast model tracks.
+        let mut fast_stats = fast.stats.clone();
+        assert!(fast_stats.resolver.is_some(), "fast model reports stats");
+        fast_stats.resolver = None;
+        assert!(naive.stats.resolver.is_none());
+        assert_eq!(fast_stats, naive.stats, "seed {seed}: per-node stats");
+    }
+}
+
+#[test]
+fn fast_resolver_reports_a_nonzero_hit_rate_on_dense_runs() {
+    let cfg = SinrConfig::default_unit();
+    let graph = UnitDiskGraph::new(placement::uniform(120, 5.0, 5.0, 99), cfg.r_t());
+    let out = run_with(FastSinrModel::new(cfg), &graph, 1);
+    let stats = out.stats.resolver.expect("fast model tracks stats");
+    assert!(stats.fast_path_hits + stats.exact_fallbacks > 0);
+    assert!(out.stats.resolver_hit_rate().is_some());
+}
