@@ -16,8 +16,9 @@
 use std::time::Instant;
 
 use sinr_bench::workload::Instance;
-use sinr_coloring::mw::{run_mw, run_mw_observed, MwConfig};
+use sinr_coloring::mw::{run_mw, run_mw_observed, run_mw_recorded, MwConfig, MwProbeConfig};
 use sinr_model::{FastSinrModel, InterferenceModel, SinrModel};
+use sinr_obs::{FullRecorder, NoopRecorder, Recorder};
 use sinr_radiosim::WakeupSchedule;
 
 /// Quick-mode slot cap (CI smoke); full mode replays the complete run so
@@ -139,11 +140,53 @@ fn bench_size(n: usize, quick: bool) -> SizeResult {
     }
 }
 
-fn render_json(results: &[SizeResult], quick: bool) -> String {
+/// Recorder overhead on the largest instance: end-to-end slots/sec with
+/// the disabled [`NoopRecorder`] (one virtual `enabled()` call per slot)
+/// vs a [`FullRecorder`] with all probes at stride 1. The no-op figure
+/// must track `fast.slots_per_sec` closely — that gap is the cost of the
+/// observability seams themselves.
+struct RecorderOverhead {
+    n: usize,
+    noop_slots_per_sec: f64,
+    full_slots_per_sec: f64,
+}
+
+fn time_recorded(inst: &Instance, cfg: &MwConfig, rec: &mut dyn Recorder) -> f64 {
+    let start = Instant::now();
+    let out = run_mw_recorded(
+        &inst.graph,
+        FastSinrModel::new(inst.cfg),
+        cfg,
+        WakeupSchedule::Synchronous,
+        MwProbeConfig::default(),
+        rec,
+    );
+    out.slots as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn bench_recorder_overhead(n: usize, quick: bool) -> RecorderOverhead {
+    let seed = 1000 + n as u64;
+    let inst = Instance::uniform(n, 12.0, seed);
+    let cfg = config(&inst, seed, quick);
+    let reps = if quick { 1 } else { 2 };
+    let mut noop = 0f64;
+    let mut full = 0f64;
+    for _ in 0..reps {
+        noop = noop.max(time_recorded(&inst, &cfg, &mut NoopRecorder));
+        full = full.max(time_recorded(&inst, &cfg, &mut FullRecorder::new()));
+    }
+    RecorderOverhead {
+        n,
+        noop_slots_per_sec: noop,
+        full_slots_per_sec: full,
+    }
+}
+
+fn render_json(results: &[SizeResult], overhead: &RecorderOverhead, quick: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"resolver\",\n");
-    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"schema_version\": 2,\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str("  \"workload\": \"MW coloring, uniform placement, expected degree 12, synchronous wakeup, seed 1000+n\",\n");
     s.push_str("  \"results\": [\n");
@@ -184,7 +227,16 @@ fn render_json(results: &[SizeResult], quick: bool) -> String {
             "    },\n"
         });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"recorder_overhead\": {{ \"n\": {}, \"noop_slots_per_sec\": {:.1}, \
+         \"full_slots_per_sec\": {:.1}, \"full_over_noop\": {:.3} }}\n",
+        overhead.n,
+        overhead.noop_slots_per_sec,
+        overhead.full_slots_per_sec,
+        overhead.noop_slots_per_sec / overhead.full_slots_per_sec.max(1e-9)
+    ));
+    s.push_str("}\n");
     s
 }
 
@@ -211,7 +263,17 @@ fn main() {
         results.push(r);
     }
 
-    let json = render_json(&results, quick);
+    let largest = *sizes.last().expect("at least one size");
+    eprintln!("recorder overhead: n = {largest} ...");
+    let overhead = bench_recorder_overhead(largest, quick);
+    eprintln!(
+        "  noop {:>10.1} slots/sec   full {:>10.1} slots/sec   slowdown {:.3}x",
+        overhead.noop_slots_per_sec,
+        overhead.full_slots_per_sec,
+        overhead.noop_slots_per_sec / overhead.full_slots_per_sec.max(1e-9)
+    );
+
+    let json = render_json(&results, &overhead, quick);
     let path = std::env::var("BENCH_RESOLVER_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_resolver.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&path, &json).expect("write BENCH_resolver.json");

@@ -7,6 +7,10 @@
 //!   --quick    reduced sizes/seeds
 //!   --markdown emit GitHub-flavored markdown instead of aligned text
 //! ```
+//!
+//! With `EXPERIMENTS_JSON_DIR=<dir>` set, every experiment additionally
+//! writes its machine-readable report to `<dir>/OBS_<ID>.json` (schema
+//! `experiment_report`, `docs/OBS_SCHEMA.md`).
 
 use sinr_bench::experiments::{run_by_id, ALL};
 use std::time::Instant;
@@ -24,6 +28,11 @@ fn main() {
         ids = ALL.iter().map(|s| s.to_string()).collect();
     }
 
+    let json_dir = std::env::var("EXPERIMENTS_JSON_DIR").ok();
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create EXPERIMENTS_JSON_DIR");
+    }
+
     let mut unknown = Vec::new();
     for id in &ids {
         let start = Instant::now();
@@ -33,6 +42,11 @@ fn main() {
                     println!("{}", report.to_markdown());
                 } else {
                     println!("{report}");
+                }
+                if let Some(dir) = &json_dir {
+                    let path = format!("{dir}/OBS_{}.json", report.id);
+                    std::fs::write(&path, report.to_json()).expect("write experiment JSON");
+                    eprintln!("[{id} report -> {path}]");
                 }
                 eprintln!("[{} finished in {:.1?}]", id, start.elapsed());
                 println!();

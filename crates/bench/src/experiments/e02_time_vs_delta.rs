@@ -34,6 +34,7 @@ pub fn run(quick: bool) -> ExpReport {
 
     let mut fit_points: Vec<(f64, f64)> = Vec::new();
     let mut last_hit_rate = None;
+    let mut last_inst = None;
     for &deg in degrees {
         let inst = Instance::uniform(n, deg, 2000 + deg as u64);
         let delta = inst.graph.max_degree() as f64;
@@ -57,6 +58,7 @@ pub fn run(quick: bool) -> ExpReport {
             f2(mean(&max_lat) / (delta * ln_n)),
             format!("{done}/{seeds}"),
         ]);
+        last_inst = Some(inst);
     }
     if let Some(fit) = proportional_fit(&fit_points) {
         report.note(format!(
@@ -71,6 +73,10 @@ pub fn run(quick: bool) -> ExpReport {
              exact fallback (densest instance).",
             pct(rate)
         ));
+    }
+    // One fully observed run of the densest instance for the obs section.
+    if let Some(inst) = &last_inst {
+        report.obs = Some(crate::obs::recorded_instance_report(inst, 0));
     }
     report
 }

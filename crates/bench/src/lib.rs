@@ -14,6 +14,7 @@
 //! `benches/`.
 
 pub mod experiments;
+pub mod obs;
 pub mod report;
 pub mod stats;
 pub mod workload;

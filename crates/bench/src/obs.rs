@@ -1,0 +1,67 @@
+//! Observed experiment runs: the machine-readable obs section attached to
+//! experiment reports (`ExpReport::obs`) and dumped as `OBS_<id>.json` by
+//! the `experiments` binary (schema `experiment_obs`, `docs/OBS_SCHEMA.md`).
+
+use crate::workload::Instance;
+use sinr_coloring::mw::{run_mw_recorded, MwConfig, MwProbeConfig};
+use sinr_model::FastSinrModel;
+use sinr_obs::{keys, FullRecorder, OBS_SCHEMA_VERSION};
+use sinr_radiosim::WakeupSchedule;
+
+/// Runs one fully observed coloring of `inst` (fast SINR model, probes at
+/// stride 1) and renders the `experiment_obs` JSON document: instance
+/// shape, run outcome, probe verdicts, event accounting, and the complete
+/// metrics registry.
+pub fn recorded_instance_report(inst: &Instance, seed: u64) -> String {
+    let mut rec = FullRecorder::new();
+    let out = run_mw_recorded(
+        &inst.graph,
+        FastSinrModel::new(inst.cfg),
+        &MwConfig::new(inst.params).with_seed(seed),
+        WakeupSchedule::Synchronous,
+        MwProbeConfig::default(),
+        &mut rec,
+    );
+
+    let reg = rec.registry();
+    let probe = |key: &str| reg.counter(key).unwrap_or(0);
+    format!(
+        "{{\"schema_version\":{OBS_SCHEMA_VERSION},\"kind\":\"experiment_obs\",\
+         \"instance\":{{\"n\":{},\"max_degree\":{},\"seed\":{seed}}},\
+         \"run\":{{\"all_done\":{},\"slots\":{},\"colors_used\":{},\"palette\":{}}},\
+         \"probes\":{{\"thm1_violations\":{},\"lemma4_violations\":{},\
+         \"lemma6_violations\":{},\"lemma7_violations\":{}}},\
+         \"events\":{{\"recorded\":{},\"dropped\":{},\"capacity\":{}}},\
+         \"metrics\":{}}}",
+        inst.graph.len(),
+        inst.graph.max_degree(),
+        out.all_done,
+        out.slots,
+        out.colors_used,
+        out.palette,
+        probe(keys::PROBE_THM1_VIOLATIONS),
+        probe(keys::PROBE_LEMMA4_VIOLATIONS),
+        probe(keys::PROBE_LEMMA6_VIOLATIONS),
+        probe(keys::PROBE_LEMMA7_VIOLATIONS),
+        rec.events_recorded(),
+        rec.events_dropped(),
+        rec.ring_capacity(),
+        reg.to_json(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_report_covers_run_probes_and_metrics() {
+        let inst = Instance::uniform(20, 6.0, 7);
+        let doc = recorded_instance_report(&inst, 0);
+        assert!(doc.starts_with("{\"schema_version\":1,\"kind\":\"experiment_obs\","));
+        assert!(doc.contains("\"instance\":{\"n\":20,"));
+        assert!(doc.contains("\"thm1_violations\":0"));
+        assert!(doc.contains("\"sim.slots\""));
+        assert!(doc.ends_with('}'));
+    }
+}

@@ -1,5 +1,6 @@
 //! Tabular experiment reports.
 
+use sinr_obs::json::push_str_escaped;
 use std::fmt;
 
 /// A rendered experiment: identifier, the paper claim it validates, a
@@ -18,6 +19,10 @@ pub struct ExpReport {
     pub rows: Vec<Vec<String>>,
     /// Interpretation notes appended below the table.
     pub notes: Vec<String>,
+    /// Machine-readable observability section (a pre-rendered JSON
+    /// document, schema `experiment_obs` in `docs/OBS_SCHEMA.md`), when
+    /// the experiment ran an observed instance.
+    pub obs: Option<String>,
 }
 
 impl ExpReport {
@@ -30,6 +35,7 @@ impl ExpReport {
             headers: Vec::new(),
             rows: Vec::new(),
             notes: Vec::new(),
+            obs: None,
         }
     }
 
@@ -71,6 +77,53 @@ impl ExpReport {
         for note in &self.notes {
             s.push_str(&format!("\n> {}\n", note));
         }
+        s
+    }
+
+    /// Renders the whole report as one JSON document (schema
+    /// `experiment_report`, `docs/OBS_SCHEMA.md`). The `obs` section, when
+    /// present, is embedded verbatim — it is already JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"schema_version\":1,\"kind\":\"experiment_report\",\"id\":");
+        push_str_escaped(&mut s, self.id);
+        s.push_str(",\"title\":");
+        push_str_escaped(&mut s, self.title);
+        s.push_str(",\"claim\":");
+        push_str_escaped(&mut s, self.claim);
+        let push_list = |s: &mut String, name: &str, items: &[String]| {
+            s.push_str(&format!(",\"{name}\":["));
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_str_escaped(s, item);
+            }
+            s.push(']');
+        };
+        push_list(&mut s, "headers", &self.headers);
+        s.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                push_str_escaped(&mut s, cell);
+            }
+            s.push(']');
+        }
+        s.push(']');
+        push_list(&mut s, "notes", &self.notes);
+        s.push_str(",\"obs\":");
+        match &self.obs {
+            Some(doc) => s.push_str(doc),
+            None => s.push_str("null"),
+        }
+        s.push('}');
         s
     }
 }
@@ -170,6 +223,27 @@ mod tests {
     fn row_width_checked() {
         let mut r = ExpReport::new("E0", "demo", "c").headers(["a"]);
         r.push_row(["1", "2"]);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_embeds_obs() {
+        let mut r = sample();
+        r.note("has \"quotes\" inside");
+        r.obs = Some("{\"schema_version\":1,\"kind\":\"experiment_obs\"}".to_string());
+        let json = r.to_json();
+        assert!(
+            json.starts_with("{\"schema_version\":1,\"kind\":\"experiment_report\",\"id\":\"E0\"")
+        );
+        assert!(json.contains("\"headers\":[\"a\",\"bb\"]"));
+        assert!(json.contains("\"rows\":[[\"1\",\"2\"],[\"30\",\"4\"]]"));
+        assert!(json.contains("has \\\"quotes\\\" inside"));
+        assert!(json.contains("\"obs\":{\"schema_version\":1,\"kind\":\"experiment_obs\"}"));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_obs_defaults_to_null() {
+        assert!(sample().to_json().contains("\"obs\":null"));
     }
 
     #[test]

@@ -71,10 +71,8 @@ pub fn resolver_hit_rate(outs: &[MwOutcome]) -> Option<f64> {
     let mut total = sinr_model::ResolverStats::default();
     let mut any = false;
     for out in outs {
-        if let Some(s) = out.stats.resolver {
-            total.fast_path_hits += s.fast_path_hits;
-            total.exact_fallbacks += s.exact_fallbacks;
-            total.cells_scanned += s.cells_scanned;
+        if let Some(s) = &out.resolver {
+            total.merge(s);
             any = true;
         }
     }

@@ -2,10 +2,11 @@
 
 use crate::args::Args;
 use crate::io::{format_assignment, format_positions, parse_assignment, parse_positions};
+use crate::obs::{run_report, ObsSpec};
 use crate::{err, CliResult};
 use sinr_coloring::distance_d::color_at_distance;
 use sinr_coloring::mis::run_clustering;
-use sinr_coloring::mw::{run_mw, MwConfig};
+use sinr_coloring::mw::{run_mw, run_mw_recorded, MwConfig, MwOutcome, MwProbeConfig};
 use sinr_coloring::palette::reduce_palette;
 use sinr_coloring::params::MwParams;
 use sinr_coloring::render::{render_svg, RenderOptions};
@@ -16,7 +17,8 @@ use sinr_mac::guard::theorem3_distance_factor;
 use sinr_mac::mp::{BfsLayers, Convergecast, Flooding};
 use sinr_mac::srs::{simulate_general_bundled, simulate_uniform};
 use sinr_mac::tdma::{broadcast_audit, TdmaSchedule};
-use sinr_model::{FastSinrModel, GraphModel, IdealModel, SinrConfig, SinrModel};
+use sinr_model::{FastSinrModel, GraphModel, IdealModel, InterferenceModel, SinrConfig, SinrModel};
+use sinr_obs::{FullRecorder, StderrSink};
 use sinr_radiosim::WakeupSchedule;
 use std::io::Write;
 
@@ -32,7 +34,12 @@ COMMANDS:
   info      --input FILE [--alpha A --beta B --rho R]
             print graph statistics for a placement
   color     --input FILE [--seed S] [--model sinr|sinr-fast|graph|ideal] [--distance D]
-            run the MW coloring; emit 'node color' per line on stdout
+            [--obs SPEC] run the MW coloring; emit 'node color' per line
+            on stdout
+  report    --input FILE [--seed S] [--model sinr|sinr-fast|graph|ideal]
+            [--thm1-stride K] [--ring CAP] [--obs SPEC]
+            run a fully observed MW coloring; emit the machine-readable
+            run report (docs/OBS_SCHEMA.md) as JSON on stdout
   reduce    --input FILE --colors FILE
             palette-reduce an existing proper coloring to Δ+1 colors
   schedule  --input FILE [--seed S]
@@ -49,6 +56,10 @@ COMMANDS:
 
 Physical options (all commands): --alpha (4), --beta (1.5), --rho (2);
 R_T is normalized to 1.
+
+Observability: SPEC is a comma-separated sink list — jsonl:PATH (event
+stream as JSON Lines), metrics:PATH (metrics registry dump), stderr
+(mirror events live). Schemas: docs/OBS_SCHEMA.md.
 ";
 
 fn physical_config(args: &Args) -> Result<SinrConfig, crate::CliError> {
@@ -114,6 +125,96 @@ pub fn info(args: &Args, out: &mut dyn Write) -> CliResult {
     Ok(())
 }
 
+/// How [`run_model`] drives a coloring: plain (no instrumentation) or
+/// recorded through a [`FullRecorder`] / [`StderrSink`].
+enum RunMode {
+    Plain,
+    Recorded {
+        stderr: bool,
+        ring: usize,
+        probes: MwProbeConfig,
+    },
+}
+
+/// Runs the MW coloring under a model named on the command line,
+/// optionally with full observability. Returns the recorder when `mode`
+/// asked for one.
+fn run_model(
+    graph: &UnitDiskGraph,
+    model: &str,
+    cfg: SinrConfig,
+    mw_cfg: &MwConfig,
+    mode: RunMode,
+) -> Result<(MwOutcome, Option<FullRecorder>), crate::CliError> {
+    fn go<M: InterferenceModel>(
+        graph: &UnitDiskGraph,
+        model: M,
+        mw_cfg: &MwConfig,
+        mode: RunMode,
+    ) -> (MwOutcome, Option<FullRecorder>) {
+        match mode {
+            RunMode::Plain => (
+                run_mw(graph, model, mw_cfg, WakeupSchedule::Synchronous),
+                None,
+            ),
+            RunMode::Recorded {
+                stderr: true,
+                ring,
+                probes,
+            } => {
+                let mut sink = StderrSink::with_ring_capacity(ring);
+                let out = run_mw_recorded(
+                    graph,
+                    model,
+                    mw_cfg,
+                    WakeupSchedule::Synchronous,
+                    probes,
+                    &mut sink,
+                );
+                (out, Some(sink.into_recorder()))
+            }
+            RunMode::Recorded {
+                stderr: false,
+                ring,
+                probes,
+            } => {
+                let mut rec = FullRecorder::with_ring_capacity(ring);
+                let out = run_mw_recorded(
+                    graph,
+                    model,
+                    mw_cfg,
+                    WakeupSchedule::Synchronous,
+                    probes,
+                    &mut rec,
+                );
+                (out, Some(rec))
+            }
+        }
+    }
+    match model {
+        "sinr" => Ok(go(graph, SinrModel::new(cfg), mw_cfg, mode)),
+        // Same tables as "sinr" (bit-identical), grid-tiled resolver.
+        "sinr-fast" => Ok(go(graph, FastSinrModel::new(cfg), mw_cfg, mode)),
+        "graph" => Ok(go(graph, GraphModel::new(), mw_cfg, mode)),
+        "ideal" => Ok(go(graph, IdealModel::new(), mw_cfg, mode)),
+        other => Err(err(format!("unknown model {other}"))),
+    }
+}
+
+/// The `--obs`-derived run mode shared by `color` and `report`.
+fn obs_mode(args: &Args, spec: Option<&ObsSpec>) -> Result<RunMode, crate::CliError> {
+    let ring: usize = args.get_parsed("ring", sinr_obs::recorder::DEFAULT_RING_CAPACITY)?;
+    let stride: u64 = args.get_parsed("thm1-stride", 1)?;
+    if stride == 0 {
+        return Err(err("--thm1-stride must be at least 1"));
+    }
+    Ok(RunMode::Recorded {
+        stderr: spec.is_some_and(|s| s.stderr),
+        ring,
+        probes: MwProbeConfig::default().with_thm1_stride(stride),
+    })
+}
+
 /// `color`: run the MW coloring and emit the assignment.
 pub fn color(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult {
     let cfg = physical_config(args)?;
@@ -121,11 +222,20 @@ pub fn color(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult
     let seed: u64 = args.get_parsed("seed", 0)?;
     let distance: f64 = args.get_parsed("distance", 1.0)?;
     let model = args.get("model").unwrap_or("sinr");
+    let spec = match args.get("obs") {
+        Some(s) => Some(ObsSpec::parse(s)?),
+        None => None,
+    };
 
     let (colors, slots, graph) = if (distance - 1.0).abs() > 1e-12 {
         if model != "sinr" {
             return Err(err(
                 "--distance > 1 requires the sinr model (power scaling)",
+            ));
+        }
+        if spec.is_some() {
+            return Err(err(
+                "--obs is not supported with --distance > 1; use the base coloring",
             ));
         }
         let result = color_at_distance(&pts, &cfg, distance, seed, WakeupSchedule::Synchronous);
@@ -139,34 +249,14 @@ pub fn color(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult
         let graph = UnitDiskGraph::new(pts.clone(), cfg.r_t());
         let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
         let mw_cfg = MwConfig::new(params).with_seed(seed);
-        let outcome = match model {
-            "sinr" => run_mw(
-                &graph,
-                SinrModel::new(cfg),
-                &mw_cfg,
-                WakeupSchedule::Synchronous,
-            ),
-            // Same tables as "sinr" (bit-identical), grid-tiled resolver.
-            "sinr-fast" => run_mw(
-                &graph,
-                FastSinrModel::new(cfg),
-                &mw_cfg,
-                WakeupSchedule::Synchronous,
-            ),
-            "graph" => run_mw(
-                &graph,
-                GraphModel::new(),
-                &mw_cfg,
-                WakeupSchedule::Synchronous,
-            ),
-            "ideal" => run_mw(
-                &graph,
-                IdealModel::new(),
-                &mw_cfg,
-                WakeupSchedule::Synchronous,
-            ),
-            other => return Err(err(format!("unknown model {other}"))),
+        let mode = match &spec {
+            Some(s) => obs_mode(args, Some(s))?,
+            None => RunMode::Plain,
         };
+        let (outcome, rec) = run_model(&graph, model, cfg, &mw_cfg, mode)?;
+        if let (Some(spec), Some(rec)) = (&spec, &rec) {
+            spec.write_outputs(rec)?;
+        }
         let colors = outcome
             .coloring
             .ok_or_else(|| err("coloring hit the slot cap"))?
@@ -193,6 +283,59 @@ pub fn color(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult
         Ok(())
     } else {
         Err(err(format!("{} coloring violations", violations.len())))
+    }
+}
+
+/// `report`: run a fully observed coloring and emit the run report.
+///
+/// Stdout carries exactly one JSON document (schema `run_report`,
+/// `docs/OBS_SCHEMA.md`); the human-readable summary goes to the log
+/// stream, so the output pipes straight into JSON tooling.
+pub fn report(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult {
+    let cfg = physical_config(args)?;
+    let pts = read_positions(args)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let model = args.get("model").unwrap_or("sinr-fast");
+    let spec = match args.get("obs") {
+        Some(s) => Some(ObsSpec::parse(s)?),
+        None => None,
+    };
+
+    let graph = UnitDiskGraph::new(pts, cfg.r_t());
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    let mw_cfg = MwConfig::new(params).with_seed(seed);
+    let mode = obs_mode(args, spec.as_ref())?;
+    let (outcome, rec) = run_model(&graph, model, cfg, &mw_cfg, mode)?;
+    let rec = rec.expect("report always records");
+    if let Some(spec) = &spec {
+        spec.write_outputs(&rec)?;
+    }
+
+    let reg = rec.registry();
+    let violations: u64 = [
+        sinr_obs::keys::PROBE_THM1_VIOLATIONS,
+        sinr_obs::keys::PROBE_LEMMA4_VIOLATIONS,
+        sinr_obs::keys::PROBE_LEMMA6_VIOLATIONS,
+        sinr_obs::keys::PROBE_LEMMA7_VIOLATIONS,
+    ]
+    .iter()
+    .map(|k| reg.counter(k).unwrap_or(0))
+    .sum();
+    writeln!(
+        log,
+        "observed {} nodes for {} slots; {} metrics; {} events ({} dropped); {} probe violations",
+        graph.len(),
+        outcome.slots,
+        reg.len(),
+        rec.events_recorded(),
+        rec.events_dropped(),
+        violations
+    )?;
+    writeln!(out, "{}", run_report(model, seed, &outcome, &rec))?;
+    if outcome.all_done {
+        Ok(())
+    } else {
+        Err(err("coloring hit the slot cap"))
     }
 }
 
@@ -395,6 +538,7 @@ pub fn dispatch(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliRes
         "generate" => generate(args, out),
         "info" => info(args, out),
         "color" => color(args, out, log),
+        "report" => report(args, out, log),
         "reduce" => reduce(args, out, log),
         "schedule" => schedule(args, out, log),
         "render" => render(args, out),
@@ -611,6 +755,94 @@ mod tests {
         let f = tmp_positions(10);
         let (r, _, _) = run(&["color", "--input", f.path(), "--model", "psychic"]);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn color_obs_writes_jsonl_and_metrics_files() {
+        let f = tmp_positions(20);
+        let jf = tempfile::write(b"");
+        let mf = tempfile::write(b"");
+        let spec = format!("jsonl:{},metrics:{}", jf.path(), mf.path());
+        let (r, out, log) = run(&["color", "--input", f.path(), "--seed", "1", "--obs", &spec]);
+        assert!(r.is_ok(), "{log}");
+        assert_eq!(crate::io::parse_assignment(&out, 20).unwrap().len(), 20);
+
+        let jsonl = std::fs::read_to_string(jf.path()).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(
+                sinr_obs::json::parse_flat_object(line).is_some(),
+                "JSONL line parses: {line}"
+            );
+        }
+        let metrics = std::fs::read_to_string(mf.path()).unwrap();
+        assert!(metrics.starts_with("{\"schema_version\":1,\"kind\":\"metrics\""));
+        assert!(metrics.contains("\"sim.slots\""));
+    }
+
+    #[test]
+    fn color_obs_matches_unobserved_run() {
+        let f = tmp_positions(20);
+        let mf = tempfile::write(b"");
+        let spec = format!("metrics:{}", mf.path());
+        let (r1, plain, _) = run(&["color", "--input", f.path(), "--seed", "4"]);
+        let (r2, observed, _) = run(&["color", "--input", f.path(), "--seed", "4", "--obs", &spec]);
+        assert!(r1.is_ok() && r2.is_ok());
+        assert_eq!(plain, observed, "recording must not perturb the run");
+    }
+
+    #[test]
+    fn color_rejects_bad_obs_spec_and_distance_combo() {
+        let f = tmp_positions(10);
+        let (r, _, _) = run(&["color", "--input", f.path(), "--obs", "csv:x"]);
+        assert!(r.is_err());
+        let (r, _, _) = run(&[
+            "color",
+            "--input",
+            f.path(),
+            "--distance",
+            "2",
+            "--obs",
+            "stderr",
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn report_emits_schema_documented_json() {
+        let f = tmp_positions(20);
+        let (r, out, log) = run(&["report", "--input", f.path(), "--seed", "2"]);
+        assert!(r.is_ok(), "{log}");
+        let doc = out.trim();
+        assert!(doc.starts_with("{\"schema_version\":1,\"kind\":\"run_report\","));
+        assert!(doc.contains("\"run\":{\"nodes\":20,\"model\":\"sinr-fast\",\"seed\":2,"));
+        assert!(doc.contains("\"metrics\":{"));
+        // The paper's invariants hold on every e2e run: all probes quiet.
+        assert!(doc.contains(
+            "\"probes\":{\"thm1_violations\":0,\"lemma4_violations\":0,\
+             \"lemma6_violations\":0,\"lemma7_violations\":0}"
+        ));
+        assert!(doc.contains("\"events\":{\"recorded\":"));
+        assert!(doc.ends_with('}'));
+        assert!(log.contains("0 probe violations"));
+    }
+
+    #[test]
+    fn report_honors_ring_and_stride_options() {
+        let f = tmp_positions(15);
+        let (r, out, _) = run(&[
+            "report",
+            "--input",
+            f.path(),
+            "--ring",
+            "8",
+            "--thm1-stride",
+            "16",
+        ]);
+        assert!(r.is_ok());
+        assert!(out.contains("\"capacity\":8"));
+        let (r, _, _) = run(&["report", "--input", f.path(), "--thm1-stride", "0"]);
+        assert!(r.is_err(), "stride 0 is rejected");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! * [`args`] — hand-rolled flag parsing (`--key value` pairs).
 //! * [`io`] — the plain-text position/color file formats.
 //! * [`commands`] — one function per subcommand.
+//! * [`obs`] — the `--obs` sink spec and the machine-readable run report.
 //!
 //! # File formats
 //!
@@ -17,6 +18,7 @@
 pub mod args;
 pub mod commands;
 pub mod io;
+pub mod obs;
 
 /// Exit status of a subcommand (0 = success).
 pub type CliResult = Result<(), CliError>;

@@ -1,0 +1,180 @@
+//! The `--obs` output specification and the machine-readable run report.
+//!
+//! The spec grammar is a comma-separated list of sinks:
+//!
+//! ```text
+//! --obs jsonl:trace.jsonl,metrics:metrics.json,stderr
+//! ```
+//!
+//! * `jsonl:PATH` — write the recorded event stream as JSON Lines.
+//! * `metrics:PATH` — write the metrics registry dump.
+//! * `stderr` — additionally mirror events to stderr as they happen.
+//!
+//! Both file sinks follow the schemas in `docs/OBS_SCHEMA.md`.
+
+use crate::{err, CliError};
+use sinr_coloring::mw::MwOutcome;
+use sinr_obs::json::push_f64;
+use sinr_obs::{keys, FullRecorder, OBS_SCHEMA_VERSION};
+
+/// Parsed `--obs` specification: which sinks to feed during a recorded run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsSpec {
+    /// Write the event stream to this path as JSON Lines.
+    pub jsonl: Option<String>,
+    /// Write the metrics registry dump to this path.
+    pub metrics: Option<String>,
+    /// Mirror events to stderr as they are recorded.
+    pub stderr: bool,
+}
+
+impl ObsSpec {
+    /// Parses a comma-separated sink list (`jsonl:PATH`, `metrics:PATH`,
+    /// `stderr`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown sink kinds, missing paths, or duplicate sinks.
+    pub fn parse(spec: &str) -> Result<ObsSpec, CliError> {
+        let mut out = ObsSpec::default();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                return Err(err("empty sink in --obs spec"));
+            }
+            match item.split_once(':') {
+                Some(("jsonl", path)) if !path.is_empty() => {
+                    if out.jsonl.replace(path.to_string()).is_some() {
+                        return Err(err("duplicate jsonl sink in --obs spec"));
+                    }
+                }
+                Some(("metrics", path)) if !path.is_empty() => {
+                    if out.metrics.replace(path.to_string()).is_some() {
+                        return Err(err("duplicate metrics sink in --obs spec"));
+                    }
+                }
+                None if item == "stderr" => out.stderr = true,
+                _ => {
+                    return Err(err(format!(
+                        "bad --obs sink {item:?}: expected jsonl:PATH, metrics:PATH, or stderr"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes the configured file sinks from a finished recorder.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a file cannot be written.
+    pub fn write_outputs(&self, rec: &FullRecorder) -> Result<(), CliError> {
+        if let Some(path) = &self.jsonl {
+            std::fs::write(path, rec.jsonl_string())
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, rec.metrics_json())
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(x) => out.push_str(&x.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+/// Renders the `run_report` JSON document (`docs/OBS_SCHEMA.md`): run
+/// summary, full metrics registry, probe verdicts, and event-stream
+/// accounting, in one self-describing object.
+pub fn run_report(model: &str, seed: u64, out: &MwOutcome, rec: &FullRecorder) -> String {
+    let reg = rec.registry();
+    let mut s = String::with_capacity(1024);
+    s.push_str(&format!(
+        "{{\"schema_version\":{OBS_SCHEMA_VERSION},\"kind\":\"run_report\","
+    ));
+
+    s.push_str(&format!(
+        "\"run\":{{\"nodes\":{},\"model\":\"{model}\",\"seed\":{seed},\"all_done\":{},\
+         \"slots\":{},\"colors_used\":{},\"palette\":{},\"leaders\":{},",
+        out.node_reports.len(),
+        out.all_done,
+        out.slots,
+        out.colors_used,
+        out.palette,
+        out.leaders,
+    ));
+    s.push_str("\"max_latency\":");
+    push_opt_u64(&mut s, out.max_latency);
+    s.push_str(",\"mean_latency\":");
+    match out.mean_latency {
+        Some(m) => push_f64(&mut s, m),
+        None => s.push_str("null"),
+    }
+    s.push_str("},");
+
+    s.push_str("\"metrics\":");
+    s.push_str(&reg.to_json());
+    s.push(',');
+
+    let probe = |key: &str| reg.counter(key).unwrap_or(0);
+    s.push_str(&format!(
+        "\"probes\":{{\"thm1_violations\":{},\"lemma4_violations\":{},\
+         \"lemma6_violations\":{},\"lemma7_violations\":{}}},",
+        probe(keys::PROBE_THM1_VIOLATIONS),
+        probe(keys::PROBE_LEMMA4_VIOLATIONS),
+        probe(keys::PROBE_LEMMA6_VIOLATIONS),
+        probe(keys::PROBE_LEMMA7_VIOLATIONS),
+    ));
+
+    s.push_str(&format!(
+        "\"events\":{{\"recorded\":{},\"dropped\":{},\"capacity\":{}}}}}",
+        rec.events_recorded(),
+        rec.events_dropped(),
+        rec.ring_capacity(),
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let s = ObsSpec::parse("jsonl:/tmp/t.jsonl,metrics:/tmp/m.json,stderr").unwrap();
+        assert_eq!(s.jsonl.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(s.metrics.as_deref(), Some("/tmp/m.json"));
+        assert!(s.stderr);
+    }
+
+    #[test]
+    fn parses_single_sink() {
+        let s = ObsSpec::parse("metrics:out.json").unwrap();
+        assert_eq!(s.metrics.as_deref(), Some("out.json"));
+        assert!(s.jsonl.is_none());
+        assert!(!s.stderr);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(ObsSpec::parse("").is_err());
+        assert!(ObsSpec::parse("jsonl:").is_err());
+        assert!(ObsSpec::parse("csv:file").is_err());
+        assert!(ObsSpec::parse("stderr:loud").is_err());
+        assert!(ObsSpec::parse("jsonl:a,jsonl:b").is_err());
+        assert!(ObsSpec::parse("metrics:a,,stderr").is_err());
+    }
+
+    #[test]
+    fn paths_may_contain_colons_after_the_kind() {
+        // Windows-style or URL-ish paths keep everything after the first ':'.
+        let s = ObsSpec::parse("jsonl:C:/tmp/t.jsonl").unwrap();
+        assert_eq!(s.jsonl.as_deref(), Some("C:/tmp/t.jsonl"));
+    }
+}

@@ -20,8 +20,13 @@
 
 pub mod messages;
 pub mod node;
+pub mod obs;
 pub mod run;
 
 pub use messages::MwMessage;
 pub use node::{MwNode, MwPhase};
-pub use run::{run_mw, run_mw_local_delta, run_mw_observed, run_mw_per_node, MwConfig, MwOutcome};
+pub use obs::{MwProbeConfig, MwProbes};
+pub use run::{
+    run_mw, run_mw_local_delta, run_mw_observed, run_mw_per_node, run_mw_recorded, MwConfig,
+    MwOutcome,
+};

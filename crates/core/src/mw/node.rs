@@ -170,6 +170,13 @@ impl MwNode {
         self.resets
     }
 
+    /// The current competition counter `c_v` (meaningful while the node is
+    /// in `Compete`; exposed for the observability layer's counter-reset
+    /// annotations).
+    pub fn counter(&self) -> i64 {
+        self.counter
+    }
+
     /// Slots spent in each phase kind, indexed by
     /// [`MwPhase::kind_index`] / named by [`MwPhase::KIND_NAMES`] —
     /// the decomposition of the node's running time.

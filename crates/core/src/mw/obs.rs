@@ -1,0 +1,339 @@
+//! Runtime invariant probes: the paper's claims, checked while a run is
+//! in flight.
+//!
+//! Each probe maps to one statement of the paper and records its findings
+//! as first-class metrics — **never panics** — so a violated claim shows up
+//! as a nonzero `probe.*.violations` counter (plus a structured
+//! [`ObsEvent::Violation`] in the event stream) that CI and the bench
+//! reports can diff:
+//!
+//! | probe | claim | check |
+//! |-------|-------|-------|
+//! | `thm1_independence` | Theorem 1: every color class is independent at every slot | decided colors of adjacent nodes differ (incremental on decide + full sweep every [`MwProbeConfig::thm1_stride`] slots) |
+//! | `lemma4_levels` | Lemma 4: a node enters at most `φ(2R_T) + 1` levels | `levels_entered ≤ spread + 1` per node |
+//! | `lemma6_a_residency` | Lemmas 5–6: bounded time in the `A_i` states | per-node `listen + compete` slots against a 4× whp budget |
+//! | `lemma7_r_residency` | Lemma 7: bounded time in the request state `R` | per-node `request` slots against a 4× whp budget |
+//!
+//! The phase tracker additionally streams MW state transitions
+//! (`A_i → R → C_j`, with levels) and `χ(P_v)` counter resets as
+//! [`ObsEvent::Phase`] / [`ObsEvent::Note`] events — the spanned,
+//! phase-aware trace `docs/OBSERVABILITY.md` documents.
+
+use crate::mw::node::{MwNode, MwPhase};
+use crate::params::MwParams;
+use sinr_model::InterferenceModel;
+use sinr_obs::{keys, ObsEvent, Recorder};
+use sinr_radiosim::{Simulator, StepView};
+
+/// Probe identifier used in `thm1` violation events.
+pub const PROBE_THM1: &str = "thm1_independence";
+/// Probe identifier used in Lemma-4 violation events.
+pub const PROBE_LEMMA4: &str = "lemma4_levels";
+/// Probe identifier used in Lemma-6 violation events.
+pub const PROBE_LEMMA6: &str = "lemma6_a_residency";
+/// Probe identifier used in Lemma-7 violation events.
+pub const PROBE_LEMMA7: &str = "lemma7_r_residency";
+
+/// Which probes run, and how often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MwProbeConfig {
+    /// Full Theorem-1 independence sweep every this many slots; `0`
+    /// disables the sweep (the cheap incremental check on newly decided
+    /// nodes still runs whenever tracking is enabled).
+    pub thm1_stride: u64,
+    /// Stream `Phase`/`Note` events for MW state transitions and counter
+    /// resets (O(n) scan per slot).
+    pub track_phases: bool,
+    /// Account per-state residency against the Lemma-6/7 budgets at end of
+    /// run.
+    pub residency: bool,
+}
+
+impl Default for MwProbeConfig {
+    /// Everything on, independence sweep every slot (stride 1) — the
+    /// configuration the e2e tests assert zero violations under.
+    fn default() -> Self {
+        MwProbeConfig {
+            thm1_stride: 1,
+            track_phases: true,
+            residency: true,
+        }
+    }
+}
+
+impl MwProbeConfig {
+    /// All probes off (pure engine-event recording).
+    pub fn disabled() -> Self {
+        MwProbeConfig {
+            thm1_stride: 0,
+            track_phases: false,
+            residency: false,
+        }
+    }
+
+    /// Sets the Theorem-1 sweep stride (`0` disables the sweep).
+    pub fn with_thm1_stride(mut self, stride: u64) -> Self {
+        self.thm1_stride = stride;
+        self
+    }
+}
+
+/// Per-run probe state; drive with [`MwProbes::observe`] every slot and
+/// [`MwProbes::finalize`] once after the run (both are cheap no-ops when
+/// the recorder is disabled).
+#[derive(Debug, Clone)]
+pub struct MwProbes {
+    cfg: MwProbeConfig,
+    spread: usize,
+    /// 4× the per-node whp budget for total `A_i` (listen + compete)
+    /// residency: Lemma 6's `O(σΔ ln n)` per level, summed over the at
+    /// most `spread + 1` levels of Lemma 4.
+    lemma6_budget: u64,
+    /// 4× the per-node whp budget for `R` residency: Lemma 7's grant-wait
+    /// of at most `Δ` grant windows of `⌈μ ln n⌉` slots each.
+    lemma7_budget: u64,
+    /// Last observed `(phase kind, level, resets)` per node, for
+    /// transition diffing.
+    prev: Vec<(usize, i64, u32)>,
+}
+
+/// The protocol level of a phase, `−1` where levels do not apply (`R`).
+fn phase_level(p: &MwPhase) -> i64 {
+    match p {
+        MwPhase::Listen { level, .. } | MwPhase::Compete { level } | MwPhase::Colored { level } => {
+            *level as i64
+        }
+        MwPhase::Leader => 0,
+        MwPhase::Request { .. } => -1,
+    }
+}
+
+impl MwProbes {
+    /// Probes for a run of `n` nodes under `params`.
+    pub fn new(n: usize, params: &MwParams, cfg: MwProbeConfig) -> Self {
+        let per_level = params.listen_slots() + 3 * params.counter_threshold().max(1) as u64;
+        let request = params.delta as u64 * params.response_slots().max(1);
+        MwProbes {
+            cfg,
+            spread: params.spread,
+            lemma6_budget: 4 * (params.spread as u64 + 1) * per_level,
+            lemma7_budget: 4 * request,
+            prev: vec![(0, 0, 0); n],
+        }
+    }
+
+    /// The configuration the probes run under.
+    pub fn config(&self) -> &MwProbeConfig {
+        &self.cfg
+    }
+
+    /// Per-slot hook: phase-transition tracing, counter-reset notes, and
+    /// the Theorem-1 independence checks.
+    pub fn observe<M: InterferenceModel>(
+        &mut self,
+        sim: &Simulator<MwNode, M>,
+        view: &StepView,
+        rec: &mut dyn Recorder,
+    ) {
+        if !rec.enabled() {
+            return;
+        }
+        let slot = view.slot;
+
+        if self.cfg.track_phases {
+            for (v, node) in sim.nodes().iter().enumerate() {
+                let kind = node.phase().kind_index();
+                let level = phase_level(node.phase());
+                let resets = node.resets();
+                let (pk, pl, pr) = self.prev[v];
+                if kind != pk || level != pl {
+                    rec.counter_add(keys::MW_PHASE_TRANSITIONS, 1);
+                    rec.event(
+                        slot,
+                        &ObsEvent::Phase {
+                            node: v,
+                            from: MwPhase::KIND_NAMES[pk],
+                            to: MwPhase::KIND_NAMES[kind],
+                            level,
+                        },
+                    );
+                }
+                if resets != pr {
+                    rec.counter_add(keys::MW_COUNTER_RESETS, u64::from(resets - pr));
+                    rec.event(
+                        slot,
+                        &ObsEvent::Note {
+                            name: "counter_reset",
+                            node: v,
+                            value: node.counter(),
+                        },
+                    );
+                }
+                self.prev[v] = (kind, level, resets);
+            }
+        }
+
+        if self.cfg.thm1_stride > 0 {
+            // Colors are final once decided, so independence can only break
+            // the slot a node decides: check each newly decided node against
+            // its neighbors every slot (O(deg) amortized)…
+            for &v in &view.newly_done {
+                if let Some(c) = sim.nodes()[v].color() {
+                    for &w in sim.graph().neighbors(v) {
+                        if w != v && sim.nodes()[w].color() == Some(c) {
+                            self.thm1_violation(slot, v, c, rec);
+                        }
+                    }
+                }
+            }
+            // …and corroborate with a full sweep at the configured stride.
+            if slot.is_multiple_of(self.cfg.thm1_stride) {
+                self.thm1_sweep(sim, slot, rec);
+            }
+        }
+    }
+
+    /// One full Theorem-1 sweep: every decided node against every decided
+    /// neighbor (each unordered pair checked once).
+    fn thm1_sweep<M: InterferenceModel>(
+        &self,
+        sim: &Simulator<MwNode, M>,
+        slot: u64,
+        rec: &mut dyn Recorder,
+    ) {
+        rec.counter_add(keys::PROBE_THM1_CHECKS, 1);
+        let graph = sim.graph();
+        for v in 0..graph.len() {
+            if let Some(c) = sim.nodes()[v].color() {
+                for &w in graph.neighbors(v) {
+                    if w > v && sim.nodes()[w].color() == Some(c) {
+                        self.thm1_violation(slot, v, c, rec);
+                    }
+                }
+            }
+        }
+    }
+
+    fn thm1_violation(&self, slot: u64, node: usize, color: usize, rec: &mut dyn Recorder) {
+        rec.counter_add(keys::PROBE_THM1_VIOLATIONS, 1);
+        rec.event(
+            slot,
+            &ObsEvent::Violation {
+                probe: PROBE_THM1,
+                node,
+                detail: color as i64,
+            },
+        );
+    }
+
+    /// End-of-run hook: Lemma-4 level accounting, Lemma-6/7 residency
+    /// accounting, and the `mw.*` aggregates.
+    pub fn finalize<M: InterferenceModel>(
+        &mut self,
+        sim: &Simulator<MwNode, M>,
+        rec: &mut dyn Recorder,
+    ) {
+        if !rec.enabled() {
+            return;
+        }
+        let slot = sim.current_slot();
+        let mut residency = [0u64; 5];
+        let mut max_a = 0u64;
+        let mut max_r = 0u64;
+        let mut max_levels = 0u32;
+
+        for (v, node) in sim.nodes().iter().enumerate() {
+            let levels = node.levels_entered();
+            max_levels = max_levels.max(levels);
+            rec.counter_add(keys::PROBE_LEMMA4_CHECKS, 1);
+            if levels as u64 > self.spread as u64 + 1 {
+                rec.counter_add(keys::PROBE_LEMMA4_VIOLATIONS, 1);
+                rec.event(
+                    slot,
+                    &ObsEvent::Violation {
+                        probe: PROBE_LEMMA4,
+                        node: v,
+                        detail: i64::from(levels),
+                    },
+                );
+            }
+
+            if self.cfg.residency {
+                let ps = node.phase_slots();
+                for (total, spent) in residency.iter_mut().zip(ps) {
+                    *total += spent;
+                }
+                let a = ps[0] + ps[1];
+                let r = ps[2];
+                max_a = max_a.max(a);
+                max_r = max_r.max(r);
+                rec.counter_add(keys::PROBE_LEMMA6_CHECKS, 1);
+                if a > self.lemma6_budget {
+                    rec.counter_add(keys::PROBE_LEMMA6_VIOLATIONS, 1);
+                    rec.event(
+                        slot,
+                        &ObsEvent::Violation {
+                            probe: PROBE_LEMMA6,
+                            node: v,
+                            detail: a as i64,
+                        },
+                    );
+                }
+                rec.counter_add(keys::PROBE_LEMMA7_CHECKS, 1);
+                if r > self.lemma7_budget {
+                    rec.counter_add(keys::PROBE_LEMMA7_VIOLATIONS, 1);
+                    rec.event(
+                        slot,
+                        &ObsEvent::Violation {
+                            probe: PROBE_LEMMA7,
+                            node: v,
+                            detail: r as i64,
+                        },
+                    );
+                }
+            }
+        }
+
+        rec.gauge_set(keys::MW_LEVELS_ENTERED_MAX, f64::from(max_levels));
+        if self.cfg.residency {
+            rec.counter_add(keys::MW_RESIDENCY_LISTEN, residency[0]);
+            rec.counter_add(keys::MW_RESIDENCY_COMPETE, residency[1]);
+            rec.counter_add(keys::MW_RESIDENCY_REQUEST, residency[2]);
+            rec.counter_add(keys::MW_RESIDENCY_LEADER, residency[3]);
+            rec.counter_add(keys::MW_RESIDENCY_COLORED, residency[4]);
+            rec.gauge_set(keys::PROBE_LEMMA6_MAX_SLOTS, max_a as f64);
+            rec.gauge_set(keys::PROBE_LEMMA7_MAX_SLOTS, max_r as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_levels_follow_the_paper_indexing() {
+        assert_eq!(
+            phase_level(&MwPhase::Listen {
+                level: 3,
+                remaining: 5
+            }),
+            3
+        );
+        assert_eq!(phase_level(&MwPhase::Compete { level: 2 }), 2);
+        assert_eq!(phase_level(&MwPhase::Request { leader: 0 }), -1);
+        assert_eq!(phase_level(&MwPhase::Leader), 0);
+        assert_eq!(phase_level(&MwPhase::Colored { level: 7 }), 7);
+    }
+
+    #[test]
+    fn default_config_sweeps_every_slot() {
+        let cfg = MwProbeConfig::default();
+        assert_eq!(cfg.thm1_stride, 1);
+        assert!(cfg.track_phases);
+        assert!(cfg.residency);
+        let off = MwProbeConfig::disabled().with_thm1_stride(8);
+        assert_eq!(off.thm1_stride, 8);
+        assert!(!off.track_phases);
+    }
+}

@@ -1,10 +1,13 @@
 //! Driver: runs the MW automaton on a graph under any interference model.
 
 use crate::mw::node::MwNode;
+use crate::mw::obs::{MwProbeConfig, MwProbes};
 use crate::params::MwParams;
 use sinr_geometry::greedy::Coloring;
 use sinr_geometry::UnitDiskGraph;
-use sinr_model::InterferenceModel;
+use sinr_model::{InterferenceModel, ResolverStats};
+use sinr_obs::Recorder;
+use sinr_radiosim::engine::RunOutcome;
 use sinr_radiosim::{Simulator, StepView, WakeupSchedule};
 
 /// Run configuration for [`run_mw`].
@@ -87,6 +90,9 @@ pub struct MwOutcome {
     /// [`EnergyModel`](sinr_radiosim::energy::EnergyModel) for energy
     /// figures).
     pub stats: sinr_radiosim::SimStats,
+    /// Cumulative fast-path counters of the interference resolver, if the
+    /// model tracks them (read once at end of run).
+    pub resolver: Option<ResolverStats>,
     /// Per-node protocol diagnostics.
     pub node_reports: Vec<NodeReport>,
 }
@@ -111,6 +117,12 @@ pub struct NodeReport {
 }
 
 impl MwOutcome {
+    /// Fast-path hit rate of the resolver, if tracked (see
+    /// [`ResolverStats::hit_rate`]).
+    pub fn resolver_hit_rate(&self) -> Option<f64> {
+        self.resolver.as_ref().and_then(ResolverStats::hit_rate)
+    }
+
     /// Cluster sizes: for each leader, how many nodes joined it (the
     /// leader itself excluded). Sorted by leader id.
     pub fn cluster_sizes(&self) -> Vec<(sinr_geometry::NodeId, usize)> {
@@ -217,7 +229,44 @@ where
         MwNode::new(id, p)
     });
     let run = sim.run_observed(config.slot_cap(), observe);
+    package_outcome(&sim, run)
+}
 
+/// Like [`run_mw`], but with full observability: engine events stream into
+/// `rec`, the [`MwProbes`] check the paper's invariants per `probe_cfg`,
+/// and the run's aggregate metrics (`sim.*`, `resolver.*`, `mw.*`,
+/// `probe.*`) are exported into the recorder at the end. With a disabled
+/// recorder this degrades to [`run_mw`] plus one virtual call per slot.
+///
+/// # Panics
+///
+/// Panics if the parameters fail
+/// [`validate`](crate::params::MwParams::validate).
+pub fn run_mw_recorded<M: InterferenceModel>(
+    graph: &UnitDiskGraph,
+    model: M,
+    config: &MwConfig,
+    schedule: WakeupSchedule,
+    probe_cfg: MwProbeConfig,
+    rec: &mut dyn Recorder,
+) -> MwOutcome {
+    config.params.validate().expect("invalid MW parameters");
+    let params = config.params;
+    let mut sim = Simulator::new(graph.clone(), model, schedule, config.seed, |id| {
+        MwNode::new(id, params)
+    });
+    let mut probes = MwProbes::new(graph.len(), &params, probe_cfg);
+    let run = sim.run_recorded(config.slot_cap(), rec, |sim, view, rec| {
+        probes.observe(sim, view, rec)
+    });
+    probes.finalize(&sim, rec);
+    sim.export_metrics(rec);
+    package_outcome(&sim, run)
+}
+
+/// Extracts the coloring, latency figures, and diagnostics from a finished
+/// simulator — shared by every driver entry point.
+fn package_outcome<M: InterferenceModel>(sim: &Simulator<MwNode, M>, run: RunOutcome) -> MwOutcome {
     let colors: Vec<Option<usize>> = sim.nodes().iter().map(MwNode::color).collect();
     let coloring = colors
         .iter()
@@ -254,6 +303,7 @@ where
         receptions: sim.stats().receptions,
         leaders,
         stats: sim.stats().clone(),
+        resolver: sim.model().resolver_stats(),
         node_reports,
     }
 }

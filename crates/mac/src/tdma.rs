@@ -101,6 +101,20 @@ impl BroadcastAudit {
     pub fn is_interference_free(&self) -> bool {
         self.links_delivered == self.links_attempted
     }
+
+    /// Exports the audit as Theorem-3 probe metrics (`probe.thm3.*`): the
+    /// audited link count, failed links as violations, and the link
+    /// success rate — same violations-as-metrics discipline as the MW
+    /// probes.
+    pub fn export_into(&self, rec: &mut dyn sinr_obs::Recorder) {
+        use sinr_obs::keys;
+        rec.counter_add(keys::PROBE_THM3_LINKS, self.links_attempted);
+        rec.counter_add(
+            keys::PROBE_THM3_VIOLATIONS,
+            self.links_attempted - self.links_delivered,
+        );
+        rec.gauge_set(keys::PROBE_THM3_LINK_SUCCESS_RATE, self.link_success_rate());
+    }
 }
 
 /// Runs one TDMA frame under the SINR model: in slot `t` all nodes with
@@ -263,6 +277,23 @@ mod tests {
             audit.broadcasters,
             (0..25).filter(|&v| g.degree(v) > 0).count()
         );
+    }
+
+    #[test]
+    fn audit_exports_thm3_probe_metrics() {
+        let audit = BroadcastAudit {
+            links_attempted: 10,
+            links_delivered: 8,
+            full_broadcasts: 3,
+            broadcasters: 5,
+        };
+        let mut rec = sinr_obs::FullRecorder::new();
+        audit.export_into(&mut rec);
+        let reg = rec.registry();
+        assert_eq!(reg.counter("probe.thm3.links"), Some(10));
+        assert_eq!(reg.counter("probe.thm3.violations"), Some(2));
+        let rate = reg.gauge("probe.thm3.link_success_rate").unwrap();
+        assert!((rate - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Structured observability events.
+//!
+//! [`ObsEvent`] extends the engine's debug trace vocabulary
+//! (wake/transmit/receive/done) with the phase-aware records the paper's
+//! analysis talks about: MW state transitions `A_i → R → C_j` with the
+//! level they happen at, probe violations (Theorems 1 & 3, Lemmas 4–7),
+//! and free-form per-node annotations such as competition-counter resets.
+//! Each event serializes to one flat JSONL object (`docs/OBS_SCHEMA.md`).
+
+use crate::json::push_str_escaped;
+use std::fmt::Write as _;
+
+/// One structured event, recorded at a slot.
+///
+/// Name fields (`from`/`to`/`probe`/`name`) are `&'static str` drawn from
+/// small fixed vocabularies defined by the emitting crate (e.g. the MW
+/// phase kind names), which keeps events `Copy` and emission
+/// allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// Node woke up.
+    Wake {
+        /// The node that woke.
+        node: usize,
+    },
+    /// Node transmitted.
+    Transmit {
+        /// The transmitting node.
+        node: usize,
+    },
+    /// `receiver` decoded a message from `sender`.
+    Receive {
+        /// The node that heard the message.
+        receiver: usize,
+        /// The node whose message was decoded.
+        sender: usize,
+    },
+    /// Node reported `is_done()` for the first time.
+    Done {
+        /// The node that decided.
+        node: usize,
+    },
+    /// A protocol-state transition (for MW: `listen`, `compete`,
+    /// `request`, `leader`, `colored`).
+    Phase {
+        /// The node that changed state.
+        node: usize,
+        /// State being left.
+        from: &'static str,
+        /// State being entered.
+        to: &'static str,
+        /// Protocol level of the new state (MW color-layer index `i` of
+        /// `A_i`/`C_i`), or −1 where levels do not apply.
+        level: i64,
+    },
+    /// An invariant probe observed a violation of a paper claim.
+    Violation {
+        /// Probe identifier (e.g. `thm1_independence`, `lemma4_levels`).
+        probe: &'static str,
+        /// The offending node.
+        node: usize,
+        /// Probe-specific detail (e.g. the clashing color).
+        detail: i64,
+    },
+    /// A named per-node annotation (e.g. `counter_reset` with the value
+    /// the competition counter restarted from).
+    Note {
+        /// Annotation name.
+        name: &'static str,
+        /// The node annotated.
+        node: usize,
+        /// Annotation value.
+        value: i64,
+    },
+}
+
+impl ObsEvent {
+    /// The event's `type` tag as it appears in JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::Wake { .. } => "wake",
+            ObsEvent::Transmit { .. } => "transmit",
+            ObsEvent::Receive { .. } => "receive",
+            ObsEvent::Done { .. } => "done",
+            ObsEvent::Phase { .. } => "phase",
+            ObsEvent::Violation { .. } => "violation",
+            ObsEvent::Note { .. } => "note",
+        }
+    }
+
+    /// Appends the event as one JSONL line (no trailing newline) to `out`.
+    pub fn jsonl_into(&self, slot: u64, out: &mut String) {
+        let _ = write!(out, "{{\"slot\":{slot},\"type\":\"{}\"", self.kind());
+        match self {
+            ObsEvent::Wake { node } | ObsEvent::Transmit { node } | ObsEvent::Done { node } => {
+                let _ = write!(out, ",\"node\":{node}");
+            }
+            ObsEvent::Receive { receiver, sender } => {
+                let _ = write!(out, ",\"receiver\":{receiver},\"sender\":{sender}");
+            }
+            ObsEvent::Phase {
+                node,
+                from,
+                to,
+                level,
+            } => {
+                let _ = write!(out, ",\"node\":{node},\"from\":");
+                push_str_escaped(out, from);
+                out.push_str(",\"to\":");
+                push_str_escaped(out, to);
+                let _ = write!(out, ",\"level\":{level}");
+            }
+            ObsEvent::Violation {
+                probe,
+                node,
+                detail,
+            } => {
+                out.push_str(",\"probe\":");
+                push_str_escaped(out, probe);
+                let _ = write!(out, ",\"node\":{node},\"detail\":{detail}");
+            }
+            ObsEvent::Note { name, node, value } => {
+                out.push_str(",\"name\":");
+                push_str_escaped(out, name);
+                let _ = write!(out, ",\"node\":{node},\"value\":{value}");
+            }
+        }
+        out.push('}');
+    }
+
+    /// The event as one JSONL line (no trailing newline).
+    pub fn jsonl(&self, slot: u64) -> String {
+        let mut out = String::new();
+        self.jsonl_into(slot, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_flat_object, render_flat_object, JsonValue};
+
+    fn samples() -> Vec<(u64, ObsEvent)> {
+        vec![
+            (0, ObsEvent::Wake { node: 1 }),
+            (3, ObsEvent::Transmit { node: 2 }),
+            (
+                3,
+                ObsEvent::Receive {
+                    receiver: 0,
+                    sender: 2,
+                },
+            ),
+            (9, ObsEvent::Done { node: 2 }),
+            (
+                5,
+                ObsEvent::Phase {
+                    node: 4,
+                    from: "listen",
+                    to: "compete",
+                    level: 2,
+                },
+            ),
+            (
+                6,
+                ObsEvent::Violation {
+                    probe: "thm1_independence",
+                    node: 7,
+                    detail: 3,
+                },
+            ),
+            (
+                7,
+                ObsEvent::Note {
+                    name: "counter_reset",
+                    node: 7,
+                    value: -4,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_match_schema() {
+        let lines: Vec<String> = samples().iter().map(|(s, e)| e.jsonl(*s)).collect();
+        assert_eq!(lines[0], r#"{"slot":0,"type":"wake","node":1}"#);
+        assert_eq!(
+            lines[2],
+            r#"{"slot":3,"type":"receive","receiver":0,"sender":2}"#
+        );
+        assert_eq!(
+            lines[4],
+            r#"{"slot":5,"type":"phase","node":4,"from":"listen","to":"compete","level":2}"#
+        );
+        assert_eq!(
+            lines[5],
+            r#"{"slot":6,"type":"violation","probe":"thm1_independence","node":7,"detail":3}"#
+        );
+        assert_eq!(
+            lines[6],
+            r#"{"slot":7,"type":"note","name":"counter_reset","node":7,"value":-4}"#
+        );
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_the_parser() {
+        for (slot, event) in samples() {
+            let line = event.jsonl(slot);
+            let fields =
+                parse_flat_object(&line).unwrap_or_else(|| panic!("line must parse: {line}"));
+            assert_eq!(
+                fields[0],
+                ("slot".to_string(), JsonValue::Int(slot as i64)),
+                "slot field leads every line"
+            );
+            assert_eq!(
+                fields[1],
+                ("type".to_string(), JsonValue::Str(event.kind().to_string()))
+            );
+            assert_eq!(render_flat_object(&fields), line, "byte-exact round-trip");
+        }
+    }
+}

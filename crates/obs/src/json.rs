@@ -1,0 +1,310 @@
+//! Minimal hand-rolled JSON helpers.
+//!
+//! The workspace has no serde; every machine-readable artifact is emitted
+//! through these few functions so escaping and number formatting stay
+//! consistent (and deterministic) across the metrics dump, the JSONL event
+//! stream, and the run report. A small flat-object parser is included so
+//! tests (and downstream tooling) can round-trip single JSONL lines without
+//! a JSON dependency.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats `x` as a JSON number; non-finite values become `null` (JSON has
+/// no NaN/Infinity). Integral floats keep a trailing `.0` so the value
+/// round-trips as a float.
+pub fn push_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        let _ = write!(out, "{:.1}", x);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+/// A scalar value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON integer (no fraction or exponent).
+    Int(i64),
+    /// A JSON number with a fraction or exponent.
+    Float(f64),
+    /// A JSON string.
+    Str(String),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// Renders the value back to JSON source.
+    pub fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(x) => push_f64(out, *x),
+            JsonValue::Str(s) => push_str_escaped(out, s),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Null => out.push_str("null"),
+        }
+    }
+}
+
+/// Renders a flat object (no nesting) in the given field order.
+pub fn render_flat_object(fields: &[(String, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_escaped(&mut out, k);
+        out.push(':');
+        v.render_into(&mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Parses a single flat JSON object — scalar values only, no nesting.
+/// Returns `None` on any syntax error or on nested arrays/objects. Field
+/// order is preserved, so `render_flat_object(&parse_flat_object(s)?) == s`
+/// for lines this crate emits.
+pub fn parse_flat_object(s: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut p = Parser {
+        bytes: s.trim().as_bytes(),
+        pos: 0,
+    };
+    let fields = p.object()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(fields)
+    } else {
+        None
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bump()? == b {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn object(&mut self) -> Option<Vec<(String, JsonValue)>> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Some(fields),
+                _ => return None,
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        match self.peek()? {
+            b'"' => Some(JsonValue::Str(self.string()?)),
+            b't' => self.literal(b"true", JsonValue::Bool(true)),
+            b'f' => self.literal(b"false", JsonValue::Bool(false)),
+            b'n' => self.literal(b"null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None, // nested arrays/objects are out of scope
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8], v: JsonValue) -> Option<JsonValue> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        if is_float {
+            text.parse().ok().map(JsonValue::Float)
+        } else {
+            text.parse().ok().map(JsonValue::Int)
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.skip_ws();
+        if self.bump()? != b'"' {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let end = self.pos.checked_add(4)?;
+                        let hex = self.bytes.get(self.pos..end)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        self.pos = end;
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-decode multi-byte UTF-8 sequences starting here.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = utf8_width(b);
+                        let end = start.checked_add(width)?;
+                        let chunk = self.bytes.get(start..end)?;
+                        out.push_str(std::str::from_utf8(chunk).ok()?);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        let mut out = String::new();
+        push_str_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn f64_formatting_is_json_safe() {
+        let mut out = String::new();
+        push_f64(&mut out, 2.0);
+        out.push(' ');
+        push_f64(&mut out, 0.25);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "2.0 0.25 null");
+    }
+
+    #[test]
+    fn flat_object_round_trips() {
+        let line = r#"{"slot":3,"type":"receive","receiver":2,"sender":1}"#;
+        let fields = parse_flat_object(line).expect("parses");
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[0], ("slot".into(), JsonValue::Int(3)));
+        assert_eq!(render_flat_object(&fields), line);
+    }
+
+    #[test]
+    fn parser_handles_strings_bools_floats_and_unicode() {
+        let line = r#"{"name":"a\"béé","ok":true,"x":-1.5,"none":null}"#;
+        let fields = parse_flat_object(line).expect("parses");
+        assert_eq!(fields[0].1, JsonValue::Str("a\"béé".into()));
+        assert_eq!(fields[1].1, JsonValue::Bool(true));
+        assert_eq!(fields[2].1, JsonValue::Float(-1.5));
+        assert_eq!(fields[3].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn parser_rejects_nesting_and_trailing_garbage() {
+        assert!(parse_flat_object(r#"{"a":{"b":1}}"#).is_none());
+        assert!(parse_flat_object(r#"{"a":[1]}"#).is_none());
+        assert!(parse_flat_object(r#"{"a":1} extra"#).is_none());
+        assert!(parse_flat_object(r#"{"a":1"#).is_none());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(parse_flat_object("{}"), Some(vec![]));
+    }
+}

@@ -1,0 +1,78 @@
+//! Canonical metric key names.
+//!
+//! Keys are dotted, lowercase, and stable — they are part of the report
+//! schema in `docs/OBS_SCHEMA.md`. Every crate that records through a
+//! [`Recorder`](crate::Recorder) uses these constants rather than string
+//! literals so the full vocabulary is auditable in one place:
+//!
+//! * `sim.*` — engine-level totals (slots, transmissions, channel load).
+//! * `resolver.*` — fast-path counters of the grid-tiled SINR resolver.
+//! * `mw.*` — MW coloring automaton aggregates (phase residency,
+//!   transitions, levels).
+//! * `probe.<claim>.*` — invariant probes; `checks` counts sweeps,
+//!   `violations` counts observed breaches of the paper claim.
+
+/// Total slots executed.
+pub const SIM_SLOTS: &str = "sim.slots";
+/// Total transmissions across all nodes and slots.
+pub const SIM_TRANSMISSIONS: &str = "sim.transmissions";
+/// Total successful receptions across all nodes and slots.
+pub const SIM_RECEPTIONS: &str = "sim.receptions";
+/// Nodes that had decided when the run stopped.
+pub const SIM_DONE_NODES: &str = "sim.done_nodes";
+/// Histogram of concurrent transmitters per slot.
+pub const SIM_CHANNEL_LOAD: &str = "sim.channel_load";
+
+/// Resolver slots fully served by certified grid bounds.
+pub const RESOLVER_FAST_PATH_HITS: &str = "resolver.fast_path_hits";
+/// Resolver slots that fell back to the exact O(k²) path.
+pub const RESOLVER_EXACT_FALLBACKS: &str = "resolver.exact_fallbacks";
+/// Grid cells scanned by the resolver's far-field accumulation.
+pub const RESOLVER_CELLS_SCANNED: &str = "resolver.cells_scanned";
+/// Fraction of resolver decisions served by the fast path.
+pub const RESOLVER_HIT_RATE: &str = "resolver.hit_rate";
+
+/// MW protocol state transitions observed (any kind → any kind).
+pub const MW_PHASE_TRANSITIONS: &str = "mw.phase_transitions";
+/// Competition-counter resets observed (Lemma 5's collision signal).
+pub const MW_COUNTER_RESETS: &str = "mw.counter_resets";
+/// Maximum number of `A_i` levels any node entered.
+pub const MW_LEVELS_ENTERED_MAX: &str = "mw.levels_entered.max";
+/// Per-kind slot residency: slots all nodes spent in `A_i` listen halves.
+pub const MW_RESIDENCY_LISTEN: &str = "mw.residency.listen";
+/// Slots all nodes spent competing in `A_i`.
+pub const MW_RESIDENCY_COMPETE: &str = "mw.residency.compete";
+/// Slots all nodes spent in the request state `R`.
+pub const MW_RESIDENCY_REQUEST: &str = "mw.residency.request";
+/// Slots leaders spent serving color requests.
+pub const MW_RESIDENCY_LEADER: &str = "mw.residency.leader";
+/// Slots all nodes spent colored (in `C_j`) before the run ended.
+pub const MW_RESIDENCY_COLORED: &str = "mw.residency.colored";
+
+/// Theorem 1 (color classes stay independent): sweeps performed.
+pub const PROBE_THM1_CHECKS: &str = "probe.thm1.checks";
+/// Theorem 1: same-color neighbor pairs observed (must stay 0).
+pub const PROBE_THM1_VIOLATIONS: &str = "probe.thm1.violations";
+/// Lemma 4 (≤ φ(2R_T)+1 levels per node): nodes checked.
+pub const PROBE_LEMMA4_CHECKS: &str = "probe.lemma4.checks";
+/// Lemma 4: nodes that entered more levels than the bound allows.
+pub const PROBE_LEMMA4_VIOLATIONS: &str = "probe.lemma4.violations";
+/// Lemma 6 (bounded time in the `A_i` states): nodes checked.
+pub const PROBE_LEMMA6_CHECKS: &str = "probe.lemma6.checks";
+/// Lemma 6: nodes whose total `A_i` residency exceeded the bound.
+pub const PROBE_LEMMA6_VIOLATIONS: &str = "probe.lemma6.violations";
+/// Largest per-node `A_i` residency observed (gauge).
+pub const PROBE_LEMMA6_MAX_SLOTS: &str = "probe.lemma6.max_slots";
+/// Lemma 7 (bounded time in the request state `R`): nodes checked.
+pub const PROBE_LEMMA7_CHECKS: &str = "probe.lemma7.checks";
+/// Lemma 7: nodes whose `R` residency exceeded the bound.
+pub const PROBE_LEMMA7_VIOLATIONS: &str = "probe.lemma7.violations";
+/// Largest per-node `R` residency observed (gauge).
+pub const PROBE_LEMMA7_MAX_SLOTS: &str = "probe.lemma7.max_slots";
+
+/// Theorem 3 (TDMA schedule is interference-free): directed links audited.
+pub const PROBE_THM3_LINKS: &str = "probe.thm3.links";
+/// Theorem 3: links that failed to deliver in their scheduled frame.
+pub const PROBE_THM3_VIOLATIONS: &str = "probe.thm3.violations";
+/// Theorem 3: fraction of audited links that succeeded (gauge).
+pub const PROBE_THM3_LINK_SUCCESS_RATE: &str = "probe.thm3.link_success_rate";

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Unified observability layer for the SINR coloring workspace.
+//!
+//! The paper's guarantees are per-slot, per-state claims — time spent in
+//! states `A_i` and `R` (Lemmas 4–7), independence of every color class
+//! throughout the run (Theorem 1), interference-freedom of the final TDMA
+//! schedule (Theorem 3). This crate gives the rest of the workspace one
+//! vocabulary for measuring them:
+//!
+//! * [`Recorder`] — the single sink trait everything records through. The
+//!   engine, the MW driver, and the probes take `&mut dyn Recorder`; with
+//!   [`NoopRecorder`] (the default) every hook is a no-op behind one
+//!   `enabled()` check per slot, so disabled observability costs nothing
+//!   measurable in the hot loop.
+//! * [`Registry`] / [`Histogram`] — a typed metrics store (counters,
+//!   gauges, fixed-bucket integer histograms) with deterministic iteration
+//!   order and a stable JSON dump. **No wall-clock anywhere**: metrics are
+//!   slot-time only, so recorded runs stay a pure function of the seed.
+//! * [`ObsEvent`] / [`Ring`] — a structured, phase-aware event stream
+//!   (wake/transmit/receive/done, MW state transitions `A_i → R → C_j`,
+//!   probe violations) held in a bounded ring buffer and exported as JSONL.
+//! * [`Stopwatch`] — the one sanctioned wall-clock type, for *bench
+//!   binaries only*; it never feeds the deterministic path.
+//!
+//! Schemas for the JSONL stream, the metrics dump, and the run report are
+//! frozen in `docs/OBS_SCHEMA.md`; the probe→lemma mapping and the naming
+//! scheme live in `docs/OBSERVABILITY.md`.
+
+pub mod event;
+pub mod json;
+pub mod keys;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+pub mod ring;
+pub mod sink;
+
+pub use event::ObsEvent;
+pub use metrics::{Histogram, MetricValue, Registry};
+pub use profile::Stopwatch;
+pub use recorder::{FullRecorder, NoopRecorder, Recorder};
+pub use ring::Ring;
+pub use sink::StderrSink;
+
+/// Schema version stamped into every machine-readable artifact this crate
+/// emits (metrics dumps, run reports, JSONL headers are all additive under
+/// the same number; see `docs/OBS_SCHEMA.md`).
+pub const OBS_SCHEMA_VERSION: u32 = 1;

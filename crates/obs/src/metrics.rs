@@ -1,0 +1,445 @@
+//! Typed metrics: counters, gauges, and fixed-bucket integer histograms.
+//!
+//! All metrics are *slot-time* quantities — there is deliberately no
+//! `Instant` or wall-clock anywhere in this module, so a metrics dump from a
+//! recorded run is a pure function of (graph, model, schedule, seed). Keys
+//! are `&'static str` in the dotted scheme documented in
+//! `docs/OBSERVABILITY.md` (e.g. `sim.slots`, `resolver.fast_path_hits`,
+//! `probe.thm1.violations`); the registry iterates and serializes them in
+//! lexicographic order so dumps are diffable.
+
+use crate::json::{push_f64, push_str_escaped};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket `i` counts samples `v` with `bounds[i-1] < v ≤ bounds[i]`
+/// (inclusive upper bounds); one extra overflow bucket at the end absorbs
+/// everything above the last bound, so observations can never be lost and
+/// `counts().len() == bounds().len() + 1`. Counts are integers, which keeps
+/// the type `Eq` — it can sit inside run statistics that are compared
+/// exactly in determinism tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with unit-width buckets: bucket `k` counts samples equal
+    /// to `k` for `k < buckets − 1`, and the final bucket aggregates every
+    /// sample `≥ buckets − 1`. (`linear(33)` reproduces the engine's
+    /// historical channel-load histogram shape.)
+    pub fn linear(buckets: usize) -> Self {
+        Self::with_bounds((0..buckets.saturating_sub(1) as u64).collect())
+    }
+
+    /// A histogram with power-of-two bounds `1, 2, 4, …, 2^(levels−1)` plus
+    /// the overflow bucket — the default shape for ad-hoc observations.
+    pub fn exponential(levels: u32) -> Self {
+        Self::with_bounds((0..levels).map(|i| 1u64 << i).collect())
+    }
+
+    /// A histogram with explicit inclusive upper bounds. Bounds are sorted
+    /// and deduplicated, so any input yields a well-formed histogram.
+    pub fn with_bounds(mut bounds: Vec<u64>) -> Self {
+        bounds.sort_unstable();
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|b| *b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds another histogram's samples into this one. Returns `false`
+    /// (and leaves `self` unchanged) if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        true
+    }
+
+    /// The inclusive upper bounds (the overflow bucket has no bound).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push_str("{\"bounds\":[");
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("],\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        let _ = write!(out, "],\"count\":{},\"sum\":{}}}", self.count, self.sum);
+    }
+}
+
+impl Default for Histogram {
+    /// A single-bucket (overflow-only) histogram; it still counts and sums
+    /// every observation.
+    fn default() -> Self {
+        Self::with_bounds(Vec::new())
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone non-negative total.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(f64),
+    /// Distribution of integer samples.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A typed metric store keyed by `&'static str`, with deterministic
+/// (lexicographic) iteration and a stable JSON dump.
+///
+/// A key's type is fixed by its first write; a later write of a different
+/// kind is *dropped and counted* in [`Registry::kind_conflicts`] — never a
+/// panic, so a misbehaving caller degrades observability instead of
+/// crashing a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    entries: BTreeMap<&'static str, MetricValue>,
+    kind_conflicts: u64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `key` (creating it at 0).
+    pub fn counter_add(&mut self, key: &'static str, delta: u64) {
+        match self.entries.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c = c.saturating_add(delta),
+            _ => self.kind_conflicts += 1,
+        }
+    }
+
+    /// Sets the gauge `key` to `value`.
+    pub fn gauge_set(&mut self, key: &'static str, value: f64) {
+        match self.entries.entry(key).or_insert(MetricValue::Gauge(value)) {
+            MetricValue::Gauge(g) => *g = value,
+            _ => self.kind_conflicts += 1,
+        }
+    }
+
+    /// Records `value` into the histogram `key`, creating it with
+    /// `make_histogram()` on first touch.
+    pub fn observe_with(
+        &mut self,
+        key: &'static str,
+        value: u64,
+        make_histogram: impl FnOnce() -> Histogram,
+    ) {
+        match self
+            .entries
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(make_histogram()))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            _ => self.kind_conflicts += 1,
+        }
+    }
+
+    /// Merges `hist` into the histogram `key` (cloning it on first touch).
+    /// Bound mismatches count as kind conflicts.
+    pub fn histogram_merge(&mut self, key: &'static str, hist: &Histogram) {
+        match self.entries.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(MetricValue::Histogram(hist.clone()));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                MetricValue::Histogram(h) => {
+                    if !h.merge(hist) {
+                        self.kind_conflicts += 1;
+                    }
+                }
+                _ => self.kind_conflicts += 1,
+            },
+        }
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&MetricValue> {
+        self.entries.get(key)
+    }
+
+    /// The counter `key`, if it exists and is a counter.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        match self.entries.get(key) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The gauge `key`, if it exists and is a gauge.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        match self.entries.get(key) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The histogram `key`, if it exists and is a histogram.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        match self.entries.get(key) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(key, value)` in lexicographic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of metrics stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes that were dropped because they targeted an existing key of a
+    /// different metric kind (or a histogram with different bounds).
+    pub fn kind_conflicts(&self) -> u64 {
+        self.kind_conflicts
+    }
+
+    /// The metrics as one JSON object: `{"<key>":{"type":…,…},…}` in
+    /// lexicographic key order (see `docs/OBS_SCHEMA.md`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_escaped(&mut out, key);
+            let _ = write!(out, ":{{\"type\":\"{}\",", value.kind());
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "\"value\":{c}");
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str("\"value\":");
+                    push_f64(&mut out, *g);
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str("\"value\":");
+                    h.json_into(&mut out);
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_buckets_exact_values_and_saturates() {
+        // Mirrors the engine's channel-load histogram: 33 buckets, last one
+        // aggregates everything ≥ 32.
+        let mut h = Histogram::linear(33);
+        assert_eq!(h.counts().len(), 33);
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        h.observe(31);
+        h.observe(32);
+        h.observe(1000);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 2);
+        assert_eq!(h.counts()[31], 1);
+        assert_eq!(h.counts()[32], 2, "32 and 1000 both overflow");
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1069);
+    }
+
+    #[test]
+    fn bucket_edges_are_inclusive_upper_bounds() {
+        let mut h = Histogram::with_bounds(vec![10, 100]);
+        h.observe(0); // ≤ 10
+        h.observe(10); // ≤ 10 (inclusive edge)
+        h.observe(11); // ≤ 100
+        h.observe(100); // ≤ 100 (inclusive edge)
+        h.observe(101); // overflow
+        assert_eq!(h.counts(), &[2, 2, 1]);
+    }
+
+    #[test]
+    fn exponential_bounds_are_powers_of_two() {
+        let h = Histogram::exponential(4);
+        assert_eq!(h.bounds(), &[1, 2, 4, 8]);
+        assert_eq!(h.counts().len(), 5);
+    }
+
+    #[test]
+    fn degenerate_histograms_never_lose_samples() {
+        let mut h = Histogram::default();
+        h.observe(7);
+        h.observe(0);
+        assert_eq!(h.counts(), &[2]);
+        assert_eq!(h.sum(), 7);
+        let mut l = Histogram::linear(0);
+        l.observe(5);
+        assert_eq!(l.count(), 1);
+    }
+
+    #[test]
+    fn with_bounds_sorts_and_dedups() {
+        let h = Histogram::with_bounds(vec![5, 1, 5, 3]);
+        assert_eq!(h.bounds(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn merge_requires_identical_bounds() {
+        let mut a = Histogram::linear(4);
+        let mut b = Histogram::linear(4);
+        a.observe(1);
+        b.observe(1);
+        b.observe(9);
+        assert!(a.merge(&b));
+        assert_eq!(a.counts()[1], 2);
+        assert_eq!(a.count(), 3);
+        let other = Histogram::linear(5);
+        assert!(!a.merge(&other));
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        let mut h = Histogram::linear(4);
+        assert_eq!(h.mean(), 0.0);
+        h.observe(2);
+        h.observe(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_counter_gauge_histogram_basics() {
+        let mut r = Registry::new();
+        r.counter_add("a.count", 2);
+        r.counter_add("a.count", 3);
+        r.gauge_set("a.rate", 0.5);
+        r.observe_with("a.dist", 3, || Histogram::linear(4));
+        r.observe_with("a.dist", 100, || Histogram::linear(4));
+        assert_eq!(r.counter("a.count"), Some(5));
+        assert_eq!(r.gauge("a.rate"), Some(0.5));
+        let h = r.histogram("a.dist").expect("histogram exists");
+        assert_eq!(h.count(), 2);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn kind_conflicts_drop_instead_of_panicking() {
+        let mut r = Registry::new();
+        r.counter_add("x", 1);
+        r.gauge_set("x", 2.0);
+        r.observe_with("x", 3, Histogram::default);
+        assert_eq!(r.counter("x"), Some(1), "original survives");
+        assert_eq!(r.kind_conflicts(), 2);
+        // Histogram bound mismatch also counts.
+        r.histogram_merge("h", &Histogram::linear(4));
+        r.histogram_merge("h", &Histogram::linear(9));
+        assert_eq!(r.kind_conflicts(), 3);
+    }
+
+    #[test]
+    fn json_dump_is_lexicographic_and_typed() {
+        let mut r = Registry::new();
+        r.gauge_set("b.gauge", 1.5);
+        r.counter_add("a.count", 7);
+        r.histogram_merge("c.hist", &{
+            let mut h = Histogram::with_bounds(vec![1]);
+            h.observe(0);
+            h.observe(9);
+            h
+        });
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"a.count\":{\"type\":\"counter\",\"value\":7},\
+             \"b.gauge\":{\"type\":\"gauge\",\"value\":1.5},\
+             \"c.hist\":{\"type\":\"histogram\",\"value\":\
+             {\"bounds\":[1],\"counts\":[1,1],\"count\":2,\"sum\":9}}}"
+        );
+        let parsed_ok = json.starts_with('{') && json.ends_with('}');
+        assert!(parsed_ok);
+    }
+}

@@ -1,0 +1,61 @@
+//! Wall-clock profiling for bench binaries.
+//!
+//! This is the single sanctioned use of `std::time` in the observability
+//! layer. It exists for *measurement harnesses only* (the resolver bench's
+//! recorder-overhead section): nothing in the deterministic simulation path
+//! may read it, because run artifacts must be pure functions of the seed.
+
+use crate::recorder::Recorder;
+use std::time::Instant;
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u128 {
+        self.start.elapsed().as_nanos()
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Records the elapsed time as the gauge `key` (in seconds) and
+    /// returns the reading. Only bench binaries should feed wall-clock
+    /// gauges into a recorder; keep such keys out of deterministic dumps.
+    pub fn gauge_into(&self, rec: &mut dyn Recorder, key: &'static str) -> f64 {
+        let secs = self.elapsed_secs();
+        rec.gauge_set(key, secs);
+        secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::FullRecorder;
+
+    #[test]
+    fn stopwatch_is_monotone_and_gauges() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        let mut rec = FullRecorder::new();
+        let secs = sw.gauge_into(&mut rec, "bench.wall_secs");
+        assert!(secs >= 0.0);
+        assert!(rec.registry().gauge("bench.wall_secs").is_some());
+    }
+}

@@ -1,0 +1,137 @@
+//! A bounded ring buffer that keeps the newest items.
+
+/// A fixed-capacity ring: pushes beyond the capacity overwrite the oldest
+/// item and are tallied in [`Ring::dropped`], so tracing an arbitrarily
+/// long run uses bounded memory while always retaining the most recent
+/// window (the part that explains how a run ended).
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest item once the ring is full (next overwrite spot).
+    head: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Ring {
+            buf: Vec::new(),
+            cap: capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an item, evicting the oldest if the ring is full.
+    pub fn push(&mut self, item: T) {
+        if self.cap == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Iterates items oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The maximum number of items the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of items that have been evicted (or, for a zero-capacity
+    /// ring, never stored).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total number of items ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.buf.len() as u64 + self.dropped
+    }
+
+    /// Removes all items (eviction accounting is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = Ring::with_capacity(3);
+        for i in 0..3 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+        r.push(3);
+        r.push(4);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2, "two oldest items evicted");
+        assert_eq!(r.pushed(), 5);
+    }
+
+    #[test]
+    fn wraparound_preserves_order_across_many_generations() {
+        let mut r = Ring::with_capacity(4);
+        for i in 0..103 {
+            r.push(i);
+        }
+        assert_eq!(
+            r.iter().copied().collect::<Vec<_>>(),
+            vec![99, 100, 101, 102]
+        );
+        assert_eq!(r.dropped(), 99);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_dropped() {
+        let mut r = Ring::with_capacity(0);
+        r.push(1);
+        r.push(2);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.pushed(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_drop_accounting() {
+        let mut r = Ring::with_capacity(2);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.dropped(), 3);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 3);
+        r.push(9);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Console sinks.
+//!
+//! This module is the **only** place in the workspace's library crates
+//! allowed to print to the console (enforced by `cargo xtask lint` rule L5;
+//! see `docs/LINTING.md`): every other crate records through a
+//! [`Recorder`] and lets the binary decide where output goes.
+
+use crate::event::ObsEvent;
+use crate::metrics::Histogram;
+use crate::recorder::{FullRecorder, Recorder};
+
+/// A recorder that streams every event to stderr as JSONL while also
+/// accumulating it (and all metrics) in an inner [`FullRecorder`].
+///
+/// Intended for interactive debugging (`sim color --obs stderr,...`):
+/// stderr keeps the live stream even if the process aborts, the inner
+/// recorder still produces the end-of-run report.
+#[derive(Debug, Clone, Default)]
+pub struct StderrSink {
+    inner: FullRecorder,
+}
+
+impl StderrSink {
+    /// A sink with the default ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink whose inner event ring holds at most `capacity` events.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        StderrSink {
+            inner: FullRecorder::with_ring_capacity(capacity),
+        }
+    }
+
+    /// The accumulated recorder (metrics + retained events).
+    pub fn recorder(&self) -> &FullRecorder {
+        &self.inner
+    }
+
+    /// Consumes the sink, returning the accumulated recorder.
+    pub fn into_recorder(self) -> FullRecorder {
+        self.inner
+    }
+}
+
+impl Recorder for StderrSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&mut self, slot: u64, event: &ObsEvent) {
+        eprintln!("{}", event.jsonl(slot));
+        self.inner.event(slot, event);
+    }
+
+    fn counter_add(&mut self, key: &'static str, delta: u64) {
+        self.inner.counter_add(key, delta);
+    }
+
+    fn gauge_set(&mut self, key: &'static str, value: f64) {
+        self.inner.gauge_set(key, value);
+    }
+
+    fn observe(&mut self, key: &'static str, value: u64) {
+        self.inner.observe(key, value);
+    }
+
+    fn histogram_merge(&mut self, key: &'static str, hist: &Histogram) {
+        self.inner.histogram_merge(key, hist);
+    }
+}

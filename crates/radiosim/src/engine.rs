@@ -6,6 +6,7 @@ use crate::trace::{Event, Trace};
 use crate::wakeup::WakeupSchedule;
 use sinr_geometry::{NodeId, UnitDiskGraph};
 use sinr_model::{InterferenceModel, ReceptionTable};
+use sinr_obs::{keys, NoopRecorder, Recorder};
 use sinr_rng::rngs::StdRng;
 use sinr_rng::SeedableRng;
 
@@ -153,8 +154,17 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
 
     /// Executes one slot and returns what happened.
     pub fn step(&mut self) -> StepView {
+        self.step_recorded(&mut NoopRecorder)
+    }
+
+    /// Like [`Simulator::step`], but also streams structured events into
+    /// `rec`. With a disabled recorder (`rec.enabled() == false`) the only
+    /// added cost is one virtual call per slot — no event is constructed —
+    /// so this *is* the hot path; `step` merely delegates here.
+    pub fn step_recorded(&mut self, rec: &mut dyn Recorder) -> StepView {
         let n = self.graph.len();
         let slot = self.slot;
+        let obs = rec.enabled();
 
         // 1. Wake-ups.
         for v in 0..n {
@@ -163,6 +173,9 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                 self.nodes[v].on_wake(&ctx);
                 if let Some(t) = &mut self.trace {
                     t.push(slot, Event::Wake(v));
+                }
+                if obs {
+                    rec.event(slot, &Event::Wake(v).to_obs());
                 }
             }
         }
@@ -179,6 +192,9 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                     self.tx_msg[v] = Some(msg);
                     if let Some(t) = &mut self.trace {
                         t.push(slot, Event::Transmit(v));
+                    }
+                    if obs {
+                        rec.event(slot, &Event::Transmit(v).to_obs());
                     }
                 }
             }
@@ -221,6 +237,16 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                         },
                     );
                 }
+                if obs {
+                    rec.event(
+                        slot,
+                        &Event::Receive {
+                            receiver: v,
+                            sender,
+                        }
+                        .to_obs(),
+                    );
+                }
             }
             let ctx = self.ctx(v);
             self.nodes[v].end_slot(&ctx, &inbox);
@@ -237,16 +263,19 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                 if let Some(t) = &mut self.trace {
                     t.push(slot, Event::Done(v));
                 }
+                if obs {
+                    rec.event(slot, &Event::Done(v).to_obs());
+                }
             }
         }
 
         // 6. Reset the dense buffers for the next slot (O(transmitters),
-        // not O(n)) and snapshot resolver statistics.
+        // not O(n)). Resolver statistics are read once at end of run, not
+        // snapshotted per slot.
         for &t in &self.tx_ids {
             self.is_tx[t] = false;
             self.tx_msg[t] = None;
         }
-        self.stats.resolver = self.model.resolver_stats();
 
         self.slot += 1;
         self.stats.slots = self.slot;
@@ -272,6 +301,26 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         max_slots: u64,
         mut observe: impl FnMut(&Self, &StepView),
     ) -> RunOutcome {
+        self.run_recorded(max_slots, &mut NoopRecorder, |sim, view, _| {
+            observe(sim, view)
+        })
+    }
+
+    /// Like [`Simulator::run_observed`], but threads a [`Recorder`] through
+    /// every slot: the engine streams wake/transmit/receive/done events
+    /// into it and the observer gets it for protocol-level instrumentation
+    /// (phase transitions, invariant probes).
+    ///
+    /// The recorder only receives per-slot *events* here; call
+    /// [`Simulator::export_metrics`] once after the run to flush the
+    /// aggregate counters, so repeated `run_recorded` segments on one
+    /// simulator never double-count.
+    pub fn run_recorded(
+        &mut self,
+        max_slots: u64,
+        rec: &mut dyn Recorder,
+        mut observe: impl FnMut(&Self, &StepView, &mut dyn Recorder),
+    ) -> RunOutcome {
         let start = self.slot;
         while self.slot - start < max_slots {
             if self.all_done() {
@@ -280,12 +329,29 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                     slots: self.slot - start,
                 };
             }
-            let view = self.step();
-            observe(self, &view);
+            let view = self.step_recorded(rec);
+            observe(self, &view, rec);
         }
         RunOutcome {
             all_done: self.all_done(),
             slots: self.slot - start,
+        }
+    }
+
+    /// Exports the run's aggregate metrics into `rec` under the canonical
+    /// `sim.*` / `resolver.*` keys (see `docs/OBS_SCHEMA.md`): slot,
+    /// transmission, and reception totals, the channel-load histogram, and
+    /// the resolver's fast-path counters if the model tracks them.
+    ///
+    /// Call once, after the run; counters are cumulative totals.
+    pub fn export_metrics(&self, rec: &mut dyn Recorder) {
+        rec.counter_add(keys::SIM_SLOTS, self.stats.slots);
+        rec.counter_add(keys::SIM_TRANSMISSIONS, self.stats.transmissions);
+        rec.counter_add(keys::SIM_RECEPTIONS, self.stats.receptions);
+        rec.counter_add(keys::SIM_DONE_NODES, self.stats.done_count() as u64);
+        rec.histogram_merge(keys::SIM_CHANNEL_LOAD, &self.stats.channel_load);
+        if let Some(rs) = self.model.resolver_stats() {
+            rs.export_into(rec);
         }
     }
 }
@@ -493,7 +559,7 @@ mod tests {
         sim.run(10);
         let trace = sim.trace().unwrap();
         use crate::trace::Event;
-        let kinds: Vec<_> = trace.events().iter().map(|(_, e)| e).collect();
+        let kinds: Vec<_> = trace.events().map(|(_, e)| e).collect();
         assert!(kinds.iter().any(|e| matches!(e, Event::Wake(_))));
         assert!(kinds.iter().any(|e| matches!(e, Event::Transmit(_))));
         assert!(kinds.iter().any(|e| matches!(e, Event::Receive { .. })));

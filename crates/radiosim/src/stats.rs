@@ -1,9 +1,14 @@
 //! Run statistics collected by the engine.
 
 use sinr_geometry::NodeId;
-use sinr_model::ResolverStats;
+use sinr_obs::Histogram;
 
 /// Counters and per-node timing collected during a simulation.
+///
+/// Aggregate channel metrics live in [`sinr_obs`] types so a recorded run
+/// can merge them straight into a metrics registry; resolver counters are
+/// no longer duplicated here — read them from the model at end of run
+/// (`InterferenceModel::resolver_stats`), as `MwOutcome` does.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total slots simulated.
@@ -20,13 +25,10 @@ pub struct SimStats {
     pub tx_slots: Vec<u64>,
     /// Slots each node spent awake and listening (not transmitting).
     pub listen_slots: Vec<u64>,
-    /// Channel-load histogram: `concurrent_tx[k]` counts slots with
-    /// exactly `k` simultaneous transmitters; the last bucket aggregates
-    /// everything at or above [`SimStats::TX_HISTOGRAM_BUCKETS`] − 1.
-    pub concurrent_tx: Vec<u64>,
-    /// Cumulative fast-path counters of the interference resolver, if the
-    /// model tracks them (see [`ResolverStats`]); refreshed every slot.
-    pub resolver: Option<ResolverStats>,
+    /// Channel-load histogram: bucket `k` counts slots with exactly `k`
+    /// simultaneous transmitters; the final bucket aggregates everything at
+    /// or above [`SimStats::TX_HISTOGRAM_BUCKETS`] − 1.
+    pub channel_load: Histogram,
 }
 
 impl SimStats {
@@ -44,21 +46,21 @@ impl SimStats {
             done_slot: vec![None; n],
             tx_slots: vec![0; n],
             listen_slots: vec![0; n],
-            concurrent_tx: vec![0; Self::TX_HISTOGRAM_BUCKETS],
-            resolver: None,
+            channel_load: Histogram::linear(Self::TX_HISTOGRAM_BUCKETS),
         }
-    }
-
-    /// Fast-path hit rate of the resolver, if tracked (see
-    /// [`ResolverStats::hit_rate`]).
-    pub fn resolver_hit_rate(&self) -> Option<f64> {
-        self.resolver.as_ref().and_then(ResolverStats::hit_rate)
     }
 
     /// Records one slot's concurrent-transmitter count in the histogram.
     pub fn record_channel_load(&mut self, transmitters: usize) {
-        let bucket = transmitters.min(Self::TX_HISTOGRAM_BUCKETS - 1);
-        self.concurrent_tx[bucket] += 1;
+        self.channel_load.observe(transmitters as u64);
+    }
+
+    /// Compatibility view of the channel-load histogram as raw bucket
+    /// counts: `concurrent_tx()[k]` counts slots with exactly `k`
+    /// concurrent transmitters, last bucket saturating (the report shape
+    /// the bench experiments have always consumed).
+    pub fn concurrent_tx(&self) -> &[u64] {
+        self.channel_load.counts()
     }
 
     /// Mean number of concurrent transmitters per slot (0 for no slots).
@@ -152,9 +154,15 @@ mod tests {
         s.record_channel_load(3);
         s.record_channel_load(3);
         s.record_channel_load(1000); // saturates into the last bucket
-        assert_eq!(s.concurrent_tx[0], 1);
-        assert_eq!(s.concurrent_tx[3], 2);
-        assert_eq!(s.concurrent_tx[SimStats::TX_HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.concurrent_tx()[0], 1);
+        assert_eq!(s.concurrent_tx()[3], 2);
+        assert_eq!(s.concurrent_tx()[SimStats::TX_HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.channel_load.count(), 4);
+        assert_eq!(
+            s.concurrent_tx().len(),
+            SimStats::TX_HISTOGRAM_BUCKETS,
+            "compat view keeps the historical bucket count"
+        );
     }
 
     #[test]

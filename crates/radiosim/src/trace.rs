@@ -1,6 +1,14 @@
 //! Optional event tracing for debugging protocol runs.
+//!
+//! Since the observability layer landed, `Trace` is a thin façade over
+//! [`sinr_obs::Ring`]: the same bounded ring buffer that backs
+//! [`sinr_obs::FullRecorder`]'s event stream, so engine tracing and
+//! recorded runs share one storage and drop-accounting discipline. Each
+//! [`Event`] converts losslessly into the structured
+//! [`ObsEvent`](sinr_obs::ObsEvent) vocabulary via [`Event::to_obs`].
 
 use sinr_geometry::NodeId;
+use sinr_obs::{ObsEvent, Ring};
 use std::fmt;
 
 /// A single traced event.
@@ -21,6 +29,19 @@ pub enum Event {
     Done(NodeId),
 }
 
+impl Event {
+    /// The structured-observability form of this event (same vocabulary
+    /// the JSONL export uses).
+    pub fn to_obs(self) -> ObsEvent {
+        match self {
+            Event::Wake(v) => ObsEvent::Wake { node: v },
+            Event::Transmit(v) => ObsEvent::Transmit { node: v },
+            Event::Receive { receiver, sender } => ObsEvent::Receive { receiver, sender },
+            Event::Done(v) => ObsEvent::Done { node: v },
+        }
+    }
+}
+
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -34,64 +55,68 @@ impl fmt::Display for Event {
 
 /// A bounded in-memory event log: `(slot, event)` records in slot order.
 ///
-/// When the bound is reached, further events are counted but not stored, so
-/// tracing long runs cannot exhaust memory.
+/// Backed by a ring buffer: when the bound is reached, the *oldest* events
+/// are evicted (and counted), so tracing long runs cannot exhaust memory
+/// while the retained window always covers the most recent slots — the
+/// part that explains how a run ended.
 #[derive(Debug, Clone)]
 pub struct Trace {
-    events: Vec<(u64, Event)>,
-    capacity: usize,
-    dropped: u64,
+    ring: Ring<(u64, Event)>,
 }
 
 impl Trace {
-    /// Creates a trace that stores at most `capacity` events.
+    /// Creates a trace that retains at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
         Trace {
-            events: Vec::new(),
-            capacity,
-            dropped: 0,
+            ring: Ring::with_capacity(capacity),
         }
     }
 
     /// Records an event at `slot`.
     pub fn push(&mut self, slot: u64, event: Event) {
-        if self.events.len() < self.capacity {
-            self.events.push((slot, event));
-        } else {
-            self.dropped += 1;
-        }
+        self.ring.push((slot, event));
     }
 
-    /// The stored events in insertion order.
-    pub fn events(&self) -> &[(u64, Event)] {
-        &self.events
+    /// The retained events, oldest → newest.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, Event)> {
+        self.ring.iter()
     }
 
-    /// Number of events that exceeded the capacity and were discarded.
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Number of events that were evicted to respect the capacity.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.ring.dropped()
     }
 
-    /// Events involving node `v` (as subject, sender, or receiver).
-    pub fn for_node(&self, v: NodeId) -> Vec<(u64, Event)> {
-        self.events
+    /// Events involving node `v` (as subject, sender, or receiver),
+    /// oldest → newest, without allocating.
+    pub fn for_node(&self, v: NodeId) -> impl Iterator<Item = (u64, Event)> + '_ {
+        self.ring
             .iter()
-            .filter(|(_, e)| match e {
+            .filter(move |(_, e)| match e {
                 Event::Wake(x) | Event::Transmit(x) | Event::Done(x) => *x == v,
                 Event::Receive { receiver, sender } => *receiver == v || *sender == v,
             })
             .copied()
-            .collect()
     }
 }
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (slot, e) in &self.events {
-            writeln!(f, "[{slot:>8}] {e}")?;
+        if self.dropped() > 0 {
+            writeln!(f, "... {} older events dropped", self.dropped())?;
         }
-        if self.dropped > 0 {
-            writeln!(f, "... {} further events dropped", self.dropped)?;
+        for (slot, e) in self.events() {
+            writeln!(f, "[{slot:>8}] {e}")?;
         }
         Ok(())
     }
@@ -102,13 +127,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn capacity_bounds_storage() {
+    fn capacity_bounds_storage_dropping_oldest() {
         let mut t = Trace::with_capacity(2);
         t.push(0, Event::Wake(1));
         t.push(1, Event::Transmit(1));
         t.push(2, Event::Done(1));
-        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
         assert_eq!(t.dropped(), 1);
+        // The oldest record was evicted; the newest survive in order.
+        let kept: Vec<u64> = t.events().map(|(s, _)| *s).collect();
+        assert_eq!(kept, vec![1, 2]);
     }
 
     #[test]
@@ -123,10 +152,10 @@ mod tests {
             },
         );
         t.push(2, Event::Done(3));
-        assert_eq!(t.for_node(1).len(), 2);
-        assert_eq!(t.for_node(2).len(), 1);
-        assert_eq!(t.for_node(3).len(), 1);
-        assert_eq!(t.for_node(4).len(), 0);
+        assert_eq!(t.for_node(1).count(), 2);
+        assert_eq!(t.for_node(2).count(), 1);
+        assert_eq!(t.for_node(3).count(), 1);
+        assert_eq!(t.for_node(4).count(), 0);
     }
 
     #[test]
@@ -147,5 +176,25 @@ mod tests {
         assert!(s.contains("rx"));
         assert!(s.contains("tx"));
         assert!(s.contains("done"));
+        assert!(!s.contains("dropped"));
+    }
+
+    #[test]
+    fn events_convert_to_the_obs_vocabulary() {
+        use sinr_obs::ObsEvent;
+        assert_eq!(Event::Wake(3).to_obs(), ObsEvent::Wake { node: 3 });
+        assert_eq!(
+            Event::Receive {
+                receiver: 1,
+                sender: 2
+            }
+            .to_obs(),
+            ObsEvent::Receive {
+                receiver: 1,
+                sender: 2
+            }
+        );
+        assert_eq!(Event::Transmit(0).to_obs().kind(), "transmit");
+        assert_eq!(Event::Done(0).to_obs().kind(), "done");
     }
 }

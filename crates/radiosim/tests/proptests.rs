@@ -92,7 +92,7 @@ proptest! {
         // 2. Aggregates match per-node counters.
         prop_assert_eq!(stats.transmissions, stats.tx_slots.iter().sum::<u64>());
         // 3. Channel-load histogram covers every slot exactly once.
-        prop_assert_eq!(stats.concurrent_tx.iter().sum::<u64>(), outcome.slots);
+        prop_assert_eq!(stats.concurrent_tx().iter().sum::<u64>(), outcome.slots);
         // 4. Receptions only from adjacent senders, never self.
         for v in 0..n {
             for &(_, s) in &sim.node(v).heard {

@@ -88,6 +88,26 @@ impl ResolverStats {
             Some(self.fast_path_hits as f64 / total as f64)
         }
     }
+
+    /// Adds another stats snapshot into this one (for aggregating across
+    /// runs or seeds).
+    pub fn merge(&mut self, other: &ResolverStats) {
+        self.fast_path_hits += other.fast_path_hits;
+        self.exact_fallbacks += other.exact_fallbacks;
+        self.cells_scanned += other.cells_scanned;
+    }
+
+    /// Exports the counters (and the derived hit rate, when defined) into
+    /// a recorder under the canonical `resolver.*` keys.
+    pub fn export_into(&self, rec: &mut dyn sinr_obs::Recorder) {
+        use sinr_obs::keys;
+        rec.counter_add(keys::RESOLVER_FAST_PATH_HITS, self.fast_path_hits);
+        rec.counter_add(keys::RESOLVER_EXACT_FALLBACKS, self.exact_fallbacks);
+        rec.counter_add(keys::RESOLVER_CELLS_SCANNED, self.cells_scanned);
+        if let Some(rate) = self.hit_rate() {
+            rec.gauge_set(keys::RESOLVER_HIT_RATE, rate);
+        }
+    }
 }
 
 /// Reusable per-slot working state (interior mutability keeps

@@ -21,14 +21,15 @@ pub struct Violation {
     pub snippet: String,
 }
 
-/// The library crates whose non-test code must be panic-free (L2) and free
-/// of lossy id/slot casts (L4).
-pub const LIB_CRATES: [&str; 5] = [
+/// The library crates whose non-test code must be panic-free (L2), free
+/// of lossy id/slot casts (L4), and console-silent (L5).
+pub const LIB_CRATES: [&str; 6] = [
     "crates/geometry/",
     "crates/sinr/",
     "crates/radiosim/",
     "crates/core/",
     "crates/mac/",
+    "crates/obs/",
 ];
 
 /// Files allowed to spell out paper constants (L3): the audited definitions.
@@ -61,6 +62,11 @@ const L3_TOKENS: [&str; 3] = ["96.0", "32.0", "16.0"];
 /// Narrowing integer casts (L4): node ids are `usize` and slot counters
 /// `u64` throughout; casting them to anything smaller silently truncates.
 const L4_TOKENS: [&str; 6] = ["as u8", "as u16", "as u32", "as i8", "as i16", "as i32"];
+
+/// Console-output macros banned in library non-test code (L5): libraries
+/// record through `sinr_obs::Recorder`; only the sanctioned sinks in
+/// `crates/obs/src/sink.rs` (allowlisted) may print.
+const L5_TOKENS: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
 
 /// Whether `path` (workspace-relative, forward slashes) is test-only code:
 /// integration tests, benches, or proptest suites.
@@ -280,6 +286,30 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         );
     }
 
+    // L5 — no console output in library code: everything observable goes
+    // through a Recorder; the binary (CLI, bench) decides where it prints.
+    if in_lib_crate(path) {
+        let scans: Vec<TokenScan> = L5_TOKENS
+            .iter()
+            .map(|&token| TokenScan {
+                token,
+                boundary: |m, s, l| ident_boundary(m, s, l - 1), // exclude the `!`
+            })
+            .collect();
+        ctx.scan(
+            &scans,
+            "L5",
+            &|t| {
+                format!(
+                    "console output `{t}` in library code: record through \
+                     sinr_obs::Recorder and let the binary choose a sink \
+                     (sanctioned sinks live in crates/obs/src/sink.rs)"
+                )
+            },
+            &mut out,
+        );
+    }
+
     out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     out
 }
@@ -367,6 +397,36 @@ mod tests {\n\
         assert_eq!(hits, vec![("L4", 1)]);
         assert!(lints_of("crates/bench/src/fake.rs", "let s = x as u32;").is_empty());
         assert!(lints_of(LIB, "let wide = v as u64; let f = v as f64;").is_empty());
+    }
+
+    #[test]
+    fn l5_flags_console_output_in_lib_code() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(1); }\n";
+        let hits = lints_of(LIB, src);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().all(|&(l, _)| l == "L5"));
+        // The obs crate itself is a library crate: its non-sink modules
+        // must not print either.
+        let hits = lints_of(
+            "crates/obs/src/metrics.rs",
+            "fn f() { eprintln!(\"x\"); }\n",
+        );
+        assert_eq!(hits, vec![("L5", 1)]);
+    }
+
+    #[test]
+    fn l5_skips_binaries_tests_and_lookalikes() {
+        // CLI/bench binaries own their stdout; tests may print freely.
+        assert!(lints_of("crates/cli/src/fake.rs", "println!(\"x\");").is_empty());
+        assert!(lints_of("crates/mac/tests/t.rs", "println!(\"x\");").is_empty());
+        let src = "#[cfg(test)]\nmod tests { fn t() { println!(\"x\"); } }\n";
+        assert!(lints_of(LIB, src).is_empty());
+        // `println!` inside strings/comments is masked; a user-defined
+        // `my_println!` macro has no word boundary.
+        assert!(lints_of(LIB, "// println! is banned\nlet s = \"println!\";\n").is_empty());
+        assert!(lints_of(LIB, "my_println!(x);\n").is_empty());
+        // Each macro matches exactly once: eprintln! is not also println!.
+        assert_eq!(lints_of(LIB, "eprintln!(\"x\");\n").len(), 1);
     }
 
     #[test]
