@@ -19,6 +19,7 @@ use sinr_bench::workload::Instance;
 use sinr_coloring::mw::{run_mw, run_mw_observed, run_mw_recorded, MwConfig, MwProbeConfig};
 use sinr_model::{FastSinrModel, InterferenceModel, SinrModel};
 use sinr_obs::{FullRecorder, NoopRecorder, Recorder};
+use sinr_pool::Pool;
 use sinr_radiosim::WakeupSchedule;
 
 /// Quick-mode slot cap (CI smoke); full mode replays the complete run so
@@ -40,8 +41,33 @@ struct SizeResult {
     mean_tx_per_slot: f64,
     naive: ModelNumbers,
     fast: ModelNumbers,
+    /// The shipped configuration (`FastSinrModel::auto`): grid only where
+    /// it pays. This is what `speedup_end_to_end` is computed from.
+    auto: ModelNumbers,
+    auto_grid_enabled: bool,
     fast_path_hit_rate: Option<f64>,
 }
+
+/// One thread-count measurement at the largest size (schema v3).
+struct ThreadRow {
+    threads: usize,
+    resolve_ns_per_slot: f64,
+    slots_per_sec: f64,
+    /// Reception tables on every captured slot equal the threads=1 run.
+    bit_identical: bool,
+}
+
+struct ThreadScaling {
+    n: usize,
+    /// Replay cost of a threads=1 pool relative to the plain sequential
+    /// resolver (must stay ~1.0: the pool spawns no workers at 1 thread).
+    pool_overhead_threads1: f64,
+    rows: Vec<ThreadRow>,
+}
+
+/// PR 2's single-threaded fast baseline at n=2048 (BENCH_resolver.json,
+/// schema v2) — the reference point for pool overhead and scaling claims.
+const PRE_POOL_FAST_SLOTS_PER_SEC_N2048: f64 = 4700.8;
 
 fn config(inst: &Instance, seed: u64, quick: bool) -> MwConfig {
     let config = MwConfig::new(inst.params).with_seed(seed);
@@ -87,11 +113,26 @@ fn time_replay<M: InterferenceModel>(
     (best, checksum)
 }
 
-/// Times a full fixed-seed MW run under `model`; returns slots/sec.
-fn time_end_to_end<M: InterferenceModel>(model: M, inst: &Instance, config: &MwConfig) -> f64 {
-    let start = Instant::now();
-    let out = run_mw(&inst.graph, model, config, WakeupSchedule::Synchronous);
-    out.slots as f64 / start.elapsed().as_secs_f64().max(1e-9)
+/// Times full fixed-seed MW runs under models built by `make_model`;
+/// returns the fastest repetition's slots/sec.
+fn time_end_to_end<M: InterferenceModel>(
+    make_model: impl Fn() -> M,
+    inst: &Instance,
+    config: &MwConfig,
+    reps: usize,
+) -> f64 {
+    let mut best = 0f64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = run_mw(
+            &inst.graph,
+            make_model(),
+            config,
+            WakeupSchedule::Synchronous,
+        );
+        best = best.max(out.slots as f64 / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
 }
 
 fn bench_size(n: usize, quick: bool) -> SizeResult {
@@ -106,22 +147,57 @@ fn bench_size(n: usize, quick: bool) -> SizeResult {
 
     let naive_model = SinrModel::new(inst.cfg);
     let fast_model = FastSinrModel::new(inst.cfg);
+    let auto_model = FastSinrModel::auto(inst.cfg, n);
 
     // Bit-identity audit over every captured slot (outside the timed loop).
     for (i, tx) in slots.iter().enumerate() {
         let a = naive_model.resolve(&inst.graph, tx);
         let b = fast_model.resolve(&inst.graph, tx);
+        let c = auto_model.resolve(&inst.graph, tx);
         assert_eq!(a, b, "n={n}: reception tables diverge at captured slot {i}");
+        assert_eq!(a, c, "n={n}: auto tables diverge at captured slot {i}");
     }
     fast_model.reset_stats();
+    auto_model.reset_stats();
 
     let (naive_ns, naive_sum) = time_replay(&naive_model, &inst, &slots, reps);
     let (fast_ns, fast_sum) = time_replay(&fast_model, &inst, &slots, reps);
+    let (auto_ns, auto_sum) = time_replay(&auto_model, &inst, &slots, reps);
     assert_eq!(naive_sum, fast_sum, "n={n}: reception checksums diverge");
+    assert_eq!(naive_sum, auto_sum, "n={n}: auto checksums diverge");
     let hit_rate = fast_model.stats().hit_rate();
 
-    let naive_sps = time_end_to_end(SinrModel::new(inst.cfg), &inst, &cfg);
-    let fast_sps = time_end_to_end(FastSinrModel::new(inst.cfg), &inst, &cfg);
+    // End-to-end reps are interleaved across the three models (and scaled
+    // up at small n, where a run is cheap) so clock drift and background
+    // load hit all of them equally; the speedup_end_to_end gate divides
+    // two of these figures, and a block-per-model measurement would
+    // report scheduler noise as a model regression.
+    // Quick mode caps runs at 400 slots, so a single end-to-end sample is
+    // a few milliseconds — one scheduler hiccup skews it 30%. Many cheap
+    // reps keep the best-of estimate stable there.
+    let e2e_reps = if quick {
+        reps.max(10)
+    } else {
+        reps.max(2048 / n.max(1))
+    };
+    let mut naive_sps = 0f64;
+    let mut fast_sps = 0f64;
+    let mut auto_sps = 0f64;
+    for _ in 0..e2e_reps {
+        naive_sps = naive_sps.max(time_end_to_end(|| SinrModel::new(inst.cfg), &inst, &cfg, 1));
+        fast_sps = fast_sps.max(time_end_to_end(
+            || FastSinrModel::new(inst.cfg),
+            &inst,
+            &cfg,
+            1,
+        ));
+        auto_sps = auto_sps.max(time_end_to_end(
+            || FastSinrModel::auto(inst.cfg, n),
+            &inst,
+            &cfg,
+            1,
+        ));
+    }
 
     SizeResult {
         n,
@@ -136,7 +212,72 @@ fn bench_size(n: usize, quick: bool) -> SizeResult {
             resolve_ns_per_slot: fast_ns,
             slots_per_sec: fast_sps,
         },
+        auto: ModelNumbers {
+            resolve_ns_per_slot: auto_ns,
+            slots_per_sec: auto_sps,
+        },
+        auto_grid_enabled: auto_model.grid_enabled(),
         fast_path_hit_rate: hit_rate,
+    }
+}
+
+/// Thread-scaling measurements at size `n`: replay + end-to-end for each
+/// thread count, bit-identity against threads=1, and the threads=1 pool
+/// tax against the plain sequential resolver.
+fn bench_threads(n: usize, quick: bool) -> ThreadScaling {
+    let seed = 1000 + n as u64;
+    let inst = Instance::uniform(n, 12.0, seed);
+    let cfg = config(&inst, seed, quick);
+    let reps = if quick { 2 } else { REPS };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+
+    let slots = capture_slots(&inst, &cfg);
+    // Pool overhead at threads=1: plain construction vs the pool-carrying
+    // one. The repetitions are interleaved (plain, pooled, plain, …) so
+    // clock drift and background load hit both sides equally — the two
+    // paths are a few branches apart, and a sequential A-block/B-block
+    // measurement would report scheduler noise as overhead.
+    let plain = FastSinrModel::new(inst.cfg);
+    let pooled1 = FastSinrModel::with_pool(inst.cfg, Pool::new(1));
+    let mut plain_ns = f64::INFINITY;
+    let mut pooled1_ns = f64::INFINITY;
+    let mut plain_sum = 0u64;
+    for _ in 0..reps.max(5) {
+        let (ns, sum) = time_replay(&plain, &inst, &slots, 1);
+        plain_ns = plain_ns.min(ns);
+        plain_sum = sum;
+        let (ns, sum) = time_replay(&pooled1, &inst, &slots, 1);
+        pooled1_ns = pooled1_ns.min(ns);
+        assert_eq!(plain_sum, sum, "n={n}: threads=1 checksum diverges");
+    }
+
+    let baseline: Vec<_> = slots
+        .iter()
+        .map(|tx| plain.resolve(&inst.graph, tx))
+        .collect();
+    let mut rows = Vec::new();
+    for &t in thread_counts {
+        let model = FastSinrModel::with_pool(inst.cfg, Pool::new(t));
+        let bit_identical = slots
+            .iter()
+            .zip(&baseline)
+            .all(|(tx, expect)| &model.resolve(&inst.graph, tx) == expect);
+        let (ns, sum) = time_replay(&model, &inst, &slots, reps);
+        assert_eq!(sum, plain_sum, "n={n} threads={t}: checksum diverges");
+        let cfg_t = cfg.with_threads(t);
+        let sps = time_end_to_end(|| FastSinrModel::new(inst.cfg), &inst, &cfg_t, reps);
+        rows.push(ThreadRow {
+            threads: t,
+            resolve_ns_per_slot: ns,
+            slots_per_sec: sps,
+            bit_identical,
+        });
+    }
+
+    ThreadScaling {
+        n,
+        pool_overhead_threads1: pooled1_ns / plain_ns.max(1e-9),
+        rows,
     }
 }
 
@@ -182,17 +323,27 @@ fn bench_recorder_overhead(n: usize, quick: bool) -> RecorderOverhead {
     }
 }
 
-fn render_json(results: &[SizeResult], overhead: &RecorderOverhead, quick: bool) -> String {
+/// End-to-end speedup of the shipped configuration over the naive
+/// resolver — the number the small-n regression gate asserts on.
+fn speedup_e2e(r: &SizeResult) -> f64 {
+    r.auto.slots_per_sec / r.naive.slots_per_sec.max(1e-9)
+}
+
+fn render_json(
+    results: &[SizeResult],
+    scaling: &ThreadScaling,
+    overhead: &RecorderOverhead,
+    quick: bool,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"resolver\",\n");
-    s.push_str("  \"schema_version\": 2,\n");
+    s.push_str("  \"schema_version\": 3,\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str("  \"workload\": \"MW coloring, uniform placement, expected degree 12, synchronous wakeup, seed 1000+n\",\n");
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let speedup_resolve = r.naive.resolve_ns_per_slot / r.fast.resolve_ns_per_slot.max(1e-9);
-        let speedup_e2e = r.fast.slots_per_sec / r.naive.slots_per_sec.max(1e-9);
         s.push_str("    {\n");
         s.push_str(&format!("      \"n\": {},\n", r.n));
         s.push_str(&format!("      \"max_degree\": {},\n", r.max_degree));
@@ -213,6 +364,11 @@ fn render_json(results: &[SizeResult], overhead: &RecorderOverhead, quick: bool)
             r.fast.resolve_ns_per_slot, r.fast.slots_per_sec
         ));
         s.push_str(&format!(
+            "      \"auto\": {{ \"resolve_ns_per_slot\": {:.1}, \"slots_per_sec\": {:.1}, \
+             \"grid_enabled\": {} }},\n",
+            r.auto.resolve_ns_per_slot, r.auto.slots_per_sec, r.auto_grid_enabled
+        ));
+        s.push_str(&format!(
             "      \"fast_path_hit_rate\": {},\n",
             r.fast_path_hit_rate
                 .map_or_else(|| "null".to_string(), |h| format!("{h:.4}"))
@@ -220,7 +376,10 @@ fn render_json(results: &[SizeResult], overhead: &RecorderOverhead, quick: bool)
         s.push_str(&format!(
             "      \"speedup_resolve\": {speedup_resolve:.2},\n"
         ));
-        s.push_str(&format!("      \"speedup_end_to_end\": {speedup_e2e:.2}\n"));
+        s.push_str(&format!(
+            "      \"speedup_end_to_end\": {:.2}\n",
+            speedup_e2e(r)
+        ));
         s.push_str(if i + 1 == results.len() {
             "    }\n"
         } else {
@@ -228,6 +387,24 @@ fn render_json(results: &[SizeResult], overhead: &RecorderOverhead, quick: bool)
         });
     }
     s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"threads\": {{\n    \"n\": {},\n    \"pool_overhead_threads1\": {:.3},\n    \
+         \"pre_pool_fast_slots_per_sec_n2048\": {PRE_POOL_FAST_SLOTS_PER_SEC_N2048},\n    \
+         \"rows\": [\n",
+        scaling.n, scaling.pool_overhead_threads1
+    ));
+    for (i, row) in scaling.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{ \"threads\": {}, \"resolve_ns_per_slot\": {:.1}, \
+             \"slots_per_sec\": {:.1}, \"bit_identical\": {} }}{}\n",
+            row.threads,
+            row.resolve_ns_per_slot,
+            row.slots_per_sec,
+            row.bit_identical,
+            if i + 1 == scaling.rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("    ]\n  },\n");
     s.push_str(&format!(
         "  \"recorder_overhead\": {{ \"n\": {}, \"noop_slots_per_sec\": {:.1}, \
          \"full_slots_per_sec\": {:.1}, \"full_over_noop\": {:.3} }}\n",
@@ -253,10 +430,14 @@ fn main() {
         eprintln!("resolver bench: n = {n} ...");
         let r = bench_size(n, quick);
         eprintln!(
-            "  naive {:>10.1} ns/slot   fast {:>10.1} ns/slot   speedup {:.2}x   hit rate {}",
+            "  naive {:>10.1} ns/slot   fast {:>10.1} ns/slot   auto {:>10.1} ns/slot \
+             (grid {})   resolve speedup {:.2}x   e2e speedup {:.2}x   hit rate {}",
             r.naive.resolve_ns_per_slot,
             r.fast.resolve_ns_per_slot,
+            r.auto.resolve_ns_per_slot,
+            if r.auto_grid_enabled { "on" } else { "off" },
             r.naive.resolve_ns_per_slot / r.fast.resolve_ns_per_slot.max(1e-9),
+            speedup_e2e(&r),
             r.fast_path_hit_rate
                 .map_or_else(|| "n/a".to_string(), |h| format!("{:.1}%", 100.0 * h)),
         );
@@ -264,6 +445,19 @@ fn main() {
     }
 
     let largest = *sizes.last().expect("at least one size");
+    eprintln!("thread scaling: n = {largest} ...");
+    let scaling = bench_threads(largest, quick);
+    eprintln!(
+        "  pool overhead at threads=1: {:.3}x",
+        scaling.pool_overhead_threads1
+    );
+    for row in &scaling.rows {
+        eprintln!(
+            "  threads {:>2}: resolve {:>10.1} ns/slot   e2e {:>8.1} slots/sec   bit-identical {}",
+            row.threads, row.resolve_ns_per_slot, row.slots_per_sec, row.bit_identical
+        );
+    }
+
     eprintln!("recorder overhead: n = {largest} ...");
     let overhead = bench_recorder_overhead(largest, quick);
     eprintln!(
@@ -273,7 +467,29 @@ fn main() {
         overhead.noop_slots_per_sec / overhead.full_slots_per_sec.max(1e-9)
     );
 
-    let json = render_json(&results, &overhead, quick);
+    // Regression gates. Every thread count must replay the exact baseline
+    // tables, and the shipped auto model must never lose to the naive
+    // resolver end-to-end at any tracked size (the n=256 regression this
+    // mode was introduced for). Quick mode keeps a small noise margin so
+    // the CI bench-smoke stays green on shared runners.
+    for row in &scaling.rows {
+        assert!(
+            row.bit_identical,
+            "threads={} produced different reception tables",
+            row.threads
+        );
+    }
+    let e2e_floor = if quick { 0.9 } else { 1.0 };
+    for r in &results {
+        let s = speedup_e2e(r);
+        assert!(
+            s >= e2e_floor,
+            "end-to-end speedup {s:.3} < {e2e_floor} at n={} (auto model regressed)",
+            r.n
+        );
+    }
+
+    let json = render_json(&results, &scaling, &overhead, quick);
     let path = std::env::var("BENCH_RESOLVER_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_resolver.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&path, &json).expect("write BENCH_resolver.json");

@@ -1,11 +1,13 @@
 //! CLI entry point for the experiment suite.
 //!
 //! ```text
-//! experiments [IDS...] [--quick] [--markdown]
+//! experiments [IDS...] [--quick] [--markdown] [--threads N]
 //!
-//!   IDS        experiment ids (e1..e21) or `all` (default: all)
-//!   --quick    reduced sizes/seeds
-//!   --markdown emit GitHub-flavored markdown instead of aligned text
+//!   IDS          experiment ids (e1..e21) or `all` (default: all)
+//!   --quick      reduced sizes/seeds
+//!   --markdown   emit GitHub-flavored markdown instead of aligned text
+//!   --threads N  worker threads for seed-parallel sweeps (default:
+//!                SINR_THREADS, else 1); results are identical for any N
 //! ```
 //!
 //! With `EXPERIMENTS_JSON_DIR=<dir>` set, every experiment additionally
@@ -19,11 +21,32 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
-    let mut ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let mut threads_arg: Option<usize> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            i += 1;
+            let parsed = args.get(i).and_then(|v| v.parse().ok());
+            let Some(t) = parsed else {
+                eprintln!("--threads expects a positive integer");
+                std::process::exit(2);
+            };
+            threads_arg = Some(t);
+        } else if !args[i].starts_with("--") {
+            positional.push(args[i].to_lowercase());
+        }
+        i += 1;
+    }
+    if let Some(t) = threads_arg {
+        // Size the global pool before any experiment touches it; results
+        // are deterministic for every thread count, this only changes
+        // wall-clock time.
+        if !sinr_pool::set_global_threads(t) {
+            eprintln!("worker pool already initialized; --threads {t} ignored");
+        }
+    }
+    let mut ids: Vec<String> = positional;
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = ALL.iter().map(|s| s.to_string()).collect();
     }

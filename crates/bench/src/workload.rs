@@ -37,13 +37,15 @@ impl Instance {
 
     /// Runs the MW algorithm under the SINR model with the given seed.
     ///
-    /// Uses the grid-tiled [`FastSinrModel`], whose reception tables are
-    /// bit-identical to the naive `SinrModel` (see `docs/PERFORMANCE.md`),
-    /// so experiment outputs are unchanged while sweeps run much faster.
+    /// Uses the grid-tiled [`FastSinrModel`] in `auto` mode — the grid is
+    /// skipped on small instances where snapshots cannot pay for
+    /// themselves — whose reception tables are bit-identical to the naive
+    /// `SinrModel` either way (see `docs/PERFORMANCE.md`), so experiment
+    /// outputs are unchanged while sweeps run much faster.
     pub fn run_sinr(&self, seed: u64, schedule: WakeupSchedule) -> MwOutcome {
         run_mw(
             &self.graph,
-            FastSinrModel::new(self.cfg),
+            FastSinrModel::auto(self.cfg, self.graph.len()),
             &MwConfig::new(self.params).with_seed(seed),
             schedule,
         )
@@ -83,21 +85,16 @@ pub fn resolver_hit_rate(outs: &[MwOutcome]) -> Option<f64> {
     }
 }
 
-/// Runs `f(seed)` for `seeds` seeds on parallel threads and returns the
-/// results in seed order.
+/// Runs `f(seed)` for `seeds` seeds across the global worker pool and
+/// returns the results in seed order (deterministic regardless of the
+/// pool's thread count — the seeds are statically partitioned and each
+/// result lands in its own slot).
+///
+/// The pool size comes from `SINR_THREADS` (or
+/// [`sinr_pool::set_global_threads`], e.g. via `--threads` on the
+/// experiments binary); with 1 thread the seeds simply run inline.
 pub fn par_seeds<T: Send>(seeds: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let mut out: Vec<Option<T>> = (0..seeds).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (i, slot) in out.iter_mut().enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(i as u64));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|x| x.expect("thread completed"))
-        .collect()
+    sinr_pool::global().map_indexed(seeds as usize, |i| f(i as u64))
 }
 
 #[cfg(test)]

@@ -33,11 +33,11 @@ COMMANDS:
             emit a placement (x y per line) on stdout
   info      --input FILE [--alpha A --beta B --rho R]
             print graph statistics for a placement
-  color     --input FILE [--seed S] [--model sinr|sinr-fast|graph|ideal] [--distance D]
-            [--obs SPEC] run the MW coloring; emit 'node color' per line
-            on stdout
-  report    --input FILE [--seed S] [--model sinr|sinr-fast|graph|ideal]
-            [--thm1-stride K] [--ring CAP] [--obs SPEC]
+  color     --input FILE [--seed S] [--model sinr|sinr-fast|sinr-auto|graph|ideal]
+            [--distance D] [--threads N] [--obs SPEC]
+            run the MW coloring; emit 'node color' per line on stdout
+  report    --input FILE [--seed S] [--model sinr|sinr-fast|sinr-auto|graph|ideal]
+            [--threads N] [--thm1-stride K] [--ring CAP] [--obs SPEC]
             run a fully observed MW coloring; emit the machine-readable
             run report (docs/OBS_SCHEMA.md) as JSON on stdout
   reduce    --input FILE --colors FILE
@@ -56,6 +56,12 @@ COMMANDS:
 
 Physical options (all commands): --alpha (4), --beta (1.5), --rho (2);
 R_T is normalized to 1.
+
+Models: sinr is the exact reference resolver; sinr-fast adds the
+grid-tiled fast path (bit-identical tables); sinr-auto picks between
+them by instance size. --threads N (default: SINR_THREADS, else 1)
+runs slot resolution on N worker threads — outputs are identical for
+every N.
 
 Observability: SPEC is a comma-separated sink list — jsonl:PATH (event
 stream as JSON Lines), metrics:PATH (metrics registry dump), stderr
@@ -195,10 +201,28 @@ fn run_model(
         "sinr" => Ok(go(graph, SinrModel::new(cfg), mw_cfg, mode)),
         // Same tables as "sinr" (bit-identical), grid-tiled resolver.
         "sinr-fast" => Ok(go(graph, FastSinrModel::new(cfg), mw_cfg, mode)),
+        // Grid-tiled resolver, but the grid is skipped below
+        // `AUTO_GRID_MIN_NODES` where it cannot pay for itself.
+        "sinr-auto" => Ok(go(
+            graph,
+            FastSinrModel::auto(cfg, graph.len()),
+            mw_cfg,
+            mode,
+        )),
         "graph" => Ok(go(graph, GraphModel::new(), mw_cfg, mode)),
         "ideal" => Ok(go(graph, IdealModel::new(), mw_cfg, mode)),
         other => Err(err(format!("unknown model {other}"))),
     }
+}
+
+/// Worker-thread count for slot resolution: `--threads` when given,
+/// otherwise the `SINR_THREADS` environment variable, otherwise 1.
+fn thread_count(args: &Args) -> Result<usize, crate::CliError> {
+    let threads: usize = args.get_parsed("threads", sinr_pool::threads_from_env())?;
+    if threads == 0 {
+        return Err(err("--threads must be at least 1"));
+    }
+    Ok(threads)
 }
 
 /// The `--obs`-derived run mode shared by `color` and `report`.
@@ -248,7 +272,9 @@ pub fn color(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult
     } else {
         let graph = UnitDiskGraph::new(pts.clone(), cfg.r_t());
         let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
-        let mw_cfg = MwConfig::new(params).with_seed(seed);
+        let mw_cfg = MwConfig::new(params)
+            .with_seed(seed)
+            .with_threads(thread_count(args)?);
         let mode = match &spec {
             Some(s) => obs_mode(args, Some(s))?,
             None => RunMode::Plain,
@@ -303,7 +329,9 @@ pub fn report(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResul
 
     let graph = UnitDiskGraph::new(pts, cfg.r_t());
     let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
-    let mw_cfg = MwConfig::new(params).with_seed(seed);
+    let mw_cfg = MwConfig::new(params)
+        .with_seed(seed)
+        .with_threads(thread_count(args)?);
     let mode = obs_mode(args, spec.as_ref())?;
     let (outcome, rec) = run_model(&graph, model, cfg, &mw_cfg, mode)?;
     let rec = rec.expect("report always records");
@@ -852,5 +880,60 @@ mod tests {
         let (r2, fast, _) = run(&["color", "--input", f.path(), "--model", "sinr-fast"]);
         assert!(r1.is_ok() && r2.is_ok());
         assert_eq!(naive, fast, "fast resolver yields the identical coloring");
+    }
+
+    #[test]
+    fn color_sinr_auto_matches_sinr() {
+        let f = tmp_positions(25);
+        let (r1, naive, _) = run(&["color", "--input", f.path(), "--model", "sinr"]);
+        let (r2, auto, _) = run(&["color", "--input", f.path(), "--model", "sinr-auto"]);
+        assert!(r1.is_ok() && r2.is_ok());
+        assert_eq!(naive, auto, "auto resolver yields the identical coloring");
+    }
+
+    #[test]
+    fn color_threads_do_not_change_the_output() {
+        let f = tmp_positions(30);
+        for model in ["sinr", "sinr-fast"] {
+            let (r1, base, _) = run(&["color", "--input", f.path(), "--model", model]);
+            assert!(r1.is_ok());
+            for threads in ["2", "4"] {
+                let (r2, threaded, _) = run(&[
+                    "color",
+                    "--input",
+                    f.path(),
+                    "--model",
+                    model,
+                    "--threads",
+                    threads,
+                ]);
+                assert!(r2.is_ok());
+                assert_eq!(base, threaded, "{model} with {threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn report_threads_emit_identical_json() {
+        let f = tmp_positions(20);
+        let (r1, base, _) = run(&["report", "--input", f.path(), "--seed", "2"]);
+        let (r2, threaded, _) = run(&[
+            "report",
+            "--input",
+            f.path(),
+            "--seed",
+            "2",
+            "--threads",
+            "4",
+        ]);
+        assert!(r1.is_ok() && r2.is_ok());
+        assert_eq!(base, threaded, "run report must not depend on thread count");
+    }
+
+    #[test]
+    fn color_rejects_zero_threads() {
+        let f = tmp_positions(10);
+        let (r, _, _) = run(&["color", "--input", f.path(), "--threads", "0"]);
+        assert!(r.is_err());
     }
 }

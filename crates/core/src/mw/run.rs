@@ -7,6 +7,7 @@ use sinr_geometry::greedy::Coloring;
 use sinr_geometry::UnitDiskGraph;
 use sinr_model::{InterferenceModel, ResolverStats};
 use sinr_obs::Recorder;
+use sinr_pool::Pool;
 use sinr_radiosim::engine::RunOutcome;
 use sinr_radiosim::{Simulator, StepView, WakeupSchedule};
 
@@ -19,15 +20,21 @@ pub struct MwConfig {
     pub seed: u64,
     /// Hard slot cap; `None` uses [`MwConfig::default_max_slots`].
     pub max_slots: Option<u64>,
+    /// Worker threads for the parallel step/resolve phases (1 = fully
+    /// sequential, no pool involvement). Outcomes are bit-identical for
+    /// every value — this is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl MwConfig {
-    /// Creates a configuration with seed 0 and the default slot cap.
+    /// Creates a configuration with seed 0, the default slot cap, and
+    /// sequential execution.
     pub fn new(params: MwParams) -> Self {
         MwConfig {
             params,
             seed: 0,
             max_slots: None,
+            threads: 1,
         }
     }
 
@@ -40,6 +47,12 @@ impl MwConfig {
     /// Sets an explicit slot cap.
     pub fn with_max_slots(mut self, max_slots: u64) -> Self {
         self.max_slots = Some(max_slots);
+        self
+    }
+
+    /// Sets the worker thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -228,6 +241,9 @@ where
         p.validate().expect("invalid per-node MW parameters");
         MwNode::new(id, p)
     });
+    if config.threads > 1 {
+        sim.set_pool(&Pool::new(config.threads));
+    }
     let run = sim.run_observed(config.slot_cap(), observe);
     package_outcome(&sim, run)
 }
@@ -255,6 +271,11 @@ pub fn run_mw_recorded<M: InterferenceModel>(
     let mut sim = Simulator::new(graph.clone(), model, schedule, config.seed, |id| {
         MwNode::new(id, params)
     });
+    if config.threads > 1 {
+        // The resolver still fans out; the engine's node shards stay
+        // sequential whenever the recorder is enabled (event order).
+        sim.set_pool(&Pool::new(config.threads));
+    }
     let mut probes = MwProbes::new(graph.len(), &params, probe_cfg);
     let run = sim.run_recorded(config.slot_cap(), rec, |sim, view, rec| {
         probes.observe(sim, view, rec)
@@ -556,6 +577,47 @@ mod tests {
         }
         // Aggregate transmissions match the per-node counters.
         assert_eq!(out.stats.tx_slots.iter().sum::<u64>(), out.transmissions);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_outcome() {
+        // Large enough that both the resolver chunks and the engine's node
+        // shards engage; capped so the test stays quick. The whole
+        // MwOutcome (coloring, stats, node reports, resolver counters)
+        // must match the sequential run exactly.
+        let c = cfg();
+        let graph = UnitDiskGraph::new(placement::uniform(300, 8.0, 8.0, 7), c.r_t());
+        let params = MwParams::practical(&c, graph.len(), graph.max_degree());
+        let base_cfg = MwConfig::new(params).with_seed(3).with_max_slots(300);
+        let naive_base = run_mw(
+            &graph,
+            SinrModel::new(c),
+            &base_cfg,
+            WakeupSchedule::Synchronous,
+        );
+        let fast_base = run_mw(
+            &graph,
+            sinr_model::FastSinrModel::new(c),
+            &base_cfg,
+            WakeupSchedule::Synchronous,
+        );
+        for threads in [2usize, 4] {
+            let cfg_t = base_cfg.with_threads(threads);
+            let naive = run_mw(
+                &graph,
+                SinrModel::new(c),
+                &cfg_t,
+                WakeupSchedule::Synchronous,
+            );
+            assert_eq!(naive, naive_base, "naive model, threads {threads}");
+            let fast = run_mw(
+                &graph,
+                sinr_model::FastSinrModel::new(c),
+                &cfg_t,
+                WakeupSchedule::Synchronous,
+            );
+            assert_eq!(fast, fast_base, "fast model, threads {threads}");
+        }
     }
 
     #[test]

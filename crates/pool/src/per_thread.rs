@@ -1,0 +1,142 @@
+//! Per-chunk scratch storage for pool broadcasts.
+
+use std::sync::Mutex;
+
+/// One reusable scratch slot per pool thread.
+///
+/// During a broadcast each thread locks **its own** slot (`with(t, …)`),
+/// so locks are never contended; between broadcasts the owner drains the
+/// slots *in thread order* (`get_mut` / `iter_mut`), which is what keeps
+/// merged results — transmitter lists, reception counters, resolver
+/// statistics — bit-identical to a sequential run.
+///
+/// ```
+/// use sinr_pool::{PerThread, Pool};
+///
+/// let pool = Pool::new(2);
+/// let outputs: PerThread<Vec<usize>> = PerThread::new(pool.threads(), |_| Vec::new());
+/// pool.run_chunks(10, |t, range| outputs.with(t, |v| v.extend(range)));
+/// let mut merged = Vec::new();
+/// for chunk in outputs.into_iter() {
+///     merged.extend(chunk); // chunk order == index order
+/// }
+/// assert_eq!(merged, (0..10).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Default)]
+pub struct PerThread<T> {
+    slots: Vec<Mutex<T>>,
+}
+
+impl<T> PerThread<T> {
+    /// Creates `threads` slots, initializing slot `t` with `init(t)`.
+    pub fn new(threads: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        PerThread {
+            slots: (0..threads.max(1)).map(|t| Mutex::new(init(t))).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no slots (never true for pools ≥ 1 thread).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs `f` with exclusive access to slot `t`.
+    ///
+    /// Uncontended by construction when each broadcast thread passes its
+    /// own index; the lock exists only to make that discipline safe.
+    pub fn with<R>(&self, t: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.slots[t]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        f(&mut guard)
+    }
+
+    /// Direct access to slot `t` (no locking; requires `&mut self`).
+    pub fn get_mut(&mut self, t: usize) -> &mut T {
+        self.slots[t].get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Iterates the slots in thread order (no locking).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots
+            .iter_mut()
+            .map(|m| m.get_mut().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+/// Consumes the storage, yielding the slots in thread order.
+impl<T> IntoIterator for PerThread<T> {
+    type Item = T;
+    type IntoIter = std::iter::Map<std::vec::IntoIter<Mutex<T>>, fn(Mutex<T>) -> T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+impl<T: Clone> Clone for PerThread<T> {
+    fn clone(&self) -> Self {
+        PerThread {
+            slots: self
+                .slots
+                .iter()
+                .map(|m| {
+                    Mutex::new(
+                        m.lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pool;
+
+    #[test]
+    fn merge_order_is_thread_order() {
+        let pool = Pool::new(4);
+        let outputs: PerThread<Vec<usize>> = PerThread::new(pool.threads(), |_| Vec::new());
+        pool.run_chunks(23, |t, range| outputs.with(t, |v| v.extend(range)));
+        let mut merged = Vec::new();
+        for v in outputs.into_iter() {
+            merged.extend(v);
+        }
+        assert_eq!(merged, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn get_mut_and_iter_mut_reach_every_slot() {
+        let mut pt: PerThread<u32> = PerThread::new(3, |t| t as u32);
+        *pt.get_mut(1) += 10;
+        let all: Vec<u32> = pt.iter_mut().map(|x| *x).collect();
+        assert_eq!(all, vec![0, 11, 2]);
+        assert_eq!(pt.len(), 3);
+        assert!(!pt.is_empty());
+    }
+
+    #[test]
+    fn at_least_one_slot_even_for_zero_threads() {
+        let pt: PerThread<u8> = PerThread::new(0, |_| 7);
+        assert_eq!(pt.len(), 1);
+    }
+
+    #[test]
+    fn clone_copies_slot_contents() {
+        let pt: PerThread<Vec<u8>> = PerThread::new(2, |t| vec![t as u8]);
+        let cl = pt.clone();
+        let contents: Vec<Vec<u8>> = cl.into_iter().collect();
+        assert_eq!(contents, vec![vec![0], vec![1]]);
+    }
+}

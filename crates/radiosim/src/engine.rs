@@ -7,8 +7,33 @@ use crate::wakeup::WakeupSchedule;
 use sinr_geometry::{NodeId, UnitDiskGraph};
 use sinr_model::{InterferenceModel, ReceptionTable};
 use sinr_obs::{keys, NoopRecorder, Recorder};
+use sinr_pool::{PerThread, Pool};
 use sinr_rng::rngs::StdRng;
 use sinr_rng::SeedableRng;
+
+/// Below this many nodes the per-slot pool broadcast costs more than the
+/// node-step work it splits, so small instances always step sequentially.
+pub const PAR_NODE_CUTOFF: usize = 256;
+
+/// Per-thread working state for the sharded node-step phases.
+struct EngineScratch<M> {
+    /// Transmitter ids found by this thread's chunk, in ascending order.
+    tx: Vec<NodeId>,
+    /// Reception buffer reused across this chunk's nodes.
+    inbox: Vec<(NodeId, M)>,
+    /// Receptions delivered by this chunk this slot.
+    receptions: u64,
+}
+
+impl<M> EngineScratch<M> {
+    fn new() -> Self {
+        EngineScratch {
+            tx: Vec::new(),
+            inbox: Vec::new(),
+            receptions: 0,
+        }
+    }
+}
 
 /// Everything that happened in one simulated slot (owned snapshot).
 #[derive(Debug, Clone)]
@@ -55,6 +80,10 @@ pub struct Simulator<P: Protocol, M: InterferenceModel> {
     is_tx: Vec<bool>,
     tx_msg: Vec<Option<P::Message>>,
     inbox: Vec<(NodeId, P::Message)>,
+    // Worker pool for the sharded step phases (sequential by default) and
+    // its per-thread scratch.
+    pool: Pool,
+    par: PerThread<EngineScratch<P::Message>>,
 }
 
 impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
@@ -88,7 +117,23 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             is_tx: vec![false; n],
             tx_msg: (0..n).map(|_| None).collect(),
             inbox: Vec::new(),
+            pool: Pool::sequential(),
+            par: PerThread::new(1, |_| EngineScratch::new()),
         }
+    }
+
+    /// Installs a worker pool for the sharded step phases and forwards it
+    /// to the interference model (so resolver and engine share threads).
+    ///
+    /// Parallel stepping is bit-identical to sequential: nodes are split
+    /// into static contiguous chunks, each node keeps its own seeded RNG
+    /// stream, and per-thread outputs are merged in chunk (= node) order.
+    /// Slots with tracing or an enabled recorder step sequentially, since
+    /// event streams are defined in node order.
+    pub fn set_pool(&mut self, pool: &Pool) {
+        self.pool = pool.clone();
+        self.par = PerThread::new(pool.threads(), |_| EngineScratch::new());
+        self.model.set_pool(pool);
     }
 
     /// Enables event tracing with the given capacity.
@@ -180,21 +225,69 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             }
         }
 
+        // Sharded stepping engages only when there is real work to split
+        // and no event stream to keep in node order (trace and recorder
+        // events are emitted sequentially, per slot, in node order).
+        let par_step =
+            self.pool.threads() > 1 && n >= PAR_NODE_CUTOFF && self.trace.is_none() && !obs;
+
         // 2. Actions — recorded into the dense reused buffers.
         self.tx_ids.clear();
-        for v in 0..n {
-            if self.is_awake(v) && self.nodes[v].is_active() {
-                let ctx = self.ctx(v);
-                let mut rng = RandSlotRng(&mut self.rngs[v]);
-                if let Action::Transmit(msg) = self.nodes[v].begin_slot(&ctx, &mut rng) {
-                    self.tx_ids.push(v);
-                    self.is_tx[v] = true;
-                    self.tx_msg[v] = Some(msg);
-                    if let Some(t) = &mut self.trace {
-                        t.push(slot, Event::Transmit(v));
-                    }
-                    if obs {
-                        rec.event(slot, &Event::Transmit(v).to_obs());
+        if par_step {
+            // Each thread steps a static contiguous chunk of nodes; every
+            // node draws from its own RNG stream, so the decisions match
+            // the sequential loop exactly. Per-chunk transmitter lists are
+            // merged in chunk order, which *is* ascending node order.
+            for sc in self.par.iter_mut() {
+                sc.tx.clear();
+            }
+            let wake = &self.wake;
+            let par = &self.par;
+            self.pool.chunks_mut3(
+                &mut self.nodes,
+                &mut self.rngs,
+                &mut self.tx_msg,
+                |t, start, nodes, rngs, msgs| {
+                    par.with(t, |sc| {
+                        for i in 0..nodes.len() {
+                            let v = start + i;
+                            if wake[v] <= slot && nodes[i].is_active() {
+                                let ctx = NodeCtx {
+                                    id: v,
+                                    global_slot: slot,
+                                    local_slot: slot - wake[v],
+                                };
+                                let mut rng = RandSlotRng(&mut rngs[i]);
+                                if let Action::Transmit(msg) = nodes[i].begin_slot(&ctx, &mut rng) {
+                                    sc.tx.push(v);
+                                    msgs[i] = Some(msg);
+                                }
+                            }
+                        }
+                    })
+                },
+            );
+            for sc in self.par.iter_mut() {
+                self.tx_ids.append(&mut sc.tx);
+            }
+            for &t in &self.tx_ids {
+                self.is_tx[t] = true;
+            }
+        } else {
+            for v in 0..n {
+                if self.is_awake(v) && self.nodes[v].is_active() {
+                    let ctx = self.ctx(v);
+                    let mut rng = RandSlotRng(&mut self.rngs[v]);
+                    if let Action::Transmit(msg) = self.nodes[v].begin_slot(&ctx, &mut rng) {
+                        self.tx_ids.push(v);
+                        self.is_tx[v] = true;
+                        self.tx_msg[v] = Some(msg);
+                        if let Some(t) = &mut self.trace {
+                            t.push(slot, Event::Transmit(v));
+                        }
+                        if obs {
+                            rec.event(slot, &Event::Transmit(v).to_obs());
+                        }
                     }
                 }
             }
@@ -215,43 +308,83 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         }
 
         // 4. Delivery + end-of-slot processing for every awake node.
-        let mut inbox = std::mem::take(&mut self.inbox);
-        for v in 0..n {
-            if !self.is_awake(v) || !self.nodes[v].is_active() {
-                continue;
-            }
-            inbox.clear();
-            for &(_, sender) in table.heard_by(v) {
-                let msg = self.tx_msg[sender]
-                    .as_ref()
-                    .expect("reception from a node that transmitted")
-                    .clone();
-                inbox.push((sender, msg));
-                self.stats.receptions += 1;
-                if let Some(t) = &mut self.trace {
-                    t.push(
-                        slot,
-                        Event::Receive {
-                            receiver: v,
-                            sender,
-                        },
-                    );
-                }
-                if obs {
-                    rec.event(
-                        slot,
-                        &Event::Receive {
-                            receiver: v,
-                            sender,
+        if par_step {
+            // Messages are cloned out of the shared `tx_msg` buffer; each
+            // thread delivers to its own chunk of nodes and counts its
+            // receptions, merged additively afterwards (commutative, so
+            // the total matches the sequential count exactly).
+            let wake = &self.wake;
+            let par = &self.par;
+            let tx_msg = &self.tx_msg;
+            let table_ref = &table;
+            self.pool.chunks_mut(&mut self.nodes, |t, start, chunk| {
+                par.with(t, |sc| {
+                    for (i, node) in chunk.iter_mut().enumerate() {
+                        let v = start + i;
+                        if wake[v] > slot || !node.is_active() {
+                            continue;
                         }
-                        .to_obs(),
-                    );
-                }
+                        sc.inbox.clear();
+                        for &(_, sender) in table_ref.heard_by(v) {
+                            let msg = tx_msg[sender]
+                                .as_ref()
+                                .expect("reception from a node that transmitted")
+                                .clone();
+                            sc.inbox.push((sender, msg));
+                            sc.receptions += 1;
+                        }
+                        let ctx = NodeCtx {
+                            id: v,
+                            global_slot: slot,
+                            local_slot: slot - wake[v],
+                        };
+                        node.end_slot(&ctx, &sc.inbox);
+                    }
+                })
+            });
+            for sc in self.par.iter_mut() {
+                self.stats.receptions += sc.receptions;
+                sc.receptions = 0;
             }
-            let ctx = self.ctx(v);
-            self.nodes[v].end_slot(&ctx, &inbox);
+        } else {
+            let mut inbox = std::mem::take(&mut self.inbox);
+            for v in 0..n {
+                if !self.is_awake(v) || !self.nodes[v].is_active() {
+                    continue;
+                }
+                inbox.clear();
+                for &(_, sender) in table.heard_by(v) {
+                    let msg = self.tx_msg[sender]
+                        .as_ref()
+                        .expect("reception from a node that transmitted")
+                        .clone();
+                    inbox.push((sender, msg));
+                    self.stats.receptions += 1;
+                    if let Some(t) = &mut self.trace {
+                        t.push(
+                            slot,
+                            Event::Receive {
+                                receiver: v,
+                                sender,
+                            },
+                        );
+                    }
+                    if obs {
+                        rec.event(
+                            slot,
+                            &Event::Receive {
+                                receiver: v,
+                                sender,
+                            }
+                            .to_obs(),
+                        );
+                    }
+                }
+                let ctx = self.ctx(v);
+                self.nodes[v].end_slot(&ctx, &inbox);
+            }
+            self.inbox = inbox;
         }
-        self.inbox = inbox;
 
         // 5. Termination bookkeeping.
         let mut newly_done = Vec::new();
@@ -596,6 +729,62 @@ mod tests {
             stats.tx_slots.iter().sum::<u64>(),
             "global transmission count equals the per-node tx totals"
         );
+    }
+
+    #[test]
+    fn pooled_stepping_matches_sequential_bit_for_bit() {
+        use sinr_pool::Pool;
+        struct Rnd {
+            txs: u32,
+            heard: Vec<NodeId>,
+        }
+        impl Protocol for Rnd {
+            type Message = u32;
+            fn begin_slot(&mut self, _ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<u32> {
+                if rng.chance(0.2) {
+                    self.txs += 1;
+                    Action::Transmit(self.txs)
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, _ctx: &NodeCtx, received: &[(NodeId, u32)]) {
+                self.heard.extend(received.iter().map(|&(s, _)| s));
+            }
+            fn is_done(&self) -> bool {
+                self.txs >= 3
+            }
+        }
+        let n = 300; // over PAR_NODE_CUTOFF so the shards actually engage
+        let make = || {
+            let g = UnitDiskGraph::new(placement::uniform(n, 8.0, 8.0, 5), 1.0);
+            Simulator::new(
+                g,
+                GraphModel::new(),
+                WakeupSchedule::Synchronous,
+                13,
+                |_| Rnd {
+                    txs: 0,
+                    heard: Vec::new(),
+                },
+            )
+        };
+        let mut base = make();
+        let base_out = base.run(400);
+        for threads in [2usize, 4] {
+            let mut sim = make();
+            sim.set_pool(&Pool::new(threads));
+            let out = sim.run(400);
+            assert_eq!(out, base_out, "outcome at threads {threads}");
+            assert_eq!(sim.stats(), base.stats(), "stats at threads {threads}");
+            for v in 0..n {
+                assert_eq!(
+                    sim.node(v).heard,
+                    base.node(v).heard,
+                    "node {v} inbox history"
+                );
+            }
+        }
     }
 
     #[test]

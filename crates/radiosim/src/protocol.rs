@@ -83,9 +83,15 @@ impl<R: sinr_rng::Rng> SlotRng for RandSlotRng<R> {
 ///
 /// Protocols have *no* access to the topology — like the paper's nodes,
 /// they learn about neighbors only through received messages.
-pub trait Protocol {
+///
+/// Protocols are `Send` (and messages `Send + Sync`) so the engine can
+/// shard the per-node step phase across the worker pool: each node is
+/// stepped by exactly one thread per slot, and messages are cloned out of
+/// a shared read-only buffer during delivery. Protocols remain plain
+/// single-threaded automata — they never observe concurrency.
+pub trait Protocol: Send {
     /// The message type broadcast by this protocol.
-    type Message: Clone;
+    type Message: Clone + Send + Sync;
 
     /// Called once, in the slot the node wakes up, before its first
     /// `begin_slot`.

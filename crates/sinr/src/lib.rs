@@ -51,6 +51,8 @@ pub mod resolver;
 
 pub use config::SinrConfig;
 pub use fading::FadingSinrModel;
-pub use model::{GraphModel, IdealModel, InterferenceModel, ReceptionTable, SinrModel};
+pub use model::{
+    GraphModel, IdealModel, InterferenceModel, ReceptionTable, SinrModel, PAR_CANDIDATE_CUTOFF,
+};
 pub use power::{NonUniformSinrModel, PowerAssignment};
-pub use resolver::{FastSinrModel, ResolverStats};
+pub use resolver::{FastSinrModel, ResolverStats, AUTO_GRID_MIN_NODES};

@@ -5,6 +5,12 @@ use crate::config::SinrConfig;
 use crate::interference::{received_power, sinr_from_total};
 use crate::resolver::ResolverStats;
 use sinr_geometry::{NodeId, UnitDiskGraph};
+use sinr_pool::{PerThread, Pool};
+
+/// Minimum number of candidate receivers in a slot before a resolver
+/// fans work out to the pool. Below this the per-broadcast wake/merge
+/// cost exceeds the work being split.
+pub const PAR_CANDIDATE_CUTOFF: usize = 64;
 
 /// The outcome of one time slot: which receivers heard which senders.
 ///
@@ -85,6 +91,14 @@ pub trait InterferenceModel {
     fn resolver_stats(&self) -> Option<ResolverStats> {
         None
     }
+
+    /// Installs a worker pool for models that can resolve receivers in
+    /// parallel. The default is a no-op: purely local models (graph,
+    /// ideal) ignore it. Parallel resolution must stay bit-identical to
+    /// the sequential run — chunks are static and merged in chunk order.
+    fn set_pool(&mut self, pool: &Pool) {
+        let _ = pool;
+    }
 }
 
 impl<M: InterferenceModel + ?Sized> InterferenceModel for Box<M> {
@@ -99,6 +113,10 @@ impl<M: InterferenceModel + ?Sized> InterferenceModel for Box<M> {
     fn resolver_stats(&self) -> Option<ResolverStats> {
         (**self).resolver_stats()
     }
+
+    fn set_pool(&mut self, pool: &Pool) {
+        (**self).set_pool(pool)
+    }
 }
 
 /// The paper's physical model: receiver `u` decodes sender `v` iff
@@ -110,17 +128,56 @@ impl<M: InterferenceModel + ?Sized> InterferenceModel for Box<M> {
 #[derive(Debug, Clone)]
 pub struct SinrModel {
     cfg: SinrConfig,
+    pool: Pool,
 }
 
 impl SinrModel {
-    /// Creates the model from a physical configuration.
+    /// Creates the model from a physical configuration (sequential).
     pub fn new(cfg: SinrConfig) -> Self {
-        SinrModel { cfg }
+        SinrModel {
+            cfg,
+            pool: Pool::sequential(),
+        }
+    }
+
+    /// Creates the model with a worker pool for parallel resolution.
+    pub fn with_pool(cfg: SinrConfig, pool: Pool) -> Self {
+        SinrModel { cfg, pool }
     }
 
     /// The underlying configuration.
     pub fn config(&self) -> &SinrConfig {
         &self.cfg
+    }
+
+    /// Decodes one candidate receiver `u`: the strongest sender within
+    /// `R_T` whose SINR against the whole transmitter set clears `β`.
+    /// Pure in `(u, transmitting)`, so per-receiver results are the same
+    /// no matter which thread (or chunk) computes them.
+    fn decode_at(&self, g: &UnitDiskGraph, transmitting: &[NodeId], u: NodeId) -> Option<NodeId> {
+        let positions = g.positions();
+        // Total received power at u from every transmitter.
+        let total: f64 = transmitting
+            .iter()
+            .map(|&w| {
+                received_power(
+                    self.cfg.power(),
+                    positions[u].distance(positions[w]),
+                    self.cfg.alpha(),
+                )
+            })
+            .sum();
+        // Best decodable sender among transmitters within R_T.
+        let mut best: Option<(f64, NodeId)> = None;
+        for &v in transmitting {
+            if g.are_adjacent(u, v) {
+                let s = sinr_from_total(&self.cfg, positions[u], positions[v], total);
+                if s >= self.cfg.beta() && best.is_none_or(|(bs, _)| s > bs) {
+                    best = Some((s, v));
+                }
+            }
+        }
+        best.map(|(_, v)| v)
     }
 }
 
@@ -132,52 +189,62 @@ impl InterferenceModel for SinrModel {
             g.radius(),
             self.cfg.r_t()
         );
-        let positions = g.positions();
         let mut is_tx = vec![false; g.len()];
         for &t in transmitting {
             debug_assert!(!is_tx[t], "node {t} transmits twice in one slot");
             is_tx[t] = true;
         }
 
-        // Candidate receivers: non-transmitting neighbors of any transmitter.
-        let mut pairs = Vec::new();
+        // Candidate receivers: non-transmitting neighbors of any transmitter,
+        // in discovery order (per transmitter, then per neighbor).
+        let mut candidates = Vec::new();
         let mut candidate_mark = vec![false; g.len()];
         for &t in transmitting {
             for &u in g.neighbors(t) {
                 if !is_tx[u] && !candidate_mark[u] {
                     candidate_mark[u] = true;
-                    // Total received power at u from every transmitter.
-                    let total: f64 = transmitting
-                        .iter()
-                        .map(|&w| {
-                            received_power(
-                                self.cfg.power(),
-                                positions[u].distance(positions[w]),
-                                self.cfg.alpha(),
-                            )
-                        })
-                        .sum();
-                    // Best decodable sender among transmitters within R_T.
-                    let mut best: Option<(f64, NodeId)> = None;
-                    for &v in transmitting {
-                        if g.are_adjacent(u, v) {
-                            let s = sinr_from_total(&self.cfg, positions[u], positions[v], total);
-                            if s >= self.cfg.beta() && best.is_none_or(|(bs, _)| s > bs) {
-                                best = Some((s, v));
-                            }
-                        }
-                    }
-                    if let Some((_, v)) = best {
-                        pairs.push((u, v));
-                    }
+                    candidates.push(u);
                 }
             }
         }
+
+        let pairs: Vec<(NodeId, NodeId)> =
+            if self.pool.threads() > 1 && candidates.len() >= PAR_CANDIDATE_CUTOFF {
+                // Static chunks over the candidate list; each thread decodes
+                // its receivers in candidate order and the per-thread pair
+                // lists are concatenated in chunk order, so the merged list
+                // matches the sequential one exactly.
+                let outputs: PerThread<Vec<(NodeId, NodeId)>> =
+                    PerThread::new(self.pool.threads(), |_| Vec::new());
+                self.pool.run_chunks(candidates.len(), |t, range| {
+                    outputs.with(t, |out| {
+                        for &u in &candidates[range] {
+                            if let Some(v) = self.decode_at(g, transmitting, u) {
+                                out.push((u, v));
+                            }
+                        }
+                    })
+                });
+                let mut merged = Vec::new();
+                for chunk in outputs.into_iter() {
+                    merged.extend(chunk);
+                }
+                merged
+            } else {
+                candidates
+                    .iter()
+                    .filter_map(|&u| self.decode_at(g, transmitting, u).map(|v| (u, v)))
+                    .collect()
+            };
         ReceptionTable::from_pairs(pairs)
     }
 
     fn name(&self) -> &'static str {
         "sinr"
+    }
+
+    fn set_pool(&mut self, pool: &Pool) {
+        self.pool = pool.clone();
     }
 }
 
@@ -431,6 +498,24 @@ mod tests {
         // Box forwarding preserves the answer.
         let boxed: Box<dyn InterferenceModel> = Box::new(GraphModel::new());
         assert!(boxed.resolver_stats().is_none());
+    }
+
+    #[test]
+    fn parallel_resolution_is_bit_identical() {
+        // A 20×20 lattice with ~266 candidate receivers, comfortably over
+        // PAR_CANDIDATE_CUTOFF so the pooled path actually engages.
+        let pts: Vec<Point> = (0..400)
+            .map(|i| Point::new((i % 20) as f64 * 0.4, (i / 20) as f64 * 0.4))
+            .collect();
+        let g = graph(pts);
+        let tx: Vec<NodeId> = (0..g.len()).step_by(3).collect();
+        assert!(g.len() - tx.len() >= PAR_CANDIDATE_CUTOFF);
+        let cfg = SinrConfig::default_unit();
+        let expected = SinrModel::new(cfg).resolve(&g, &tx);
+        for threads in [2usize, 4] {
+            let par = SinrModel::with_pool(cfg, Pool::new(threads));
+            assert_eq!(par.resolve(&g, &tx), expected, "threads {threads}");
+        }
     }
 
     #[test]

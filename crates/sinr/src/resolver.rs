@@ -38,8 +38,9 @@
 
 use crate::config::SinrConfig;
 use crate::interference::{received_power, received_power_d2, sinr_from_total};
-use crate::model::{InterferenceModel, ReceptionTable};
+use crate::model::{InterferenceModel, ReceptionTable, PAR_CANDIDATE_CUTOFF};
 use sinr_geometry::{GridKey, NodeId, SpatialGrid, UnitDiskGraph};
+use sinr_pool::{PerThread, Pool};
 use std::cell::RefCell;
 
 /// Default near-window half-width, in grid cells (cell side = `R_T`).
@@ -54,6 +55,14 @@ pub const DEFAULT_NEAR_REACH_CELLS: i64 = 4;
 /// Below this many transmitters the naive `O(k)` sum is cheaper than
 /// bucketing the slot into the grid, so small slots skip the fast path.
 pub const SMALL_SLOT_EXACT_CUTOFF: usize = 12;
+
+/// Below this many nodes [`FastSinrModel::auto`] disables the grid
+/// entirely. On small instances almost every slot sits near
+/// [`SMALL_SLOT_EXACT_CUTOFF`] transmitters, so the snapshot never pays
+/// for itself (at n=256 the measured hit rate was 0.2% and end-to-end
+/// throughput *lost* 7% to grid upkeep); the exact loop over reused
+/// scratch is strictly faster there.
+pub const AUTO_GRID_MIN_NODES: usize = 512;
 
 /// Relative slack applied to the interference bounds so they bracket the
 /// naive resolver's *floating-point* sum, not just the real-valued one:
@@ -127,7 +136,149 @@ struct Scratch {
     tx_cells: Vec<(GridKey, usize, usize)>,
     /// Transmitter ids backing `tx_cells`, grouped by cell.
     tx_flat: Vec<NodeId>,
+    /// One scratch slot per pool thread; slot 0 doubles as the
+    /// sequential path's buffers.
+    thread: PerThread<ChunkScratch>,
     stats: ResolverStats,
+}
+
+/// Per-thread (per-chunk) working state for one slot.
+#[derive(Debug, Clone, Default)]
+struct ChunkScratch {
+    /// Potential senders of the current candidate (reused).
+    sender_buf: Vec<NodeId>,
+    /// Receptions decoded by this chunk, in candidate order.
+    pairs: Vec<(NodeId, NodeId)>,
+    fast_hits: u64,
+    fallbacks: u64,
+    cells: u64,
+}
+
+impl ChunkScratch {
+    /// Resets the per-slot outputs (buffers keep their capacity).
+    fn begin_slot(&mut self) {
+        self.pairs.clear();
+        self.fast_hits = 0;
+        self.fallbacks = 0;
+        self.cells = 0;
+    }
+}
+
+/// Immutable per-slot context shared by every chunk: the graph, the
+/// transmitter set, the grid snapshot, and the precomputed bounds.
+struct SlotCtx<'a> {
+    cfg: &'a SinrConfig,
+    g: &'a UnitDiskGraph,
+    transmitting: &'a [NodeId],
+    grid: &'a SpatialGrid,
+    tx_cells: &'a [(GridKey, usize, usize)],
+    tx_flat: &'a [NodeId],
+    use_grid: bool,
+    reach: i64,
+    far_cap: f64,
+    adjacency_r2: f64,
+    power: f64,
+    alpha: f64,
+    beta: f64,
+    k: usize,
+}
+
+/// Resolves one candidate receiver into `cs` (pairs + counters).
+///
+/// Pure in `(ctx, u)`: the same candidate produces the same reception and
+/// counter increments on any thread, which together with static chunking
+/// and chunk-order merging keeps parallel runs bit-identical.
+fn resolve_candidate(ctx: &SlotCtx<'_>, u: NodeId, cs: &mut ChunkScratch) {
+    let positions = ctx.g.positions();
+    let pu = positions[u];
+    let mut resolved = false;
+    if ctx.use_grid {
+        let (ucx, ucy) = ctx.grid.key_of(pu);
+        // One pass over the occupied cells: near cells (Chebyshev
+        // distance ≤ reach) are summed exactly; far cells only counted.
+        // Senders must lie within R_T = one cell side, so they live in
+        // cells at Chebyshev distance ≤ 1 and are collected for the SINR
+        // evaluation below.
+        let mut near_sum = 0.0f64;
+        let mut near_count = 0usize;
+        cs.sender_buf.clear();
+        for &((cx, cy), start, end) in ctx.tx_cells {
+            let cheb = (cx - ucx).abs().max((cy - ucy).abs());
+            if cheb <= ctx.reach {
+                let collect_senders = cheb <= 1;
+                for &w in &ctx.tx_flat[start..end] {
+                    near_sum +=
+                        received_power_d2(ctx.power, pu.distance_squared(positions[w]), ctx.alpha);
+                    if collect_senders {
+                        cs.sender_buf.push(w);
+                    }
+                }
+                near_count += end - start;
+            }
+        }
+        cs.cells += ctx.tx_cells.len() as u64;
+        let far_tail = (ctx.k - near_count) as f64 * ctx.far_cap;
+        // [total_low, total_high] brackets the naive resolver's
+        // floating-point interference sum; SUM_SLACK absorbs the
+        // different summation order (see its docs).
+        let total_low = near_sum * (1.0 - SUM_SLACK);
+        let total_high = (near_sum + far_tail) * (1.0 + SUM_SLACK);
+
+        // `certified` clears β even pessimistically; `possible` counts
+        // senders clearing β optimistically.
+        let mut certified: Option<NodeId> = None;
+        let mut possible = 0u64;
+        for &v in &cs.sender_buf {
+            if positions[v].distance_squared(pu) <= ctx.adjacency_r2 {
+                let optimistic = sinr_from_total(ctx.cfg, pu, positions[v], total_low);
+                if optimistic >= ctx.beta {
+                    possible += 1;
+                    let pessimistic = sinr_from_total(ctx.cfg, pu, positions[v], total_high);
+                    if pessimistic >= ctx.beta && certified.is_none() {
+                        certified = Some(v);
+                    }
+                }
+            }
+        }
+        if let Some(v) = certified {
+            if possible == 1 {
+                // v decodes even with the tail fully charged and no
+                // other sender can reach β: the naive resolver
+                // necessarily picks exactly v.
+                cs.pairs.push((u, v));
+                resolved = true;
+            }
+        } else if possible == 0 {
+            // No sender reaches β even with zero far tail.
+            resolved = true;
+        }
+        if resolved {
+            cs.fast_hits += 1;
+        }
+    }
+    if !resolved {
+        // Exact fallback — bitwise identical to `SinrModel`: same
+        // summation order over `transmitting`, same power/SINR
+        // functions, same best-sender tie-breaking.
+        cs.fallbacks += 1;
+        let total: f64 = ctx
+            .transmitting
+            .iter()
+            .map(|&w| received_power(ctx.power, pu.distance(positions[w]), ctx.alpha))
+            .sum();
+        let mut best: Option<(f64, NodeId)> = None;
+        for &v in ctx.transmitting {
+            if ctx.g.are_adjacent(u, v) {
+                let s = sinr_from_total(ctx.cfg, pu, positions[v], total);
+                if s >= ctx.beta && best.is_none_or(|(bs, _)| s > bs) {
+                    best = Some((s, v));
+                }
+            }
+        }
+        if let Some((_, v)) = best {
+            cs.pairs.push((u, v));
+        }
+    }
 }
 
 /// The grid-tiled exact SINR resolver (drop-in replacement for
@@ -152,6 +303,8 @@ struct Scratch {
 pub struct FastSinrModel {
     cfg: SinrConfig,
     near_reach: i64,
+    grid_enabled: bool,
+    pool: Pool,
     scratch: RefCell<Scratch>,
 }
 
@@ -178,6 +331,8 @@ impl FastSinrModel {
         FastSinrModel {
             cfg,
             near_reach: near_reach_cells,
+            grid_enabled: true,
+            pool: Pool::sequential(),
             scratch: RefCell::new(Scratch {
                 grid: SpatialGrid::empty(1.0),
                 is_tx: Vec::new(),
@@ -185,9 +340,28 @@ impl FastSinrModel {
                 candidates: Vec::new(),
                 tx_cells: Vec::new(),
                 tx_flat: Vec::new(),
+                thread: PerThread::new(1, |_| ChunkScratch::default()),
                 stats: ResolverStats::default(),
             }),
         }
+    }
+
+    /// Creates the resolver with a worker pool for parallel resolution.
+    pub fn with_pool(cfg: SinrConfig, pool: Pool) -> Self {
+        let mut model = Self::new(cfg);
+        model.set_pool(&pool);
+        model
+    }
+
+    /// Creates the resolver with the grid heuristic sized for an
+    /// `nodes`-node instance: below [`AUTO_GRID_MIN_NODES`] the grid is
+    /// disabled and every slot resolves in exact naive order (over reused
+    /// scratch), which is faster than maintaining snapshots that almost
+    /// never certify. Tables are bit-identical either way.
+    pub fn auto(cfg: SinrConfig, nodes: usize) -> Self {
+        let mut model = Self::new(cfg);
+        model.grid_enabled = nodes >= AUTO_GRID_MIN_NODES;
+        model
     }
 
     /// The underlying configuration.
@@ -198,6 +372,11 @@ impl FastSinrModel {
     /// The near-window half-width in cells.
     pub fn near_reach_cells(&self) -> i64 {
         self.near_reach
+    }
+
+    /// Whether the grid fast path is active (see [`FastSinrModel::auto`]).
+    pub fn grid_enabled(&self) -> bool {
+        self.grid_enabled
     }
 
     /// Snapshot of the cumulative fast-path statistics.
@@ -223,49 +402,52 @@ impl InterferenceModel for FastSinrModel {
         let n = g.len();
         let k = transmitting.len();
         let mut scratch = self.scratch.borrow_mut();
-        let scr = &mut *scratch;
-        if scr.is_tx.len() < n {
-            scr.is_tx.resize(n, false);
-            scr.candidate_mark.resize(n, false);
+        let Scratch {
+            grid,
+            is_tx,
+            candidate_mark,
+            candidates,
+            tx_cells,
+            tx_flat,
+            thread,
+            stats,
+        } = &mut *scratch;
+        if is_tx.len() < n {
+            is_tx.resize(n, false);
+            candidate_mark.resize(n, false);
         }
 
         for &t in transmitting {
-            debug_assert!(!scr.is_tx[t], "node {t} transmits twice in one slot");
-            scr.is_tx[t] = true;
+            debug_assert!(!is_tx[t], "node {t} transmits twice in one slot");
+            is_tx[t] = true;
         }
 
         // Candidate receivers in naive discovery order: non-transmitting
         // neighbors of any transmitter, first-touch wins.
-        scr.candidates.clear();
+        candidates.clear();
         for &t in transmitting {
             for &u in g.neighbors(t) {
-                if !scr.is_tx[u] && !scr.candidate_mark[u] {
-                    scr.candidate_mark[u] = true;
-                    scr.candidates.push(u);
+                if !is_tx[u] && !candidate_mark[u] {
+                    candidate_mark[u] = true;
+                    candidates.push(u);
                 }
             }
         }
 
-        let use_grid = k > SMALL_SLOT_EXACT_CUTOFF;
+        let use_grid = self.grid_enabled && k > SMALL_SLOT_EXACT_CUTOFF;
         if use_grid {
             let cell = g.radius();
-            if scr.grid.cell_side() != cell {
-                scr.grid = SpatialGrid::empty(cell);
+            if grid.cell_side() != cell {
+                *grid = SpatialGrid::empty(cell);
             }
-            scr.grid.clear();
+            grid.clear();
             for &t in transmitting {
-                scr.grid.insert(t, positions[t]);
+                grid.insert(t, positions[t]);
             }
             // Snapshot the occupancy into flat arrays so per-candidate
             // classification is pure integer arithmetic (no hashing).
-            scr.tx_cells.clear();
-            scr.tx_flat.clear();
-            let Scratch {
-                grid,
-                tx_cells,
-                tx_flat,
-                ..
-            } = &mut *scr;
+            tx_cells.clear();
+            tx_flat.clear();
             for &key in grid.occupied_keys() {
                 let start = tx_flat.len();
                 tx_flat.extend_from_slice(grid.ids_in_cell(key));
@@ -273,127 +455,72 @@ impl InterferenceModel for FastSinrModel {
             }
         }
 
-        let cfg = &self.cfg;
-        let power = cfg.power();
-        let alpha = cfg.alpha();
-        let beta = cfg.beta();
-        let reach = self.near_reach;
-        // Far transmitters sit strictly beyond `near_reach` cells (two
-        // cells whose keys differ by more than `reach` in a coordinate are
-        // separated by more than `reach · cell` in that coordinate), so
-        // each contributes strictly less than this cap.
-        let far_cap = received_power(power, reach as f64 * g.radius(), alpha);
-        let adjacency_r2 = g.radius() * g.radius();
+        let power = self.cfg.power();
+        let alpha = self.cfg.alpha();
+        let ctx = SlotCtx {
+            cfg: &self.cfg,
+            g,
+            transmitting,
+            grid,
+            tx_cells,
+            tx_flat,
+            use_grid,
+            reach: self.near_reach,
+            // Far transmitters sit strictly beyond `near_reach` cells (two
+            // cells whose keys differ by more than `reach` in a coordinate
+            // are separated by more than `reach · cell` in that
+            // coordinate), so each contributes strictly less than this cap.
+            far_cap: received_power(power, self.near_reach as f64 * g.radius(), alpha),
+            adjacency_r2: g.radius() * g.radius(),
+            power,
+            alpha,
+            beta: self.cfg.beta(),
+            k,
+        };
 
         let mut pairs = Vec::new();
-        let mut fast_hits = 0u64;
-        let mut fallbacks = 0u64;
-        let mut cells = 0u64;
-
-        // Potential senders of the current candidate (reused across
-        // candidates; one allocation per slot at most).
-        let mut sender_buf: Vec<NodeId> = Vec::new();
-        for &u in &scr.candidates {
-            let pu = positions[u];
-            let mut resolved = false;
-            if use_grid {
-                let (ucx, ucy) = scr.grid.key_of(pu);
-                // One pass over the occupied cells: near cells (Chebyshev
-                // distance ≤ reach) are summed exactly; far cells only
-                // counted. Senders must lie within R_T = one cell side, so
-                // they live in cells at Chebyshev distance ≤ 1 and are
-                // collected for the SINR evaluation below.
-                let mut near_sum = 0.0f64;
-                let mut near_count = 0usize;
-                sender_buf.clear();
-                for &((cx, cy), start, end) in &scr.tx_cells {
-                    let cheb = (cx - ucx).abs().max((cy - ucy).abs());
-                    if cheb <= reach {
-                        let collect_senders = cheb <= 1;
-                        for &w in &scr.tx_flat[start..end] {
-                            near_sum +=
-                                received_power_d2(power, pu.distance_squared(positions[w]), alpha);
-                            if collect_senders {
-                                sender_buf.push(w);
-                            }
-                        }
-                        near_count += end - start;
-                    }
-                }
-                cells += scr.tx_cells.len() as u64;
-                let far_tail = (k - near_count) as f64 * far_cap;
-                // [total_low, total_high] brackets the naive resolver's
-                // floating-point interference sum; SUM_SLACK absorbs the
-                // different summation order (see its docs).
-                let total_low = near_sum * (1.0 - SUM_SLACK);
-                let total_high = (near_sum + far_tail) * (1.0 + SUM_SLACK);
-
-                // `certified` clears β even pessimistically; `possible`
-                // counts senders clearing β optimistically.
-                let mut certified: Option<NodeId> = None;
-                let mut possible = 0u64;
-                for &v in &sender_buf {
-                    if positions[v].distance_squared(pu) <= adjacency_r2 {
-                        let optimistic = sinr_from_total(cfg, pu, positions[v], total_low);
-                        if optimistic >= beta {
-                            possible += 1;
-                            let pessimistic = sinr_from_total(cfg, pu, positions[v], total_high);
-                            if pessimistic >= beta && certified.is_none() {
-                                certified = Some(v);
-                            }
-                        }
-                    }
-                }
-                if let Some(v) = certified {
-                    if possible == 1 {
-                        // v decodes even with the tail fully charged and no
-                        // other sender can reach β: the naive resolver
-                        // necessarily picks exactly v.
-                        pairs.push((u, v));
-                        resolved = true;
-                    }
-                } else if possible == 0 {
-                    // No sender reaches β even with zero far tail.
-                    resolved = true;
-                }
-                if resolved {
-                    fast_hits += 1;
-                }
+        if self.pool.threads() > 1 && candidates.len() >= PAR_CANDIDATE_CUTOFF {
+            // Parallel: static chunks over the candidate list. Every slot
+            // begins by resetting all per-thread outputs (chunks at the
+            // tail can be empty and are then skipped by the pool), and the
+            // merge walks the slots in thread = chunk = candidate order,
+            // so pairs and counters match the sequential loop exactly.
+            for cs in thread.iter_mut() {
+                cs.begin_slot();
             }
-            if !resolved {
-                // Exact fallback — bitwise identical to `SinrModel`: same
-                // summation order over `transmitting`, same power/SINR
-                // functions, same best-sender tie-breaking.
-                fallbacks += 1;
-                let total: f64 = transmitting
-                    .iter()
-                    .map(|&w| received_power(power, pu.distance(positions[w]), alpha))
-                    .sum();
-                let mut best: Option<(f64, NodeId)> = None;
-                for &v in transmitting {
-                    if g.are_adjacent(u, v) {
-                        let s = sinr_from_total(cfg, pu, positions[v], total);
-                        if s >= beta && best.is_none_or(|(bs, _)| s > bs) {
-                            best = Some((s, v));
-                        }
+            let candidate_slice: &[NodeId] = candidates;
+            self.pool.run_chunks(candidate_slice.len(), |t, range| {
+                thread.with(t, |cs| {
+                    for &u in &candidate_slice[range] {
+                        resolve_candidate(&ctx, u, cs);
                     }
-                }
-                if let Some((_, v)) = best {
-                    pairs.push((u, v));
-                }
+                })
+            });
+            for cs in thread.iter_mut() {
+                pairs.append(&mut cs.pairs);
+                stats.fast_path_hits += cs.fast_hits;
+                stats.exact_fallbacks += cs.fallbacks;
+                stats.cells_scanned += cs.cells;
             }
+        } else {
+            let cs = thread.get_mut(0);
+            cs.begin_slot();
+            for &u in candidates.iter() {
+                resolve_candidate(&ctx, u, cs);
+            }
+            pairs.append(&mut cs.pairs);
+            stats.fast_path_hits += cs.fast_hits;
+            stats.exact_fallbacks += cs.fallbacks;
+            stats.cells_scanned += cs.cells;
         }
 
         // Unmark scratch state for the next slot (O(touched), not O(n)).
         for &t in transmitting {
-            scr.is_tx[t] = false;
+            is_tx[t] = false;
         }
-        for i in 0..scr.candidates.len() {
-            scr.candidate_mark[scr.candidates[i]] = false;
+        for i in 0..candidates.len() {
+            candidate_mark[candidates[i]] = false;
         }
-        scr.stats.fast_path_hits += fast_hits;
-        scr.stats.exact_fallbacks += fallbacks;
-        scr.stats.cells_scanned += cells;
 
         ReceptionTable::from_pairs(pairs)
     }
@@ -404,6 +531,11 @@ impl InterferenceModel for FastSinrModel {
 
     fn resolver_stats(&self) -> Option<ResolverStats> {
         Some(self.stats())
+    }
+
+    fn set_pool(&mut self, pool: &Pool) {
+        self.pool = pool.clone();
+        self.scratch.get_mut().thread = PerThread::new(pool.threads(), |_| ChunkScratch::default());
     }
 }
 
@@ -558,5 +690,43 @@ mod tests {
     #[should_panic(expected = "at least the R_T disk")]
     fn zero_reach_rejected() {
         let _ = FastSinrModel::with_near_reach(cfg(), 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_identically() {
+        let c = cfg();
+        let g = UnitDiskGraph::new(scatter(400, 8.0, 5), c.r_t());
+        for threads in [2usize, 4] {
+            let seq = FastSinrModel::new(c);
+            let par = FastSinrModel::with_pool(c, Pool::new(threads));
+            for &k in &[1usize, 13, 80, 200, 400] {
+                let tx = spread_tx(400, k);
+                assert_eq!(
+                    par.resolve(&g, &tx),
+                    seq.resolve(&g, &tx),
+                    "threads {threads} k {k}"
+                );
+            }
+            assert_eq!(par.stats(), seq.stats(), "stats at threads {threads}");
+        }
+    }
+
+    #[test]
+    fn auto_disables_grid_below_threshold() {
+        let c = cfg();
+        let small = FastSinrModel::auto(c, AUTO_GRID_MIN_NODES - 1);
+        assert!(!small.grid_enabled());
+        assert!(FastSinrModel::auto(c, AUTO_GRID_MIN_NODES).grid_enabled());
+        assert!(FastSinrModel::new(c).grid_enabled());
+        // With the grid off every candidate takes the exact path, and the
+        // tables still match the naive resolver bit for bit.
+        let g = UnitDiskGraph::new(scatter(300, 8.0, 4), c.r_t());
+        let naive = SinrModel::new(c);
+        let tx = spread_tx(300, 80);
+        assert_eq!(small.resolve(&g, &tx), naive.resolve(&g, &tx));
+        let s = small.stats();
+        assert_eq!(s.fast_path_hits, 0);
+        assert_eq!(s.cells_scanned, 0);
+        assert!(s.exact_fallbacks > 0);
     }
 }

@@ -156,6 +156,26 @@ proptest! {
     }
 
     #[test]
+    fn parallel_resolution_matches_sequential((pts, tx) in arb_dense_scenario()) {
+        // Any thread count yields the sequential tables — for the naive
+        // resolver, the grid-tiled one, and the size-gated auto variant.
+        let cfg = SinrConfig::default_unit();
+        let g = UnitDiskGraph::new(pts, cfg.r_t());
+        let tx: Vec<NodeId> = tx.into_iter().filter(|&t| t < g.len()).collect();
+        let baseline = SinrModel::new(cfg).resolve(&g, &tx);
+        for threads in [2usize, 4] {
+            let pool = sinr_pool::Pool::new(threads);
+            let naive = SinrModel::with_pool(cfg, pool.clone()).resolve(&g, &tx);
+            prop_assert_eq!(&naive, &baseline, "naive, {} threads", threads);
+            let fast = FastSinrModel::with_pool(cfg, pool.clone());
+            prop_assert_eq!(&fast.resolve(&g, &tx), &baseline, "fast, {} threads", threads);
+            let mut auto = FastSinrModel::auto(cfg, g.len());
+            auto.set_pool(&pool);
+            prop_assert_eq!(&auto.resolve(&g, &tx), &baseline, "auto, {} threads", threads);
+        }
+    }
+
+    #[test]
     fn sinr_delivers_at_most_one_per_receiver((pts, tx) in arb_scenario()) {
         let g = UnitDiskGraph::new(pts, 1.0);
         let tx: Vec<NodeId> = tx.into_iter().filter(|&t| t < g.len()).collect();

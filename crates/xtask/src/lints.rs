@@ -1,4 +1,4 @@
-//! The four repo-specific lints (see `docs/LINTING.md`).
+//! The repo-specific lints L1–L6 (see `docs/LINTING.md`).
 //!
 //! All lints operate on *masked* source (comments and literal contents
 //! blanked — see [`crate::lexer`]) so tokens inside strings and docs never
@@ -9,7 +9,7 @@ use crate::lexer::{find_test_regions, line_of, mask_non_code, TestRegion};
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Lint identifier: `"L1"` … `"L4"`.
+    /// Lint identifier: `"L1"` … `"L6"`.
     pub lint: &'static str,
     /// Workspace-relative path (forward slashes).
     pub file: String,
@@ -23,13 +23,14 @@ pub struct Violation {
 
 /// The library crates whose non-test code must be panic-free (L2), free
 /// of lossy id/slot casts (L4), and console-silent (L5).
-pub const LIB_CRATES: [&str; 6] = [
+pub const LIB_CRATES: [&str; 7] = [
     "crates/geometry/",
     "crates/sinr/",
     "crates/radiosim/",
     "crates/core/",
     "crates/mac/",
     "crates/obs/",
+    "crates/pool/",
 ];
 
 /// Files allowed to spell out paper constants (L3): the audited definitions.
@@ -67,6 +68,15 @@ const L4_TOKENS: [&str; 6] = ["as u8", "as u16", "as u32", "as i8", "as i16", "a
 /// record through `sinr_obs::Recorder`; only the sanctioned sinks in
 /// `crates/obs/src/sink.rs` (allowlisted) may print.
 const L5_TOKENS: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+
+/// Threading primitives banned outside `crates/pool` (L6): every thread
+/// and every synchronization primitive in the workspace flows through
+/// the deterministic worker pool, so outputs stay bit-identical for any
+/// thread count and there is exactly one place to audit for ordering.
+const L6_TOKENS: [&str; 4] = ["std::thread", "std::sync", "thread::spawn", "thread::scope"];
+
+/// The one crate allowed to touch threading primitives directly (L6).
+pub const THREADING_HOME: &str = "crates/pool/";
 
 /// Whether `path` (workspace-relative, forward slashes) is test-only code:
 /// integration tests, benches, or proptest suites.
@@ -310,6 +320,37 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         );
     }
 
+    // L6 — no threading primitives outside the deterministic worker pool.
+    // `std::thread::spawn` would race results nondeterministically and
+    // `std::sync` channels/locks invite merge orders that depend on
+    // scheduling; `sinr_pool::Pool` is the audited home for both.
+    if !is_test_path(path) && !path.starts_with(THREADING_HOME) {
+        let scans: Vec<TokenScan> = L6_TOKENS
+            .iter()
+            .map(|&token| TokenScan {
+                token,
+                boundary: ident_boundary,
+            })
+            .collect();
+        let mut hits = Vec::new();
+        ctx.scan(
+            &scans,
+            "L6",
+            &|t| {
+                format!(
+                    "threading primitive `{t}` outside crates/pool: run parallel \
+                     work through sinr_pool::Pool (static partitioning, \
+                     deterministic merges) so outputs stay bit-identical for \
+                     every thread count"
+                )
+            },
+            &mut hits,
+        );
+        // `std::thread::spawn` matches two tokens at one site; report once.
+        hits.dedup_by(|a, b| a.line == b.line);
+        out.append(&mut hits);
+    }
+
     out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     out
 }
@@ -427,6 +468,29 @@ mod tests {\n\
         assert!(lints_of(LIB, "my_println!(x);\n").is_empty());
         // Each macro matches exactly once: eprintln! is not also println!.
         assert_eq!(lints_of(LIB, "eprintln!(\"x\");\n").len(), 1);
+    }
+
+    #[test]
+    fn l6_flags_threading_outside_the_pool_crate() {
+        // One violation per site even when two tokens overlap.
+        let hits = lints_of(LIB, "std::thread::spawn(|| {});\n");
+        assert_eq!(hits, vec![("L6", 1)]);
+        // Bare `thread::scope` after a `use` still trips.
+        let hits = lints_of("crates/bench/src/fake.rs", "thread::scope(|s| {});\n");
+        assert_eq!(hits, vec![("L6", 1)]);
+        let hits = lints_of("crates/obs/src/fake.rs", "use std::sync::Mutex;\n");
+        assert_eq!(hits, vec![("L6", 1)]);
+    }
+
+    #[test]
+    fn l6_allows_the_pool_crate_tests_and_lookalikes() {
+        assert!(lints_of("crates/pool/src/lib.rs", "use std::sync::Mutex;\n").is_empty());
+        assert!(lints_of("crates/mac/tests/t.rs", "use std::thread;\n").is_empty());
+        let src = "#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicU64; }\n";
+        assert!(lints_of(LIB, src).is_empty());
+        // Identifiers that merely contain the token don't trip.
+        assert!(lints_of(LIB, "fn my_thread::spawner() {}\n").is_empty());
+        assert!(lints_of(LIB, "let s = \"std::thread\"; // std::sync\n").is_empty());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Differential tests for the parallel slot engine: every artifact a run
+//! can produce — the outcome struct, the metrics dump, the event stream —
+//! is byte-identical whether it was computed on 1, 2, or 4 worker
+//! threads, for both the naive and the grid-tiled resolver.
+//!
+//! This is the contract `sinr_pool` exists to uphold (static
+//! partitioning, thread-ordered merges, per-node RNG streams; see
+//! docs/PERFORMANCE.md). The instance sizes straddle the parallel
+//! cutoffs on purpose: n = 300 exceeds both `PAR_NODE_CUTOFF` (engine
+//! node phases go parallel) and, on busy slots, `PAR_CANDIDATE_CUTOFF`
+//! (resolver goes parallel), while n = 40 stays on the sequential paths
+//! so the gating itself is exercised too.
+
+use sinr_coloring::mw::{run_mw, run_mw_recorded, MwConfig, MwOutcome, MwProbeConfig};
+use sinr_coloring::params::MwParams;
+use sinr_geometry::{placement, UnitDiskGraph};
+use sinr_model::{FastSinrModel, InterferenceModel, SinrConfig, SinrModel};
+use sinr_obs::FullRecorder;
+use sinr_radiosim::WakeupSchedule;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn instance(n: usize, side: f64, seed: u64) -> (SinrConfig, UnitDiskGraph, MwParams) {
+    let cfg = SinrConfig::default_unit();
+    let graph = UnitDiskGraph::new(placement::uniform(n, side, side, seed), cfg.r_t());
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    (cfg, graph, params)
+}
+
+/// Runs every model under `threads` workers and returns the outcomes in
+/// a fixed (model, outcome) order.
+fn outcomes(
+    graph: &UnitDiskGraph,
+    cfg: SinrConfig,
+    params: MwParams,
+    seed: u64,
+    schedule: WakeupSchedule,
+    threads: usize,
+) -> Vec<(&'static str, MwOutcome)> {
+    // A few hundred slots exercise every parallel path (the caps are per
+    // slot, not per run); running colorings to completion here would only
+    // repeat the same code paths for minutes.
+    let mw = MwConfig::new(params)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_max_slots(250);
+    vec![
+        ("sinr", run_mw(graph, SinrModel::new(cfg), &mw, schedule)),
+        (
+            "sinr-fast",
+            run_mw(graph, FastSinrModel::new(cfg), &mw, schedule),
+        ),
+        (
+            "sinr-auto",
+            run_mw(graph, FastSinrModel::auto(cfg, graph.len()), &mw, schedule),
+        ),
+    ]
+}
+
+#[test]
+fn outcomes_are_identical_across_thread_counts() {
+    for (n, side) in [(40usize, 3.5), (300, 8.0)] {
+        let (cfg, graph, params) = instance(n, side, 77);
+        let base = outcomes(&graph, cfg, params, 5, WakeupSchedule::Synchronous, 1);
+        for threads in [2usize, 4] {
+            let run = outcomes(&graph, cfg, params, 5, WakeupSchedule::Synchronous, threads);
+            for ((model, a), (_, b)) in base.iter().zip(&run) {
+                assert_eq!(a, b, "n={n} model={model} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn async_wakeup_is_identical_across_thread_counts() {
+    let (cfg, graph, params) = instance(300, 8.0, 19);
+    let schedule = WakeupSchedule::UniformRandom { window: 200 };
+    let base = outcomes(&graph, cfg, params, 11, schedule, 1);
+    for threads in [2usize, 4] {
+        let run = outcomes(&graph, cfg, params, 11, schedule, threads);
+        for ((model, a), (_, b)) in base.iter().zip(&run) {
+            assert_eq!(a, b, "model={model} threads={threads}");
+        }
+    }
+}
+
+/// Runs a fully observed coloring and returns every serialized artifact:
+/// the outcome, the metrics-registry dump, and the JSONL event stream.
+fn observed_dump<M: InterferenceModel>(
+    graph: &UnitDiskGraph,
+    model: M,
+    params: MwParams,
+    seed: u64,
+    threads: usize,
+) -> (MwOutcome, String, String) {
+    let mw = MwConfig::new(params)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_max_slots(250);
+    let mut rec = FullRecorder::new();
+    let out = run_mw_recorded(
+        graph,
+        model,
+        &mw,
+        WakeupSchedule::Synchronous,
+        MwProbeConfig::default(),
+        &mut rec,
+    );
+    (out, rec.metrics_json(), rec.jsonl_string())
+}
+
+#[test]
+fn observed_artifacts_are_byte_identical_across_thread_counts() {
+    let (cfg, graph, params) = instance(300, 8.0, 23);
+
+    let naive = |t: usize| observed_dump(&graph, SinrModel::new(cfg), params, 7, t);
+    let fast = |t: usize| observed_dump(&graph, FastSinrModel::new(cfg), params, 7, t);
+
+    let (out_n1, metrics_n1, jsonl_n1) = naive(1);
+    let (out_f1, metrics_f1, jsonl_f1) = fast(1);
+    assert!(out_n1.slots > 0 && out_f1.slots > 0);
+
+    for threads in THREADS {
+        let (out, metrics, jsonl) = naive(threads);
+        assert_eq!(out, out_n1, "naive outcome, threads={threads}");
+        assert_eq!(metrics, metrics_n1, "naive metrics dump, threads={threads}");
+        assert_eq!(jsonl, jsonl_n1, "naive event stream, threads={threads}");
+
+        let (out, metrics, jsonl) = fast(threads);
+        assert_eq!(out, out_f1, "fast outcome, threads={threads}");
+        assert_eq!(metrics, metrics_f1, "fast metrics dump, threads={threads}");
+        assert_eq!(jsonl, jsonl_f1, "fast event stream, threads={threads}");
+    }
+}
+
+#[test]
+fn auto_model_matches_naive_on_both_sides_of_the_grid_threshold() {
+    // n = 40 disables the grid, n = 300 still disables it (< 512), so
+    // force the always-grid model in as the third column to pin all
+    // three resolvers to one coloring at a size where grids disagree
+    // about being worthwhile but must not disagree about tables.
+    for (n, side, seed) in [(40usize, 3.5, 3u64), (300, 8.0, 9)] {
+        let (cfg, graph, params) = instance(n, side, seed);
+        let mw = MwConfig::new(params)
+            .with_seed(1)
+            .with_threads(2)
+            .with_max_slots(250);
+        let naive = run_mw(
+            &graph,
+            SinrModel::new(cfg),
+            &mw,
+            WakeupSchedule::Synchronous,
+        );
+        let auto = run_mw(
+            &graph,
+            FastSinrModel::auto(cfg, graph.len()),
+            &mw,
+            WakeupSchedule::Synchronous,
+        );
+        assert_eq!(naive.coloring, auto.coloring, "n={n}");
+        assert_eq!(naive.slots, auto.slots, "n={n}");
+        assert_eq!(naive.transmissions, auto.transmissions, "n={n}");
+    }
+}
