@@ -9,6 +9,7 @@
 
 use crate::mw::{run_mw, MwConfig, MwOutcome};
 use crate::params::MwParams;
+use sinr_geometry::cast;
 use sinr_geometry::{Point, UnitDiskGraph};
 use sinr_model::{SinrConfig, SinrModel};
 use sinr_radiosim::WakeupSchedule;
@@ -91,7 +92,7 @@ pub fn color_at_distance(
 /// graph (via `φ(d·R_T) ≤ (2d+1)²`).
 pub fn scaled_degree_bound(delta: usize, d: f64) -> usize {
     let f = 2.0 * d + 1.0;
-    ((f * f) * delta as f64).floor() as usize
+    cast::floor_usize((f * f) * delta as f64)
 }
 
 #[cfg(test)]

@@ -101,7 +101,7 @@ pub struct MwProbes {
 fn phase_level(p: &MwPhase) -> i64 {
     match p {
         MwPhase::Listen { level, .. } | MwPhase::Compete { level } | MwPhase::Colored { level } => {
-            *level as i64
+            i64::try_from(*level).unwrap_or(i64::MAX)
         }
         MwPhase::Leader => 0,
         MwPhase::Request { .. } => -1,
@@ -221,7 +221,7 @@ impl MwProbes {
             &ObsEvent::Violation {
                 probe: PROBE_THM1,
                 node,
-                detail: color as i64,
+                detail: i64::try_from(color).unwrap_or(i64::MAX),
             },
         );
     }
@@ -275,7 +275,7 @@ impl MwProbes {
                         &ObsEvent::Violation {
                             probe: PROBE_LEMMA6,
                             node: v,
-                            detail: a as i64,
+                            detail: i64::try_from(a).unwrap_or(i64::MAX),
                         },
                     );
                 }
@@ -287,7 +287,7 @@ impl MwProbes {
                         &ObsEvent::Violation {
                             probe: PROBE_LEMMA7,
                             node: v,
-                            detail: r as i64,
+                            detail: i64::try_from(r).unwrap_or(i64::MAX),
                         },
                     );
                 }

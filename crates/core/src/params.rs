@@ -24,6 +24,7 @@
 //! multipliers. The rigorous formulas remain available — and unit-tested
 //! against the paper's inequalities — via [`MwParams::rigorous`].
 
+use sinr_geometry::cast;
 use sinr_geometry::packing::phi_bound;
 use sinr_model::SinrConfig;
 
@@ -306,24 +307,24 @@ impl MwParams {
 
     /// Listen-phase length `⌈ηΔ ln n⌉` (Fig. 1 line 2).
     pub fn listen_slots(&self) -> u64 {
-        (self.eta * self.delta as f64 * self.ln_n()).ceil() as u64
+        cast::ceil_u64(self.eta * self.delta as f64 * self.ln_n())
     }
 
     /// Counter threshold `⌈σΔ ln n⌉` (Fig. 1 line 10).
     pub fn counter_threshold(&self) -> i64 {
-        (self.sigma * self.delta as f64 * self.ln_n()).ceil() as i64
+        cast::ceil_i64(self.sigma * self.delta as f64 * self.ln_n())
     }
 
     /// Reset window `⌈γζ_i ln n⌉` with `ζ_0 = 1`, `ζ_i = Δ` for `i > 0`
     /// (Fig. 1 lines 1, 6, 15).
     pub fn reset_window(&self, level: usize) -> i64 {
         let zeta = if level == 0 { 1.0 } else { self.delta as f64 };
-        (self.gamma * zeta * self.ln_n()).ceil() as i64
+        cast::ceil_i64(self.gamma * zeta * self.ln_n())
     }
 
     /// Grant-repetition length `⌈μ ln n⌉` (Fig. 2 line 13).
     pub fn response_slots(&self) -> u64 {
-        (self.mu * self.ln_n()).ceil() as u64
+        cast::ceil_u64(self.mu * self.ln_n())
     }
 
     /// The worst-case palette bound of Theorem 2 as realized by this

@@ -1,0 +1,150 @@
+//! Checked float→integer conversions — the audited home for lint `L9`.
+//!
+//! A bare `expr as usize` on a float expression *saturates silently*:
+//! `NaN` becomes `0`, `1e300` becomes `usize::MAX`, and `-0.5` becomes
+//! `0`, all without any signal. Sprinkled through geometry and parameter
+//! code, those saturations are indistinguishable from correct rounding —
+//! precisely the class of bug that only appears at extreme densities or
+//! corrupted inputs. Lint `L9` (`cargo xtask lint`) therefore bans direct
+//! float→`usize`/`u64`/`i64` casts in library code; every conversion
+//! routes through these helpers instead, where the saturation semantics
+//! are explicit, documented, and **debug-asserted**: a debug or test build
+//! traps on NaN and on values outside the target range, while release
+//! builds keep the branch-free saturating behavior of `as`.
+//!
+//! The helpers intentionally mirror the only patterns the workspace uses
+//! (`floor`/`ceil` then convert); a new pattern should be added here, not
+//! open-coded.
+
+/// `x.floor()` converted to `i64`.
+///
+/// Saturates at `i64::MIN`/`i64::MAX`; `NaN` maps to `0`. Debug builds
+/// assert `x` is not NaN and fits the target range.
+#[inline]
+pub fn floor_i64(x: f64) -> i64 {
+    debug_assert!(!x.is_nan(), "floor_i64 on NaN");
+    debug_assert!(
+        (-9.3e18..=9.3e18).contains(&x),
+        "floor_i64 saturates: {x} outside i64 range"
+    );
+    x.floor() as i64
+}
+
+/// `x.ceil()` converted to `i64`.
+///
+/// Saturates at `i64::MIN`/`i64::MAX`; `NaN` maps to `0`. Debug builds
+/// assert `x` is not NaN and fits the target range.
+#[inline]
+pub fn ceil_i64(x: f64) -> i64 {
+    debug_assert!(!x.is_nan(), "ceil_i64 on NaN");
+    debug_assert!(
+        (-9.3e18..=9.3e18).contains(&x),
+        "ceil_i64 saturates: {x} outside i64 range"
+    );
+    x.ceil() as i64
+}
+
+/// `x.floor()` converted to `usize`.
+///
+/// Negative values and `NaN` map to `0`; values beyond `usize::MAX`
+/// saturate. Debug builds assert `x` is not NaN and non-negative.
+#[inline]
+pub fn floor_usize(x: f64) -> usize {
+    debug_assert!(!x.is_nan(), "floor_usize on NaN");
+    debug_assert!(x >= 0.0, "floor_usize saturates: {x} is negative");
+    x.floor() as usize
+}
+
+/// `x.ceil()` converted to `usize`.
+///
+/// Negative values and `NaN` map to `0`; values beyond `usize::MAX`
+/// saturate. Debug builds assert `x` is not NaN and non-negative.
+#[inline]
+pub fn ceil_usize(x: f64) -> usize {
+    debug_assert!(!x.is_nan(), "ceil_usize on NaN");
+    debug_assert!(x > -1.0, "ceil_usize saturates: {x} is negative");
+    x.ceil() as usize
+}
+
+/// `x.floor()` converted to `u64` (also the audited replacement for a
+/// bare truncating `expr as u64` on non-negative expressions).
+///
+/// Negative values and `NaN` map to `0`; values beyond `u64::MAX`
+/// saturate. Debug builds assert `x` is not NaN and non-negative.
+#[inline]
+pub fn floor_u64(x: f64) -> u64 {
+    debug_assert!(!x.is_nan(), "floor_u64 on NaN");
+    debug_assert!(x >= 0.0, "floor_u64 saturates: {x} is negative");
+    x.floor() as u64
+}
+
+/// `x.ceil()` converted to `u64`.
+///
+/// Negative values and `NaN` map to `0`; values beyond `u64::MAX`
+/// saturate. Debug builds assert `x` is not NaN and non-negative.
+#[inline]
+pub fn ceil_u64(x: f64) -> u64 {
+    debug_assert!(!x.is_nan(), "ceil_u64 on NaN");
+    debug_assert!(x > -1.0, "ceil_u64 saturates: {x} is negative");
+    x.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_and_ceil_round_in_the_right_direction() {
+        assert_eq!(floor_i64(2.9), 2);
+        assert_eq!(ceil_i64(2.1), 3);
+        assert_eq!(floor_i64(-2.1), -3);
+        assert_eq!(ceil_i64(-2.9), -2);
+        assert_eq!(floor_usize(7.99), 7);
+        assert_eq!(ceil_usize(7.01), 8);
+        assert_eq!(floor_u64(0.999), 0);
+        assert_eq!(ceil_u64(0.001), 1);
+    }
+
+    #[test]
+    fn exact_integers_pass_through() {
+        assert_eq!(floor_i64(-5.0), -5);
+        assert_eq!(ceil_i64(-5.0), -5);
+        assert_eq!(floor_usize(12.0), 12);
+        assert_eq!(ceil_usize(12.0), 12);
+        assert_eq!(ceil_u64(0.0), 0);
+    }
+
+    #[test]
+    fn ceil_of_small_negative_is_zero() {
+        // `ceil(-0.3) == -0.0`, which converts to 0 — allowed (the value
+        // rounds *to* the target range), asserted via the `> -1.0` bound.
+        assert_eq!(ceil_usize(-0.3), 0);
+        assert_eq!(ceil_u64(-0.3), 0);
+    }
+
+    #[test]
+    fn release_mode_saturation_contract() {
+        // The documented saturating behavior (exercised in release builds
+        // where the debug_asserts compile out).
+        if cfg!(debug_assertions) {
+            return;
+        }
+        assert_eq!(floor_usize(-3.5), 0);
+        assert_eq!(floor_u64(f64::NAN), 0);
+        assert_eq!(ceil_i64(1e300), i64::MAX);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn debug_builds_trap_nan() {
+        let _ = floor_i64(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "negative")]
+    fn debug_builds_trap_negative_to_unsigned() {
+        let _ = floor_usize(-1.5);
+    }
+}

@@ -5,9 +5,10 @@
 //! equal to the dominant query radius answers such queries in time
 //! proportional to the number of candidates, instead of `O(n)` per query.
 
+use crate::cast;
 use crate::point::Point;
 use crate::NodeId;
-use std::collections::HashMap;
+use sinr_rng::DetHashMap;
 
 /// A uniform spatial hash grid over a set of points.
 ///
@@ -27,7 +28,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     cell: f64,
-    cells: HashMap<GridKey, Vec<NodeId>>,
+    cells: DetHashMap<GridKey, Vec<NodeId>>,
     /// Keys of currently non-empty cells, in insertion order. Lets
     /// [`SpatialGrid::clear`] reset an incrementally-filled grid without
     /// touching (or deallocating) cells that were never occupied.
@@ -70,7 +71,7 @@ impl SpatialGrid {
         );
         SpatialGrid {
             cell,
-            cells: HashMap::new(),
+            cells: DetHashMap::default(),
             occupied: Vec::new(),
         }
     }
@@ -79,6 +80,7 @@ impl SpatialGrid {
     ///
     /// Ids within a cell keep insertion order; inserting the same id twice
     /// simply buckets it twice.
+    // lint:hot — refilled for every transmitter set, every slot
     pub fn insert(&mut self, id: NodeId, p: Point) {
         let key = Self::key(p, self.cell);
         let bucket = self.cells.entry(key).or_default();
@@ -90,6 +92,7 @@ impl SpatialGrid {
 
     /// Removes every point while keeping all allocated buckets, so a
     /// subsequent refill is allocation-free in steady state.
+    // lint:hot — reset once per slot; must not deallocate buckets
     pub fn clear(&mut self) {
         for key in self.occupied.drain(..) {
             if let Some(bucket) = self.cells.get_mut(&key) {
@@ -100,7 +103,7 @@ impl SpatialGrid {
 
     #[inline]
     fn key(p: Point, cell: f64) -> GridKey {
-        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+        (cast::floor_i64(p.x / cell), cast::floor_i64(p.y / cell))
     }
 
     /// The cell side the grid was built with.
@@ -197,7 +200,7 @@ impl SpatialGrid {
     ) {
         assert!(radius >= 0.0, "query radius must be non-negative");
         let r2 = radius * radius;
-        let reach = (radius / self.cell).ceil() as i64;
+        let reach = cast::ceil_i64(radius / self.cell);
         let (cx, cy) = Self::key(center, self.cell);
         for gx in (cx - reach)..=(cx + reach) {
             for gy in (cy - reach)..=(cy + reach) {

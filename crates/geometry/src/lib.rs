@@ -32,6 +32,7 @@
 //! ```
 
 pub mod bbox;
+pub mod cast;
 pub mod graph;
 pub mod greedy;
 pub mod grid;

@@ -13,6 +13,7 @@
 //! greedy packings used by the test suite to confirm the bound really is an
 //! upper bound.
 
+use crate::cast;
 use crate::graph::UnitDiskGraph;
 use crate::point::Point;
 use crate::NodeId;
@@ -40,7 +41,7 @@ pub fn phi_bound(r: f64, r_t: f64) -> usize {
     assert!(r >= 0.0, "packing radius must be non-negative");
     assert!(r_t > 0.0, "transmission range must be positive");
     let x = 2.0 * r / r_t + 1.0;
-    (x * x).floor() as usize
+    cast::floor_usize(x * x)
 }
 
 /// Greedily selects a maximal set of points that are pairwise more than

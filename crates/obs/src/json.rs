@@ -3,9 +3,11 @@
 //! The workspace has no serde; every machine-readable artifact is emitted
 //! through these few functions so escaping and number formatting stay
 //! consistent (and deterministic) across the metrics dump, the JSONL event
-//! stream, and the run report. A small flat-object parser is included so
-//! tests (and downstream tooling) can round-trip single JSONL lines without
-//! a JSON dependency.
+//! stream, and the run report. Two parsers are included so tests (and
+//! downstream tooling) can round-trip artifacts without a JSON dependency:
+//! [`parse_flat_object`] for single JSONL lines (scalar fields only), and
+//! [`parse_value`] for arbitrarily nested documents (the lint report
+//! schema v2 and SARIF logs consumed by `crates/xtask`'s e2e tests).
 
 use std::fmt::Write as _;
 
@@ -104,6 +106,75 @@ pub fn parse_flat_object(s: &str) -> Option<Vec<(String, JsonValue)>> {
     }
 }
 
+/// A full JSON value — nesting allowed.
+///
+/// Objects keep their fields as ordered `(key, value)` pairs: field order
+/// is part of what the emitters guarantee, and an ordered Vec keeps this
+/// type free of hash-map iteration-order concerns (lint `L7`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A scalar leaf (number, string, bool, null).
+    Scalar(JsonValue),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value of field `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integer scalar.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Scalar(JsonValue::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string scalar.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Scalar(JsonValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool scalar.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Scalar(JsonValue::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document (nested objects and arrays allowed).
+/// Returns `None` on any syntax error or trailing garbage.
+pub fn parse_value(s: &str) -> Option<Json> {
+    let mut p = Parser {
+        bytes: s.trim().as_bytes(),
+        pos: 0,
+    };
+    let v = p.json_value()?;
+    p.skip_ws();
+    (p.pos == p.bytes.len()).then_some(v)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -155,6 +226,53 @@ impl<'a> Parser<'a> {
                 b'}' => return Some(fields),
                 _ => return None,
             }
+        }
+    }
+
+    fn json_value(&mut self) -> Option<Json> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => {
+                self.eat(b'{')?;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Some(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    let value = self.json_value()?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.bump()? {
+                        b',' => continue,
+                        b'}' => return Some(Json::Obj(fields)),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                self.eat(b'[')?;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.json_value()?);
+                    self.skip_ws();
+                    match self.bump()? {
+                        b',' => continue,
+                        b']' => return Some(Json::Arr(items)),
+                        _ => return None,
+                    }
+                }
+            }
+            _ => self.value().map(Json::Scalar),
         }
     }
 
@@ -306,5 +424,53 @@ mod tests {
     #[test]
     fn empty_object_parses() {
         assert_eq!(parse_flat_object("{}"), Some(vec![]));
+    }
+
+    #[test]
+    fn nested_parser_walks_objects_and_arrays() {
+        let doc = r#"{"version":2,"summary":{"reported":1},
+                      "violations":[{"lint":"L8","line":7,"col":13}],
+                      "ratchet":{"checked":true,"regressions":[]}}"#;
+        let v = parse_value(doc).expect("parses");
+        assert_eq!(v.get("version").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            v.get("summary")
+                .and_then(|s| s.get("reported"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        let viol = &v.get("violations").and_then(Json::as_array).expect("array")[0];
+        assert_eq!(viol.get("lint").and_then(Json::as_str), Some("L8"));
+        assert_eq!(viol.get("col").and_then(Json::as_i64), Some(13));
+        let ratchet = v.get("ratchet").expect("ratchet");
+        assert_eq!(ratchet.get("checked").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            ratchet
+                .get("regressions")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn nested_parser_rejects_malformed_documents() {
+        assert!(parse_value(r#"{"a":[1,2}"#).is_none());
+        assert!(parse_value(r#"[1,2],"#).is_none());
+        assert!(parse_value(r#"{"a":}"#).is_none());
+        assert_eq!(parse_value("[]"), Some(Json::Arr(vec![])));
+        assert_eq!(
+            parse_value("[[]]"),
+            Some(Json::Arr(vec![Json::Arr(vec![])]))
+        );
+    }
+
+    #[test]
+    fn accessors_return_none_on_type_mismatch() {
+        let v = parse_value(r#"{"a":1}"#).expect("parses");
+        assert!(v.get("missing").is_none());
+        assert!(v.as_array().is_none());
+        assert!(v.get("a").expect("field").as_str().is_none());
+        assert_eq!(v.get("a").and_then(Json::as_i64), Some(1));
     }
 }

@@ -232,6 +232,65 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             self.pool.threads() > 1 && n >= PAR_NODE_CUTOFF && self.trace.is_none() && !obs;
 
         // 2. Actions — recorded into the dense reused buffers.
+        self.phase_actions(slot, par_step, obs, rec);
+        // 3. Channel resolution + activity accounting (listen status is
+        // derived from the `is_tx` bitmap: awake ∧ active ∧ ¬transmitting).
+        let table = self.model.resolve(&self.graph, &self.tx_ids);
+        self.stats.transmissions += self.tx_ids.len() as u64;
+        self.stats.record_channel_load(self.tx_ids.len());
+        for &t in &self.tx_ids {
+            self.stats.tx_slots[t] += 1;
+        }
+        for v in 0..n {
+            if self.is_awake(v) && self.nodes[v].is_active() && !self.is_tx[v] {
+                self.stats.listen_slots[v] += 1;
+            }
+        }
+
+        // 4. Delivery + end-of-slot processing for every awake node.
+        self.phase_delivery(slot, par_step, obs, &table, rec);
+
+        // 5. Termination bookkeeping.
+        let mut newly_done = Vec::new();
+        for v in 0..n {
+            if !self.done[v] && self.nodes[v].is_done() {
+                self.done[v] = true;
+                self.stats.done_slot[v] = Some(slot);
+                newly_done.push(v);
+                if let Some(t) = &mut self.trace {
+                    t.push(slot, Event::Done(v));
+                }
+                if obs {
+                    rec.event(slot, &Event::Done(v).to_obs());
+                }
+            }
+        }
+
+        // 6. Reset the dense buffers for the next slot (O(transmitters),
+        // not O(n)). Resolver statistics are read once at end of run, not
+        // snapshotted per slot.
+        for &t in &self.tx_ids {
+            self.is_tx[t] = false;
+            self.tx_msg[t] = None;
+        }
+
+        self.slot += 1;
+        self.stats.slots = self.slot;
+
+        StepView {
+            slot,
+            transmitters: self.tx_ids.clone(),
+            receptions: table,
+            newly_done,
+        }
+    }
+
+    /// Slot phase 2: every awake active node decides its action; the
+    /// transmitter set lands in the dense reused buffers (`tx_ids`,
+    /// `is_tx`, `tx_msg`), in ascending node order in both modes.
+    // lint:hot — per-node action loop, runs every slot for every node
+    fn phase_actions(&mut self, slot: u64, par_step: bool, obs: bool, rec: &mut dyn Recorder) {
+        let n = self.graph.len();
         self.tx_ids.clear();
         if par_step {
             // Each thread steps a static contiguous chunk of nodes; every
@@ -292,22 +351,21 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                 }
             }
         }
+    }
 
-        // 3. Channel resolution + activity accounting (listen status is
-        // derived from the `is_tx` bitmap: awake ∧ active ∧ ¬transmitting).
-        let table = self.model.resolve(&self.graph, &self.tx_ids);
-        self.stats.transmissions += self.tx_ids.len() as u64;
-        self.stats.record_channel_load(self.tx_ids.len());
-        for &t in &self.tx_ids {
-            self.stats.tx_slots[t] += 1;
-        }
-        for v in 0..n {
-            if self.is_awake(v) && self.nodes[v].is_active() && !self.is_tx[v] {
-                self.stats.listen_slots[v] += 1;
-            }
-        }
-
-        // 4. Delivery + end-of-slot processing for every awake node.
+    /// Slot phase 4: delivers the granted receptions and runs every awake
+    /// node's end-of-slot hook. The only per-reception allocation is the
+    /// message clone the `Protocol` contract requires.
+    // lint:hot — per-node delivery loop, runs every slot for every node
+    fn phase_delivery(
+        &mut self,
+        slot: u64,
+        par_step: bool,
+        obs: bool,
+        table: &ReceptionTable,
+        rec: &mut dyn Recorder,
+    ) {
+        let n = self.graph.len();
         if par_step {
             // Messages are cloned out of the shared `tx_msg` buffer; each
             // thread delivers to its own chunk of nodes and counts its
@@ -316,7 +374,6 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             let wake = &self.wake;
             let par = &self.par;
             let tx_msg = &self.tx_msg;
-            let table_ref = &table;
             self.pool.chunks_mut(&mut self.nodes, |t, start, chunk| {
                 par.with(t, |sc| {
                     for (i, node) in chunk.iter_mut().enumerate() {
@@ -325,12 +382,11 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                             continue;
                         }
                         sc.inbox.clear();
-                        for &(_, sender) in table_ref.heard_by(v) {
+                        for &(_, sender) in table.heard_by(v) {
                             let msg = tx_msg[sender]
                                 .as_ref()
-                                .expect("reception from a node that transmitted")
-                                .clone();
-                            sc.inbox.push((sender, msg));
+                                .expect("reception from a node that transmitted");
+                            sc.inbox.push((sender, msg.clone()));
                             sc.receptions += 1;
                         }
                         let ctx = NodeCtx {
@@ -356,9 +412,8 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                 for &(_, sender) in table.heard_by(v) {
                     let msg = self.tx_msg[sender]
                         .as_ref()
-                        .expect("reception from a node that transmitted")
-                        .clone();
-                    inbox.push((sender, msg));
+                        .expect("reception from a node that transmitted");
+                    inbox.push((sender, msg.clone()));
                     self.stats.receptions += 1;
                     if let Some(t) = &mut self.trace {
                         t.push(
@@ -384,40 +439,6 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                 self.nodes[v].end_slot(&ctx, &inbox);
             }
             self.inbox = inbox;
-        }
-
-        // 5. Termination bookkeeping.
-        let mut newly_done = Vec::new();
-        for v in 0..n {
-            if !self.done[v] && self.nodes[v].is_done() {
-                self.done[v] = true;
-                self.stats.done_slot[v] = Some(slot);
-                newly_done.push(v);
-                if let Some(t) = &mut self.trace {
-                    t.push(slot, Event::Done(v));
-                }
-                if obs {
-                    rec.event(slot, &Event::Done(v).to_obs());
-                }
-            }
-        }
-
-        // 6. Reset the dense buffers for the next slot (O(transmitters),
-        // not O(n)). Resolver statistics are read once at end of run, not
-        // snapshotted per slot.
-        for &t in &self.tx_ids {
-            self.is_tx[t] = false;
-            self.tx_msg[t] = None;
-        }
-
-        self.slot += 1;
-        self.stats.slots = self.slot;
-
-        StepView {
-            slot,
-            transmitters: self.tx_ids.clone(),
-            receptions: table,
-            newly_done,
         }
     }
 

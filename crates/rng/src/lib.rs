@@ -21,6 +21,10 @@
 
 use std::ops::{Range, RangeInclusive};
 
+pub mod det;
+
+pub use det::{DetHashMap, DetHashSet};
+
 /// Types constructible from a plain `u64` seed.
 ///
 /// This is the *only* construction path for generators in this workspace.

@@ -188,6 +188,7 @@ struct SlotCtx<'a> {
 /// Pure in `(ctx, u)`: the same candidate produces the same reception and
 /// counter increments on any thread, which together with static chunking
 /// and chunk-order merging keeps parallel runs bit-identical.
+// lint:hot — resolver inner loop, runs once per candidate per slot
 fn resolve_candidate(ctx: &SlotCtx<'_>, u: NodeId, cs: &mut ChunkScratch) {
     let positions = ctx.g.positions();
     let pu = positions[u];

@@ -1,0 +1,29 @@
+//! fixture: crates/mac/src/fixture_clean.rs
+//! Zero findings expected: every line is a near-miss for some lint, so
+//! this fixture pins the engine's false-positive behavior.
+
+fn my_thread_rng_helper() {}
+
+fn near_misses(x: Option<u64>, xs: &[u64]) -> u64 {
+    let a = x.unwrap_or(0);
+    let near_constants = 132.0 + 96.05 + 0.32;
+    let banned_only_in_code = "panic! println! HashMap std::thread 96.0";
+    a + xs.len() as u64 + banned_only_in_code.len() as u64 + near_constants as u64
+}
+
+// lint:hot
+fn hot_lookalikes(xs: &[u64]) -> u64 {
+    let v = ArrayVec::new_like();
+    my_format!(xs);
+    recollect(xs);
+    v + xs.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        let _ = rand::thread_rng();
+        let m: std::collections::HashMap<u64, u64> = Default::default();
+        println!("{}", m.len());
+    }
+}

@@ -1,0 +1,17 @@
+//! fixture: crates/cli/src/fixture.rs
+//! L1 — unseeded RNG constructors are banned everywhere outside tests,
+//! even in binary crates.
+
+fn seed_sources() {
+    let mut r = rand::thread_rng(); //~ L1
+    let s = StdRng::from_entropy(); //~ L1
+    let o = OsRng; //~ L1
+    drop((r, s, o));
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        let _ = rand::thread_rng(); // test region: allowed
+    }
+}

@@ -1,0 +1,15 @@
+//! fixture: crates/mac/src/fixture.rs
+//! L2 — panicking constructs in library non-test code.
+
+fn panicking(x: Option<u64>) -> u64 {
+    let a = x.unwrap(); //~ L2
+    let b = x.expect("present"); //~ L2
+    if a == 0 {
+        panic!("zero"); //~ L2
+    }
+    a + b
+}
+
+fn recovering(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+//! fixture: crates/mac/src/fixture.rs
+//! L3 — paper-formula constants outside their audited homes.
+
+fn radii(rho: f64) -> f64 {
+    let r_i = 96.0 * rho; //~ L3
+    let d = 32.0_f64 * rho; //~ L3
+    let bound = 16.0 + rho; //~ L3
+    r_i + d + bound + 132.0 + 96.05
+}

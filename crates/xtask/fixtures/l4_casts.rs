@@ -1,0 +1,12 @@
+//! fixture: crates/mac/src/fixture.rs
+//! L4 — lossy id/slot-counter casts: narrowing, `as i64` on counters, and
+//! `as u64` on visibly signed expressions.
+
+fn casts(id: usize, slot: u64, a: u64, b: u64) -> u64 {
+    let small = id as u32; //~ L4
+    let signed = slot as i64; //~ L4
+    let wrapped = (a - b) as u64; //~ L4
+    let widened = id as u64;
+    let sub_is_nested = a.saturating_sub(b) as u64;
+    u64::from(small) + signed.unsigned_abs() + wrapped + widened + sub_is_nested
+}

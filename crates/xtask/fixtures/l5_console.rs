@@ -1,0 +1,15 @@
+//! fixture: crates/obs/src/fixture.rs
+//! L5 — console output in library non-test code.
+
+fn chatty(x: u64) {
+    println!("x = {x}"); //~ L5
+    eprintln!("warn"); //~ L5
+    dbg!(x); //~ L5
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        println!("tests may print");
+    }
+}

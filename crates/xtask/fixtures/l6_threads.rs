@@ -1,0 +1,10 @@
+//! fixture: crates/mac/src/fixture.rs
+//! L6 — threading primitives outside the deterministic worker pool.
+
+use std::thread; //~ L6
+use std::sync::Mutex; //~ L6
+
+fn spawn_direct() {
+    std::thread::spawn(|| {}); //~ L6
+    thread::scope(|_s| {}); //~ L6
+}

@@ -1,0 +1,12 @@
+//! fixture: crates/core/src/fixture.rs
+//! L7 — entropy-keyed std hash collections in library non-test code.
+
+use std::collections::HashMap; //~ L7
+use sinr_rng::DetHashMap;
+
+type Neighbors = std::collections::HashSet<u64>; //~ L7
+
+fn build(keys: &[u64]) -> usize {
+    let det: DetHashMap<u64, u64> = DetHashMap::default();
+    det.len() + keys.len()
+}

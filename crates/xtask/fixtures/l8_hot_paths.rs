@@ -1,0 +1,24 @@
+//! fixture: crates/sinr/src/fixture.rs
+//! L8 — allocation/formatting inside `// lint:hot` items; cold items and
+//! lookalike identifiers stay clean.
+
+// lint:hot
+fn hot_phase(xs: &[u64], out: &mut [u64]) {
+    let scratch = Vec::new(); //~ L8
+    let gathered = xs.iter().copied().collect::<Vec<u64>>(); //~ L8
+    let label = format!("slot"); //~ L8
+    let copied = gathered.clone(); //~ L8
+    out[0] = copied.len() as u64 + scratch.len() as u64 + label.len() as u64;
+}
+
+// lint:hot
+fn hot_lookalikes(xs: &[u64]) -> u64 {
+    let v = ArrayVec::new_like();
+    let s = String::from_utf8(vec_like(xs));
+    recollect(xs);
+    v + s.len() as u64
+}
+
+fn cold_phase() -> Vec<u8> {
+    vec![0u8; 8]
+}

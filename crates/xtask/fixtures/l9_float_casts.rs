@@ -1,0 +1,11 @@
+//! fixture: crates/geometry/src/fixture.rs
+//! L9 — float→int casts that must route through sinr_geometry::cast.
+
+fn grid(x: f64, cell: f64, n: usize) -> usize {
+    let key = (x / cell).floor() as i64; //~ L9
+    let span = (cell * 1.5) as u64; //~ L9
+    let idx = x.ceil() as usize; //~ L9
+    let chained = x as f64 as usize; //~ L9
+    let wide = n as u64;
+    idx + chained + key.unsigned_abs() as usize + span as usize + wide as usize
+}

@@ -162,6 +162,7 @@ mod tests {
             lint,
             file: file.to_string(),
             line: 1,
+            col: 1,
             message: String::new(),
             snippet: snippet.to_string(),
         }

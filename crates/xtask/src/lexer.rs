@@ -1,56 +1,59 @@
-//! A small Rust source "masker": comments and literal contents are blanked
-//! out (preserving byte offsets and newlines) so lints can scan for tokens
-//! without false positives from strings or docs, and `#[cfg(test)]` item
-//! regions are identified by brace matching.
+//! A small Rust source "masker" and item scanner: comments and literal
+//! contents are blanked out (preserving byte offsets and newlines) so lints
+//! can scan for tokens without false positives from strings or docs,
+//! `#[cfg(test)]` item regions are identified by brace matching, and a
+//! brace-matched **item tree** (fn/impl/mod spans with attribute attachment
+//! and column-accurate positions) lets lints reason about *which item* a
+//! token lives in — the basis of the `// lint:hot` allocation lint (L8).
 //!
 //! This is deliberately a lexer, not a parser (`syn` is not vendored in
 //! this workspace): it understands exactly as much Rust syntax as needed
-//! to classify every byte as code / comment / string / char literal.
+//! to classify every byte as code / comment / string / char literal and to
+//! bracket item bodies.
 
 /// Returns `src` with every byte that is not executable code replaced by a
-/// space: comment bodies, string contents (including raw strings), and
-/// char literals. Newlines are preserved so line numbers keep working, and
-/// the quotes of string literals are kept (masked contents only) so the
-/// result remains visually alignable with the input.
+/// space: comment bodies, string contents (including raw strings, byte
+/// strings, and raw byte strings), and char/byte literals. Newlines are
+/// preserved so line numbers keep working, and the quotes of string
+/// literals are kept (masked contents only) so the result remains visually
+/// alignable with the input — byte offsets and therefore line *and column*
+/// numbers are identical between input and output.
 pub fn mask_non_code(src: &str) -> String {
     let b = src.as_bytes();
     let mut out = Vec::with_capacity(b.len());
     let mut i = 0;
 
-    // Push `n` bytes of masked filler, preserving newlines.
-    fn blank(out: &mut Vec<u8>, bytes: &[u8]) {
-        for &c in bytes {
-            out.push(if c == b'\n' { b'\n' } else { b' ' });
-        }
-    }
-
     while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                let end = src[i..].find('\n').map_or(b.len(), |k| i + k);
-                blank(&mut out, &b[i..end]);
-                i = end;
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1usize;
-                let mut j = i + 2;
-                while j < b.len() && depth > 0 {
-                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
-                        depth += 1;
-                        j += 2;
-                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
-                        depth -= 1;
-                        j += 2;
-                    } else {
-                        j += 1;
-                    }
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let end = src[i..].find('\n').map_or(b.len(), |k| i + k);
+            blank(&mut out, &b[i..end]);
+            i = end;
+            continue;
+        }
+        // Block comment (nesting honored).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
                 }
-                blank(&mut out, &b[i..j]);
-                i = j;
             }
-            b'r' if starts_raw_string(b, i) => {
-                let hashes = count_hashes(b, i + 1);
-                let open = i + 1 + hashes; // index of the opening quote
+            blank(&mut out, &b[i..j]);
+            i = j;
+            continue;
+        }
+        // Raw strings `r"…"` / `r#"…"#` and raw byte strings `br#"…"#`.
+        if (c == b'r' || c == b'b') && !ident_continues_before(b, i) {
+            if let Some((open, hashes)) = raw_open_at(b, i) {
                 let closer: Vec<u8> = std::iter::once(b'"')
                     .chain(std::iter::repeat_n(b'#', hashes))
                     .collect();
@@ -61,77 +64,106 @@ pub fn mask_non_code(src: &str) -> String {
                 blank(&mut out, &b[body_start..end.saturating_sub(closer.len())]);
                 out.extend_from_slice(&b[end.saturating_sub(closer.len())..end]);
                 i = end;
-            }
-            b'"' => {
-                out.push(b'"');
-                let mut j = i + 1;
-                while j < b.len() {
-                    match b[j] {
-                        b'\\' => {
-                            blank(&mut out, &b[j..(j + 2).min(b.len())]);
-                            j += 2;
-                        }
-                        b'"' => break,
-                        c => {
-                            out.push(if c == b'\n' { b'\n' } else { b' ' });
-                            j += 1;
-                        }
-                    }
-                }
-                if j < b.len() {
-                    out.push(b'"');
-                    j += 1;
-                }
-                i = j;
-            }
-            b'\'' if is_char_literal(b, i) => {
-                let mut j = i + 1;
-                if j < b.len() && b[j] == b'\\' {
-                    j += 2;
-                } else {
-                    // Multi-byte UTF-8 scalar: advance to the closing quote.
-                    while j < b.len() && b[j] != b'\'' {
-                        j += 1;
-                    }
-                    j = j.max(i + 1);
-                }
-                while j < b.len() && b[j] != b'\'' {
-                    j += 1;
-                }
-                let end = (j + 1).min(b.len());
-                blank(&mut out, &b[i..end]);
-                i = end;
-            }
-            c => {
-                out.push(c);
-                i += 1;
+                continue;
             }
         }
+        // Byte string `b"…"` (cooked escapes, like a normal string).
+        if c == b'b' && !ident_continues_before(b, i) && i + 1 < b.len() && b[i + 1] == b'"' {
+            out.push(b'b');
+            i = mask_cooked_string(&mut out, b, i + 1);
+            continue;
+        }
+        // Byte literal `b'x'` / `b'\n'`.
+        if c == b'b'
+            && !ident_continues_before(b, i)
+            && i + 1 < b.len()
+            && b[i + 1] == b'\''
+            && is_char_literal(b, i + 1)
+        {
+            let end = char_literal_end(b, i + 1);
+            blank(&mut out, &b[i..end]);
+            i = end;
+            continue;
+        }
+        // Normal string literal.
+        if c == b'"' {
+            i = mask_cooked_string(&mut out, b, i);
+            continue;
+        }
+        // Char literal (vs. lifetime).
+        if c == b'\'' && is_char_literal(b, i) {
+            let end = char_literal_end(b, i);
+            blank(&mut out, &b[i..end]);
+            i = end;
+            continue;
+        }
+        out.push(c);
+        i += 1;
     }
     // Masking preserves length and only replaces bytes with ASCII spaces,
     // so the result is valid UTF-8 whenever the input was.
     String::from_utf8(out).unwrap_or_default()
 }
 
-fn starts_raw_string(b: &[u8], i: usize) -> bool {
-    // `r"` or `r#...#"`, but not part of an identifier like `for"` (the
-    // preceding byte must not be ident-continue).
-    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
-        return false;
+/// Pushes `bytes.len()` bytes of masked filler, preserving newlines.
+fn blank(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &c in bytes {
+        out.push(if c == b'\n' { b'\n' } else { b' ' });
     }
-    let mut j = i + 1;
-    while j < b.len() && b[j] == b'#' {
-        j += 1;
-    }
-    j < b.len() && b[j] == b'"'
 }
 
-fn count_hashes(b: &[u8], mut i: usize) -> usize {
-    let start = i;
-    while i < b.len() && b[i] == b'#' {
-        i += 1;
+/// Whether the byte before `i` continues an identifier (so `for"`, `abr"`
+/// and friends are not literal prefixes).
+fn ident_continues_before(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// If a raw (byte) string opens at `i`, returns `(index of the opening
+/// quote, hash count)`: `r"`, `r#…#"`, `br"`, `br#…#"`.
+fn raw_open_at(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= b.len() || b[j] != b'r' {
+            return None;
+        }
     }
-    i - start
+    if b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j < b.len() && b[j] == b'"').then_some((j, hashes))
+}
+
+/// Masks a cooked (escaped) string literal whose opening quote is at `i`;
+/// returns the index just past the closing quote. Quotes are kept, contents
+/// (and escape sequences) are blanked.
+fn mask_cooked_string(out: &mut Vec<u8>, b: &[u8], i: usize) -> usize {
+    out.push(b'"');
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                blank(out, &b[j..(j + 2).min(b.len())]);
+                j += 2;
+            }
+            b'"' => break,
+            c => {
+                out.push(if c == b'\n' { b'\n' } else { b' ' });
+                j += 1;
+            }
+        }
+    }
+    if j < b.len() {
+        out.push(b'"');
+        j += 1;
+    }
+    j
 }
 
 fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
@@ -148,17 +180,34 @@ fn is_char_literal(b: &[u8], i: usize) -> bool {
     if b[i + 1] == b'\\' {
         return true;
     }
-    // 'c' — one scalar then a quote. Look a few bytes ahead to cover
-    // multi-byte UTF-8 scalars.
-    for &c in &b[(i + 2).min(b.len())..(i + 6).min(b.len())] {
-        if c == b'\'' {
-            return true;
+    // 'c' — exactly one scalar then the closing quote (`'a, 'b` in a
+    // generic parameter list must NOT match: the `'` of `'b` is more than
+    // one scalar away). UTF-8 scalar length comes from the leading byte.
+    let scalar_len = match b[i + 1] {
+        c if c < 0x80 => 1,
+        c if c >= 0xf0 => 4,
+        c if c >= 0xe0 => 3,
+        _ => 2,
+    };
+    b.get(i + 1 + scalar_len) == Some(&b'\'')
+}
+
+/// Index just past the closing quote of the char literal opening at `i`.
+fn char_literal_end(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        j += 2;
+    } else {
+        // Multi-byte UTF-8 scalar: advance to the closing quote.
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
         }
-        if c == b'\n' {
-            return false;
-        }
+        j = j.max(i + 1);
     }
-    false
+    while j < b.len() && b[j] != b'\'' {
+        j += 1;
+    }
+    (j + 1).min(b.len())
 }
 
 /// A half-open line range `[start, end)` (1-based) of a `#[cfg(test)]`
@@ -214,6 +263,66 @@ pub fn find_test_regions(masked: &str) -> Vec<TestRegion> {
     regions
 }
 
+/// Module names declared as `#[cfg(test)] mod name;` — out-of-line test
+/// modules whose *contents live in a sibling file* (`name.rs` or
+/// `name/mod.rs`). The declaration line itself is already exempted by
+/// [`find_test_regions`]; callers use the returned names to exempt the
+/// sibling files too.
+pub fn find_test_mod_decls(masked: &str) -> Vec<String> {
+    let bytes = masked.as_bytes();
+    let mut names = Vec::new();
+    let mut search_from = 0usize;
+    while let Some(rel) = masked[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + rel;
+        let mut j = attr_at + "#[cfg(test)]".len();
+        search_from = j;
+        // Skip whitespace and any further attributes between the cfg and
+        // the item keyword (e.g. `#[cfg(test)] #[allow(…)] mod t;`).
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes[j..].starts_with(b"#[") {
+                while j < bytes.len() && bytes[j] != b']' {
+                    j += 1;
+                }
+                j = (j + 1).min(bytes.len());
+            } else {
+                break;
+            }
+        }
+        // Optional visibility.
+        for kw in ["pub(crate)", "pub(super)", "pub"] {
+            if masked[j..].starts_with(kw) {
+                j += kw.len();
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                break;
+            }
+        }
+        if !masked[j..].starts_with("mod") {
+            continue;
+        }
+        j += 3;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        let name = &masked[name_start..j];
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if !name.is_empty() && bytes.get(j) == Some(&b';') {
+            names.push(name.to_string());
+        }
+    }
+    names
+}
+
 /// 1-based line number of byte offset `at`.
 pub fn line_of(s: &str, at: usize) -> usize {
     s.as_bytes()[..at.min(s.len())]
@@ -221,6 +330,259 @@ pub fn line_of(s: &str, at: usize) -> usize {
         .filter(|&&c| c == b'\n')
         .count()
         + 1
+}
+
+/// 1-based (byte) column number of byte offset `at`.
+pub fn col_of(s: &str, at: usize) -> usize {
+    let at = at.min(s.len());
+    let line_start = s.as_bytes()[..at]
+        .iter()
+        .rposition(|&c| c == b'\n')
+        .map_or(0, |p| p + 1);
+    at - line_start + 1
+}
+
+/// Kind of a scanned item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item (free function, method, or trait default method).
+    Fn,
+    /// An `impl` block.
+    Impl,
+    /// An inline `mod` (out-of-line `mod x;` declarations have no body).
+    Mod,
+}
+
+/// One item in the flat item tree: a `fn`, `impl`, or `mod` with its
+/// brace-matched span, attached attributes, and hot-path marker.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What kind of item this is.
+    pub kind: ItemKind,
+    /// The item's name (`fn foo` → `"foo"`); for `impl` blocks, the header
+    /// text between `impl` and the opening brace, whitespace-normalized.
+    pub name: String,
+    /// Byte offset of the item keyword in the source.
+    pub start: usize,
+    /// 1-based line of the item keyword.
+    pub start_line: usize,
+    /// 1-based column of the item keyword.
+    pub start_col: usize,
+    /// Byte span of the `{ … }` body including both braces, if the item
+    /// has one (`mod x;` and trait method declarations do not).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the item's last byte (closing brace or `;`).
+    pub end_line: usize,
+    /// Attribute lines attached directly above the item, top-down.
+    pub attrs: Vec<String>,
+    /// Whether the item carries a `// lint:hot` marker — in the comment
+    /// block directly above it (alongside its attributes) or trailing on a
+    /// signature line before the body opens. Hot items reject allocation
+    /// in their body span (lint L8).
+    pub hot: bool,
+}
+
+impl Item {
+    /// Whether byte offset `at` falls inside this item's body braces.
+    pub fn body_contains(&self, at: usize) -> bool {
+        self.body.is_some_and(|(s, e)| (s..e).contains(&at))
+    }
+}
+
+/// Scans `masked` for `fn` / `impl` / `mod` items and brace-matches their
+/// bodies; `src` (the unmasked original) supplies attribute text and the
+/// `// lint:hot` markers, which masking blanks out. Returns a flat list in
+/// source order — nested items (a fn inside an impl inside a mod) each get
+/// their own entry.
+pub fn item_tree(src: &str, masked: &str) -> Vec<Item> {
+    let b = masked.as_bytes();
+    let mut items = Vec::new();
+    for (kw, kind) in [
+        ("fn", ItemKind::Fn),
+        ("impl", ItemKind::Impl),
+        ("mod", ItemKind::Mod),
+    ] {
+        let mut from = 0usize;
+        while let Some(rel) = masked[from..].find(kw) {
+            let at = from + rel;
+            from = at + 1;
+            if !ident_boundary_at(b, at, kw.len()) {
+                continue;
+            }
+            if let Some(item) = scan_item(src, masked, at, kw, kind) {
+                items.push(item);
+            }
+        }
+    }
+    items.sort_by_key(|it| it.start);
+    items
+}
+
+/// Whether a trimmed comment line is a hot-path marker: a plain `//`
+/// comment (not `///` or `//!` doc text) whose content starts with
+/// `lint:hot`.
+fn is_hot_marker(trimmed: &str) -> bool {
+    if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+        return false;
+    }
+    trimmed
+        .strip_prefix("//")
+        .is_some_and(|rest| rest.trim_start().starts_with("lint:hot"))
+}
+
+/// Identifier boundary check on raw bytes.
+fn ident_boundary_at(b: &[u8], start: usize, len: usize) -> bool {
+    let before_ok = start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_');
+    let end = start + len;
+    let after_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+    before_ok && after_ok
+}
+
+fn scan_item(src: &str, masked: &str, at: usize, kw: &str, kind: ItemKind) -> Option<Item> {
+    let b = masked.as_bytes();
+    let mut j = at + kw.len();
+    while j < b.len() && b[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    // `fn` immediately followed by `(` is a function-pointer *type*
+    // (`boundary: fn(&str) -> bool`), not an item.
+    if kind == ItemKind::Fn && b.get(j) == Some(&b'(') {
+        return None;
+    }
+    // Item name: the next identifier (for impl blocks the whole header is
+    // captured below instead).
+    let name_start = j;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    let simple_name = masked[name_start..j].to_string();
+    if kind != ItemKind::Impl && simple_name.is_empty() {
+        return None;
+    }
+
+    // Find the body: the first `{` outside parens/brackets/generics, or a
+    // terminating `;` (no body). Generic angle brackets are tracked only
+    // shallowly — enough for signatures, where `<` is never less-than.
+    let mut k = j;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut angle = 0i32;
+    let body_open = loop {
+        if k >= b.len() {
+            return None;
+        }
+        match b[k] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'<' => {
+                // `->` arrows: the `>` is consumed with the `-`.
+                angle += 1;
+            }
+            b'>' => {
+                if k > 0 && b[k - 1] == b'-' {
+                    // return-type arrow, not a closing angle
+                } else if angle > 0 {
+                    angle -= 1;
+                }
+            }
+            b'{' if paren == 0 && bracket == 0 => break Some(k),
+            b';' if paren == 0 && bracket == 0 && angle <= 0 => break None,
+            b'}' if paren == 0 && bracket == 0 => return None, // fn-ptr in a type position
+            _ => {}
+        }
+        k += 1;
+    };
+
+    let (body, end_at) = match body_open {
+        Some(open) => {
+            let mut depth = 0usize;
+            let mut m = open;
+            let close = loop {
+                if m >= b.len() {
+                    break b.len().saturating_sub(1);
+                }
+                match b[m] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break m;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            };
+            (Some((open, (close + 1).min(masked.len()))), close)
+        }
+        None => (None, k),
+    };
+
+    // Attribute attachment + hot marker, from the *original* source: the
+    // contiguous block of `#[…]` / `//` lines directly above the item.
+    let start_line = line_of(masked, at);
+    let src_lines: Vec<&str> = src.lines().collect();
+    let mut attrs = Vec::new();
+    let mut hot = false;
+    let mut li = start_line.saturating_sub(1); // 0-based index of the item's line
+    while li > 0 {
+        let prev = src_lines.get(li - 1).map_or("", |l| l.trim());
+        if prev.starts_with("#[") {
+            attrs.push(prev.to_string());
+            li -= 1;
+        } else if prev.starts_with("//") {
+            // Only a plain `//` marker comment counts: doc comments that
+            // merely *mention* `// lint:hot` (like this lint's own docs)
+            // must not mark the item hot.
+            if is_hot_marker(prev) {
+                hot = true;
+            }
+            li -= 1;
+        } else {
+            break;
+        }
+    }
+    attrs.reverse();
+    // Trailing marker on the signature lines (item keyword to body open).
+    // End-of-line anchoring keeps string literals containing the marker
+    // text (`"// lint:hot"`) from counting.
+    let sig_end_line = body.map_or_else(
+        || line_of(masked, end_at),
+        |(open, _)| line_of(masked, open),
+    );
+    for line in src_lines
+        .iter()
+        .take(sig_end_line)
+        .skip(start_line.saturating_sub(1))
+    {
+        if line.trim_end().ends_with("// lint:hot") {
+            hot = true;
+        }
+    }
+
+    let name = if kind == ItemKind::Impl {
+        let header_end = body.map_or(end_at, |(open, _)| open);
+        masked[at + kw.len()..header_end.min(masked.len())]
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ")
+    } else {
+        simple_name
+    };
+
+    Some(Item {
+        kind,
+        name,
+        start: at,
+        start_line,
+        start_col: col_of(masked, at),
+        body,
+        end_line: line_of(masked, end_at),
+        attrs,
+        hot,
+    })
 }
 
 #[cfg(test)]
@@ -288,6 +650,106 @@ mod tests {
         );
     }
 
+    // --- golden edge cases: exact line/column preservation ------------------
+
+    /// Masking must preserve length, every newline position, and the
+    /// position of every surviving code byte.
+    fn assert_offsets_preserved(src: &str) {
+        let m = mask_non_code(src);
+        assert_eq!(m.len(), src.len(), "masking must preserve byte length");
+        let (sb, mb) = (src.as_bytes(), m.as_bytes());
+        for i in 0..sb.len() {
+            if sb[i] == b'\n' {
+                assert_eq!(mb[i], b'\n', "newline at byte {i} must survive");
+            } else {
+                assert!(
+                    mb[i] == sb[i] || mb[i] == b' ',
+                    "byte {i}: masked output may only keep or blank ({} -> {})",
+                    sb[i] as char,
+                    mb[i] as char
+                );
+            }
+            if mb[i] != b' ' && mb[i] != b'\n' {
+                assert_eq!(mb[i], sb[i], "kept byte {i} must equal the input");
+            }
+        }
+    }
+
+    #[test]
+    fn golden_nested_raw_strings() {
+        let src = "let s = r##\"outer \"# panic! \"# inner\"## ;\nlet t = x.unwrap();";
+        let m = mask_non_code(src);
+        assert!(!m.contains("panic!"), "{m}");
+        assert_eq!(m.matches("unwrap").count(), 1);
+        // The `"#` sequences inside must not close the `r##` string early.
+        assert!(!m.contains("inner"));
+        assert_offsets_preserved(src);
+        // Column of the surviving `.unwrap()` is identical in src and mask.
+        assert_eq!(src.find("x.unwrap"), m.find("x.unwrap"));
+    }
+
+    #[test]
+    fn golden_byte_string_literals() {
+        let src = "let a = b\"panic! inside\"; let b2 = br#\"unwrap() \" raw\"#; done()";
+        let m = mask_non_code(src);
+        assert!(!m.contains("panic!"), "{m}");
+        assert!(!m.contains("unwrap"), "{m}");
+        assert!(m.contains("done()"));
+        assert_offsets_preserved(src);
+    }
+
+    #[test]
+    fn golden_byte_literal_vs_identifier() {
+        let src = "let c = b'x'; let esc = b'\\''; keep_me()";
+        let m = mask_non_code(src);
+        assert!(!m.contains("b'x'"));
+        assert!(m.contains("keep_me()"));
+        assert_offsets_preserved(src);
+        // An identifier ending in b followed by a string is not a prefix.
+        let src2 = "grab\"panic!\" ; tail()";
+        let m2 = mask_non_code(src2);
+        assert!(m2.contains("grab\""));
+        assert!(!m2.contains("panic!"));
+        assert_offsets_preserved(src2);
+    }
+
+    #[test]
+    fn golden_char_literals_vs_lifetimes() {
+        let src = "impl<'a, 'b> Foo<'a> { fn f(&'a self) { let q = '\\''; let z = 'z'; } }";
+        let m = mask_non_code(src);
+        assert!(m.contains("<'a, 'b>"), "lifetimes kept: {m}");
+        assert!(m.contains("&'a self"));
+        assert!(!m.contains("'z'"));
+        assert_offsets_preserved(src);
+    }
+
+    #[test]
+    fn golden_crlf_line_endings() {
+        let src = "fn a() {}\r\n// panic! in comment\r\nlet s = \"panic!\";\r\nx.unwrap();\r\n";
+        let m = mask_non_code(src);
+        assert_eq!(m.matches("panic!").count(), 0);
+        assert_eq!(m.matches("unwrap").count(), 1);
+        assert_offsets_preserved(src);
+        // Line/column of the unwrap site are identical under CRLF.
+        let at = m.find(".unwrap").unwrap();
+        assert_eq!(line_of(&m, at), 4);
+        assert_eq!(
+            col_of(&m, at),
+            src.lines().nth(3).unwrap().find(".unwrap").unwrap() + 1
+        );
+    }
+
+    #[test]
+    fn col_of_reports_one_based_byte_columns() {
+        let s = "abc\ndef g\n";
+        assert_eq!(col_of(s, 0), 1);
+        assert_eq!(col_of(s, 2), 3);
+        assert_eq!(col_of(s, 4), 1); // 'd'
+        assert_eq!(col_of(s, 8), 5); // 'g'
+    }
+
+    // --- test-region detection ----------------------------------------------
+
     #[test]
     fn finds_cfg_test_mod_region() {
         let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn b() {}\n";
@@ -311,5 +773,137 @@ mod tests {
         let regions = find_test_regions(&mask_non_code(src));
         assert_eq!(regions.len(), 1);
         assert_eq!(regions[0].end_line, 5);
+    }
+
+    #[test]
+    fn finds_out_of_line_test_mod_declarations() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod golden;\n#[cfg(test)]\npub mod shared_cases;\n";
+        let names = find_test_mod_decls(&mask_non_code(src));
+        assert_eq!(
+            names,
+            vec!["golden".to_string(), "shared_cases".to_string()]
+        );
+    }
+
+    #[test]
+    fn inline_test_mods_are_not_sibling_declarations() {
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\n";
+        assert!(find_test_mod_decls(&mask_non_code(src)).is_empty());
+        // `#[cfg(test)] use …;` is not a mod declaration either.
+        let src = "#[cfg(test)]\nuse helpers::x;\n";
+        assert!(find_test_mod_decls(&mask_non_code(src)).is_empty());
+    }
+
+    #[test]
+    fn test_mod_decl_with_interleaved_attribute() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod fixture_cases;\n";
+        assert_eq!(
+            find_test_mod_decls(&mask_non_code(src)),
+            vec!["fixture_cases".to_string()]
+        );
+    }
+
+    // --- item tree -----------------------------------------------------------
+
+    fn items_of(src: &str) -> Vec<Item> {
+        item_tree(src, &mask_non_code(src))
+    }
+
+    #[test]
+    fn item_tree_finds_fns_impls_and_mods_with_spans() {
+        let src = "\
+mod outer {
+    impl Foo for Bar {
+        fn method(&self) -> usize {
+            self.x
+        }
+    }
+    fn free() {}
+}
+";
+        let items = items_of(src);
+        let kinds: Vec<ItemKind> = items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ItemKind::Mod, ItemKind::Impl, ItemKind::Fn, ItemKind::Fn]
+        );
+        let method = items.iter().find(|i| i.name == "method").unwrap();
+        assert_eq!(method.start_line, 3);
+        assert_eq!(method.start_col, 9);
+        assert_eq!(method.end_line, 5);
+        let (bs, be) = method.body.unwrap();
+        assert!(src[bs..be].contains("self.x"));
+        let imp = items.iter().find(|i| i.kind == ItemKind::Impl).unwrap();
+        assert_eq!(imp.name, "Foo for Bar");
+        assert_eq!(imp.end_line, 6);
+        let outer = items.iter().find(|i| i.name == "outer").unwrap();
+        assert_eq!((outer.start_line, outer.end_line), (1, 8));
+    }
+
+    #[test]
+    fn item_tree_attaches_attributes() {
+        let src = "#[inline]\n#[must_use]\nfn fast() -> usize { 1 }\n";
+        let items = items_of(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].attrs, vec!["#[inline]", "#[must_use]"]);
+        assert!(!items[0].hot);
+    }
+
+    #[test]
+    fn hot_marker_above_and_trailing() {
+        let above = "// lint:hot\n#[inline]\nfn hot_above() { work(); }\n";
+        assert!(items_of(above)[0].hot, "marker above the attributes");
+        let trailing = "fn hot_trailing( // lint:hot\n    x: usize,\n) -> usize { x }\n";
+        let items = items_of(trailing);
+        assert!(items[0].hot, "marker trailing the signature");
+        let cold = "fn cold() { /* lint:hot in a body comment does not count */ }\n";
+        assert!(!items_of(cold)[0].hot);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "struct S { f: fn(&str, usize) -> bool }\nfn real() {}\n";
+        let items = items_of(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+
+    #[test]
+    fn bodyless_fns_and_mod_decls_have_no_body() {
+        let src = "trait T { fn decl(&self); }\nmod sibling;\n";
+        let items = items_of(src);
+        let decl = items.iter().find(|i| i.name == "decl").unwrap();
+        assert!(decl.body.is_none());
+        let sib = items.iter().find(|i| i.name == "sibling").unwrap();
+        assert!(sib.body.is_none());
+        assert_eq!(sib.end_line, 2);
+    }
+
+    #[test]
+    fn generic_fn_with_where_clause_brace_matches() {
+        let src = "\
+fn generic<T: Ord>(v: Vec<T>) -> Option<T>
+where
+    T: Clone,
+{
+    v.into_iter().max()
+}
+";
+        let items = items_of(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].end_line, 6);
+        let (bs, _) = items[0].body.unwrap();
+        assert_eq!(line_of(src, bs), 4);
+    }
+
+    #[test]
+    fn body_contains_uses_byte_offsets() {
+        let src = "fn a() { inner(); }\nfn b() { other(); }\n";
+        let items = items_of(src);
+        let a = &items[0];
+        let at_inner = src.find("inner").unwrap();
+        let at_other = src.find("other").unwrap();
+        assert!(a.body_contains(at_inner));
+        assert!(!a.body_contains(at_other));
     }
 }

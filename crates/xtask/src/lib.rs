@@ -1,0 +1,29 @@
+//! Workspace automation library: the repo-specific static-analysis engine
+//! behind `cargo xtask lint`.
+//!
+//! The binary (`src/main.rs`) is a thin wrapper over [`cli::run`]; the
+//! engine is a library so the integration tests (and any future tooling)
+//! can drive the lexer, lints, rule catalog, and reporters directly.
+//!
+//! Module map:
+//!
+//! * [`lexer`] — byte-offset-preserving masking, `#[cfg(test)]` regions,
+//!   and the brace-matched item tree (`fn`/`impl`/`mod` spans).
+//! * [`lints`] — the lint implementations L1–L9 over masked source.
+//! * [`rules`] — the rule catalog (id, title, rationale, fix): the single
+//!   source of truth for `--explain`, SARIF metadata, and the docs.
+//! * [`allowlist`] — vetted exceptions (`xtask-lint.toml`).
+//! * [`ratchet`] — per-lint budgets that may only decrease
+//!   (`xtask-lint.ratchet`).
+//! * [`report`] — text / JSON (schema v2) / SARIF 2.1.0 emitters.
+//! * [`selftest`] — the fixture-tree self-check (`lint --self-test`).
+//! * [`cli`] — argument parsing, the workspace walk, and orchestration.
+
+pub mod allowlist;
+pub mod cli;
+pub mod lexer;
+pub mod lints;
+pub mod ratchet;
+pub mod report;
+pub mod rules;
+pub mod selftest;

@@ -1,20 +1,24 @@
-//! The repo-specific lints L1–L6 (see `docs/LINTING.md`).
+//! The repo-specific lints L1–L9 (see `docs/LINTING.md`).
 //!
 //! All lints operate on *masked* source (comments and literal contents
 //! blanked — see [`crate::lexer`]) so tokens inside strings and docs never
-//! trigger, and honor `#[cfg(test)]` regions.
+//! trigger, and honor `#[cfg(test)]` regions. L8 additionally consumes the
+//! item tree ([`crate::lexer::item_tree`]) so findings attach to the
+//! `// lint:hot`-marked item whose body they fall in.
 
-use crate::lexer::{find_test_regions, line_of, mask_non_code, TestRegion};
+use crate::lexer::{col_of, find_test_regions, item_tree, line_of, mask_non_code, TestRegion};
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Lint identifier: `"L1"` … `"L6"`.
+    /// Lint identifier: `"L1"` … `"L9"`.
     pub lint: &'static str,
     /// Workspace-relative path (forward slashes).
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column of the offending token within its line.
+    pub col: usize,
     /// What was found and what to do instead.
     pub message: String,
     /// The offending source line, trimmed.
@@ -78,6 +82,60 @@ const L6_TOKENS: [&str; 4] = ["std::thread", "std::sync", "thread::spawn", "thre
 /// The one crate allowed to touch threading primitives directly (L6).
 pub const THREADING_HOME: &str = "crates/pool/";
 
+/// Entropy-keyed std hash collections banned in library non-test code (L7):
+/// `RandomState` draws a per-process key, so iteration order differs
+/// between runs — `sinr_rng::DetHashMap`/`DetHashSet` (fixed-key hasher)
+/// or `BTreeMap` are the deterministic replacements.
+const L7_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Allocating / formatting constructs banned inside `// lint:hot` items
+/// (L8): the slot engine's inner loops must be allocation-free.
+const L8_TOKENS: [&str; 9] = [
+    "Vec::new",
+    "vec![",
+    "Box::new",
+    "format!",
+    "String::from",
+    ".to_vec()",
+    ".collect(",
+    ".collect::<",
+    ".clone()",
+];
+
+/// Float→integer cast targets audited by L9.
+const L9_CASTS: [&str; 3] = ["as usize", "as u64", "as i64"];
+
+/// The audited home for checked float→int conversions: the one file that
+/// may spell out `expr as i64` etc. on float expressions (exempt from L9).
+pub const CAST_HOME: &str = "crates/geometry/src/cast.rs";
+
+/// Methods whose receiver/result is evidently floating-point; a cast of
+/// `x.method() as usize` with one of these is an L9 finding.
+const FLOAT_METHODS: [&str; 22] = [
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fract",
+    "sqrt",
+    "cbrt",
+    "ln",
+    "ln_1p",
+    "log",
+    "log2",
+    "log10",
+    "exp",
+    "exp2",
+    "exp_m1",
+    "powf",
+    "powi",
+    "hypot",
+    "mul_add",
+    "recip",
+    "to_degrees",
+    "to_radians",
+];
+
 /// Whether `path` (workspace-relative, forward slashes) is test-only code:
 /// integration tests, benches, or proptest suites.
 fn is_test_path(path: &str) -> bool {
@@ -124,6 +182,227 @@ fn numeric_boundary(masked: &str, start: usize, len: usize) -> bool {
         Some(_) => true,
     };
     before_ok && after_ok
+}
+
+/// Index of the last non-whitespace byte strictly before `i`.
+fn prev_non_ws(b: &[u8], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| !b[j].is_ascii_whitespace())
+}
+
+/// The `(` matching the `)` at `close` (paren contents in masked source
+/// contain no string/comment parens, so plain counting is exact).
+fn matching_open_paren(b: &[u8], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in (0..=close).rev() {
+        match b[j] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The identifier (or number token) ending strictly before `end`, with its
+/// start offset. Empty if the preceding byte is not an identifier byte.
+fn token_before(masked: &str, end: usize) -> (usize, &str) {
+    let b = masked.as_bytes();
+    let mut start = end;
+    while start > 0 && (b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_') {
+        start -= 1;
+    }
+    (start, &masked[start..end])
+}
+
+/// Whether a numeric token is a float literal: `1.5`, `2.`, `1e9`,
+/// `2.5_f64`, `3f32` — but not hex/binary/octal, plain ints, or range
+/// expressions the dotted walk-back may have swallowed (`0..n`).
+fn is_float_literal(tok: &str) -> bool {
+    let b = tok.as_bytes();
+    if b.first().is_none_or(|c| !c.is_ascii_digit()) {
+        return false;
+    }
+    if tok.starts_with("0x") || tok.starts_with("0b") || tok.starts_with("0o") {
+        return false;
+    }
+    let suffixed = tok.ends_with("f64") || tok.ends_with("f32");
+    let body = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .map(|t| t.strip_suffix('_').unwrap_or(t))
+        .unwrap_or(tok);
+    // After peeling the suffix, a float literal is digits plus at most a
+    // dot and an exponent; any other letter means this was a path/range
+    // (`0..n`, `t.0n`) and not a number at all.
+    if !body
+        .bytes()
+        .all(|c| c.is_ascii_digit() || matches!(c, b'.' | b'_' | b'e' | b'E' | b'+' | b'-'))
+        || body.contains("..")
+    {
+        return false;
+    }
+    let dotted = body.contains('.');
+    let exponent = body.as_bytes().iter().enumerate().any(|(i, &c)| {
+        (c == b'e' || c == b'E')
+            && i > 0
+            && body
+                .as_bytes()
+                .get(i + 1)
+                .is_some_and(|n| n.is_ascii_digit())
+    });
+    suffixed || dotted || exponent
+}
+
+/// Whether a masked paren-group's text gives away a float expression:
+/// a float literal, a float-method call, or an `as f64`/`as f32` cast.
+fn contains_float_hint(group: &str) -> bool {
+    let b = group.as_bytes();
+    // `1.5`-style literal: digit '.' digit (ranges `0..9` have two dots,
+    // tuple fields `t.0` have no digit before the dot).
+    for i in 1..b.len().saturating_sub(1) {
+        if b[i] == b'.' && b[i - 1].is_ascii_digit() && b[i + 1].is_ascii_digit() {
+            // Not part of a `..` range on either side.
+            if b.get(i + 1) != Some(&b'.') && b[i - 1] != b'.' {
+                return true;
+            }
+        }
+    }
+    for cast in ["as f64", "as f32"] {
+        let mut from = 0;
+        while let Some(rel) = group[from..].find(cast) {
+            let at = from + rel;
+            from = at + 1;
+            if ident_boundary(group, at, cast.len()) {
+                return true;
+            }
+        }
+    }
+    FLOAT_METHODS
+        .iter()
+        .any(|m| group.contains(&format!(".{m}(")))
+}
+
+/// Whether the expression ending just before `at` (the start of an
+/// `as <int>` cast) is evidently floating-point (L9's heuristic).
+fn float_expr_before(masked: &str, at: usize) -> bool {
+    let b = masked.as_bytes();
+    let Some(p) = prev_non_ws(b, at) else {
+        return false;
+    };
+    if b[p] == b')' {
+        let Some(open) = matching_open_paren(b, p) else {
+            return false;
+        };
+        // Method call `recv.method(...)`: float-returning method ⇒ float.
+        let (name_start, name) = token_before(masked, open);
+        if !name.is_empty()
+            && name_start > 0
+            && b[name_start - 1] == b'.'
+            && FLOAT_METHODS.contains(&name)
+        {
+            return true;
+        }
+        return contains_float_hint(&masked[open + 1..p]);
+    }
+    // Walk back over a number-or-path token, dots included, so `2.5`
+    // comes out whole (while `t.0` / `self.cell` start with a non-digit
+    // and classify as non-float).
+    let mut start = p + 1;
+    while start > 0 && {
+        let c = b[start - 1];
+        c.is_ascii_alphanumeric() || c == b'_' || c == b'.'
+    } {
+        start -= 1;
+    }
+    let tok = &masked[start..p + 1];
+    if tok == "f64" || tok == "f32" {
+        // `x as f64 as usize`: the thing being cast is itself a float cast.
+        if let Some(q) = prev_non_ws(b, start) {
+            let (_, prev) = token_before(masked, q + 1);
+            return prev == "as";
+        }
+        return false;
+    }
+    is_float_literal(tok)
+}
+
+/// Whether the expression ending just before `at` visibly involves
+/// subtraction or negation (the L4 `as u64`-on-signed heuristic):
+/// a preceding paren group with a top-level `-`, or a negated literal.
+fn signed_expr_before(masked: &str, at: usize) -> bool {
+    let b = masked.as_bytes();
+    let Some(p) = prev_non_ws(b, at) else {
+        return false;
+    };
+    if b[p] == b')' {
+        let Some(open) = matching_open_paren(b, p) else {
+            return false;
+        };
+        return group_has_top_level_minus(&masked[open + 1..p]);
+    }
+    // `-5 as u64`: a literal with a unary minus directly applied.
+    let (start, tok) = token_before(masked, p + 1);
+    if tok.is_empty() || !tok.as_bytes()[0].is_ascii_digit() {
+        return false;
+    }
+    let Some(m) = prev_non_ws(b, start) else {
+        return false;
+    };
+    if b[m] != b'-' {
+        return false;
+    }
+    // Unary, not binary: `a - 5 as u64` casts only `5` (binary minus on
+    // the *outer* expression), so require an operator/opening before `-`.
+    match prev_non_ws(b, m) {
+        None => true,
+        Some(o) => matches!(
+            b[o],
+            b'(' | b'['
+                | b'{'
+                | b','
+                | b'='
+                | b'+'
+                | b'-'
+                | b'*'
+                | b'/'
+                | b'%'
+                | b'<'
+                | b'>'
+                | b'&'
+                | b'|'
+                | b'^'
+                | b';'
+                | b':'
+        ),
+    }
+}
+
+/// Whether `group` (masked paren contents) contains a `-` at paren/bracket
+/// depth 0 that is neither an `->` arrow nor a float-exponent sign.
+fn group_has_top_level_minus(group: &str) -> bool {
+    let b = group.as_bytes();
+    let mut depth = 0i32;
+    for i in 0..b.len() {
+        match b[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'-' if depth == 0 => {
+                let arrow = b.get(i + 1) == Some(&b'>');
+                let exponent =
+                    i >= 2 && (b[i - 1] == b'e' || b[i - 1] == b'E') && b[i - 2].is_ascii_digit();
+                if !arrow && !exponent {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
 }
 
 fn line_text(src: &str, line: usize) -> String {
@@ -174,7 +453,46 @@ impl FileCtx<'_> {
                     lint,
                     file: self.path.to_string(),
                     line,
+                    col: col_of(&self.masked, at),
                     message: message(s.token),
+                    snippet: line_text(self.src, line),
+                });
+            }
+        }
+    }
+
+    /// Scans `as <ty>` cast tokens and reports the sites `classify`
+    /// accepts (returning the finding message). Used by L9 and the L4
+    /// signedness extension, whose verdicts depend on the expression
+    /// *preceding* the token, not the token alone.
+    fn scan_casts(
+        &self,
+        lint: &'static str,
+        tokens: &[&str],
+        classify: &dyn Fn(&str, usize, &str) -> Option<String>,
+        out: &mut Vec<Violation>,
+    ) {
+        for &token in tokens {
+            let mut from = 0usize;
+            while let Some(rel) = self.masked[from..].find(token) {
+                let at = from + rel;
+                from = at + 1;
+                if !ident_boundary(&self.masked, at, token.len()) {
+                    continue;
+                }
+                let line = line_of(&self.masked, at);
+                if in_test_region(&self.regions, line) {
+                    continue;
+                }
+                let Some(message) = classify(&self.masked, at, token) else {
+                    continue;
+                };
+                out.push(Violation {
+                    lint,
+                    file: self.path.to_string(),
+                    line,
+                    col: col_of(&self.masked, at),
+                    message,
                     snippet: line_text(self.src, line),
                 });
             }
@@ -296,6 +614,39 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         );
     }
 
+    // L4 (signedness extension) — `as i64` anywhere (slot counters are u64
+    // and wrap above 2^63) and `as u64` on visibly signed expressions (a
+    // subtraction or negation feeding the cast wraps negatives to huge
+    // values). Float-valued sites belong to L9, which reports them with the
+    // right fix; they are excluded here so one site gets one finding.
+    if in_lib_crate(path) && path != CAST_HOME {
+        ctx.scan_casts(
+            "L4",
+            &["as i64", "as u64"],
+            &|masked, at, token| {
+                if float_expr_before(masked, at) {
+                    return None;
+                }
+                match token {
+                    "as i64" => Some(
+                        "sign-converting cast `as i64`: slot counters are u64 and \
+                         wrap above 2^63; use i64::try_from(..) with explicit \
+                         overflow handling (e.g. .unwrap_or(i64::MAX))"
+                            .to_string(),
+                    ),
+                    _ if signed_expr_before(masked, at) => Some(
+                        "sign-discarding cast `as u64` on an expression with \
+                         subtraction/negation: negatives wrap to huge values; \
+                         compute in i64/f64 and convert with a checked helper"
+                            .to_string(),
+                    ),
+                    _ => None,
+                }
+            },
+            &mut out,
+        );
+    }
+
     // L5 — no console output in library code: everything observable goes
     // through a Recorder; the binary (CLI, bench) decides where it prints.
     if in_lib_crate(path) {
@@ -351,8 +702,111 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         out.append(&mut hits);
     }
 
-    out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    // L7 — no entropy-keyed hash collections in library non-test code:
+    // `RandomState` seeds per process, so iteration order differs between
+    // runs and silently breaks seed-cited reproducibility.
+    if in_lib_crate(path) {
+        let scans: Vec<TokenScan> = L7_TOKENS
+            .iter()
+            .map(|&token| TokenScan {
+                token,
+                boundary: ident_boundary,
+            })
+            .collect();
+        ctx.scan(
+            &scans,
+            "L7",
+            &|t| {
+                format!(
+                    "entropy-keyed `{t}`: std's RandomState makes iteration \
+                     order differ between runs; use sinr_rng::Det{t} \
+                     (fixed-key hasher, same API) or a BTree collection \
+                     when visit order matters"
+                )
+            },
+            &mut out,
+        );
+    }
+
+    // L8 — `// lint:hot` items must not allocate or format. Findings are
+    // attached to the enclosing marked item via the item tree; applies
+    // everywhere outside test code (markers declare intent, not crate).
+    if !is_test_path(path) && src.contains("lint:hot") {
+        let items = item_tree(src, &ctx.masked);
+        for item in items.iter().filter(|i| i.hot) {
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            for &token in &L8_TOKENS {
+                let mut from = open;
+                while let Some(rel) = ctx.masked[from..close].find(token) {
+                    let at = from + rel;
+                    from = at + 1;
+                    if !l8_boundary(&ctx.masked, at, token) {
+                        continue;
+                    }
+                    let line = line_of(&ctx.masked, at);
+                    if in_test_region(&ctx.regions, line) {
+                        continue;
+                    }
+                    out.push(Violation {
+                        lint: "L8",
+                        file: path.to_string(),
+                        line,
+                        col: col_of(&ctx.masked, at),
+                        message: format!(
+                            "allocation in hot item `{}`: `{token}` allocates or \
+                             formats inside a `// lint:hot` region; preallocate \
+                             scratch buffers outside the loop (ChunkScratch-style) \
+                             or hoist the work to a cold path",
+                            item.name
+                        ),
+                        snippet: line_text(src, line),
+                    });
+                }
+            }
+        }
+        // A hot impl block containing a hot fn would double-report; the
+        // final sort+dedup below collapses identical (lint, line, col).
+    }
+
+    // L9 — float→int casts route through the audited checked helpers in
+    // crates/geometry/src/cast.rs: a bare `as` saturates silently (NaN→0,
+    // 1e300→MAX) which is indistinguishable from correct rounding.
+    if in_lib_crate(path) && path != CAST_HOME {
+        ctx.scan_casts(
+            "L9",
+            &L9_CASTS,
+            &|masked, at, token| {
+                if !float_expr_before(masked, at) {
+                    return None;
+                }
+                let target = &token[3..];
+                Some(format!(
+                    "unchecked float→int cast `{token}`: saturates silently \
+                     (NaN→0, out-of-range→MAX); use \
+                     sinr_geometry::cast::floor_{target}/ceil_{target} (debug-asserted, \
+                     documented saturation) instead"
+                ))
+            },
+            &mut out,
+        );
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
+    out.dedup_by(|a, b| (a.lint, a.line, a.col) == (b.lint, b.line, b.col));
     out
+}
+
+/// L8 token boundary: dot-prefixed method tokens are self-delimiting;
+/// the rest need an identifier boundary on their leading path/name (the
+/// trailing `!`/`[`/`(` already breaks the right edge).
+fn l8_boundary(masked: &str, at: usize, token: &str) -> bool {
+    if token.starts_with('.') {
+        return true;
+    }
+    let prefix = token.trim_end_matches(['!', '[', '(', '<', ':']);
+    ident_boundary(masked, at, prefix.len())
 }
 
 #[cfg(test)]
@@ -501,5 +955,199 @@ mod tests {\n\
         assert_eq!(v[0].line, 3);
         assert_eq!(v[0].snippet, "q.unwrap();");
         assert!(v[0].message.contains("Result"));
+    }
+
+    #[test]
+    fn violations_carry_columns() {
+        let src = "fn bad() {\n    let id = q.unwrap();\n}\n";
+        let v = lint_file(LIB, src);
+        assert_eq!(v.len(), 1);
+        // `.unwrap()` starts at the `.`: 4 spaces + "let id = q" = col 15.
+        assert_eq!((v[0].line, v[0].col), (2, 15));
+    }
+
+    #[test]
+    fn l7_flags_std_hash_collections_in_lib_code() {
+        let src = "use std::collections::HashMap;\nfn f(s: HashSet<u8>) {}\n";
+        let hits = lints_of(LIB, src);
+        assert_eq!(hits, vec![("L7", 1), ("L7", 2)]);
+    }
+
+    #[test]
+    fn l7_allows_det_variants_tests_and_non_lib_crates() {
+        assert!(lints_of(
+            LIB,
+            "use sinr_rng::DetHashMap;\nlet m = DetHashSet::default();\n"
+        )
+        .is_empty());
+        // The rng crate itself wraps std's HashMap — it is not a LIB_CRATE.
+        assert!(lints_of("crates/rng/src/det.rs", "use std::collections::HashMap;\n").is_empty());
+        assert!(lints_of("crates/mac/tests/t.rs", "use std::collections::HashMap;\n").is_empty());
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }\n";
+        assert!(lints_of(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l8_flags_allocation_in_hot_items_only() {
+        let src = "\
+// lint:hot\n\
+fn hot(xs: &[u64]) -> u64 {\n\
+    let v = Vec::new();\n\
+    let w: Vec<u64> = xs.iter().copied().collect();\n\
+    w.len() as u64\n\
+}\n\
+fn cold() {\n\
+    let v = vec![1, 2, 3];\n\
+    let s = format!(\"x\");\n\
+}\n";
+        let hits = lints_of(LIB, src);
+        assert_eq!(hits, vec![("L8", 3), ("L8", 4)], "{hits:?}");
+    }
+
+    #[test]
+    fn l8_catches_each_banned_construct() {
+        for bad in [
+            "let v = Vec::new();",
+            "let v = vec![0u8; 8];",
+            "let b = Box::new(1);",
+            "let s = format!(\"{x}\");",
+            "let s = String::from(\"x\");",
+            "let v = xs.to_vec();",
+            "let v = it.collect::<Vec<_>>();",
+            "let c = msg.clone();",
+        ] {
+            let src = format!("// lint:hot\nfn hot() {{\n    {bad}\n}}\n");
+            let hits = lints_of(LIB, &src);
+            assert_eq!(hits, vec![("L8", 3)], "{bad}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn l8_honors_trailing_marker_and_impl_scope() {
+        // Trailing marker on the signature line.
+        let src = "fn hot(x: u8) { // lint:hot\n    let v = x.to_string().clone();\n}\n";
+        assert_eq!(lints_of(LIB, src), vec![("L8", 2)]);
+        // An impl-level marker covers every method body inside it.
+        let src = "\
+// lint:hot\n\
+impl Grid {\n\
+    fn insert(&mut self) {\n\
+        let v = Vec::new();\n\
+    }\n\
+}\n";
+        assert_eq!(lints_of(LIB, src), vec![("L8", 4)]);
+    }
+
+    #[test]
+    fn hot_marker_requires_a_plain_marker_comment() {
+        // Doc comments that merely *mention* the marker (like the lint
+        // engine's own documentation) must not mark the item hot.
+        let src = "\
+/// Detects `// lint:hot` markers in comments.\n\
+fn scan() {\n\
+    let v = Vec::new();\n\
+}\n";
+        assert!(lints_of(LIB, src).is_empty(), "{:?}", lints_of(LIB, src));
+        // Nor does a string literal containing the marker text mid-line.
+        let src =
+            "fn f(s: &str) -> bool { s.ends_with(\"// lint:hot\") && Vec::new().is_empty() }\n";
+        assert!(lints_of(LIB, src).is_empty(), "{:?}", lints_of(LIB, src));
+        // But a marker comment with trailing prose still counts.
+        let src = "// lint:hot — resolver inner loop\nfn hot() {\n    let v = Vec::new();\n}\n";
+        assert_eq!(lints_of(LIB, src), vec![("L8", 3)]);
+    }
+
+    #[test]
+    fn l9_does_not_misread_ranges_as_float_literals() {
+        let src = "fn f(n: usize, step: u64) {\n    let v = (0..n as u64).map(|v| v * step);\n}\n";
+        let hits = lints_of(LIB, src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn l8_lookalikes_do_not_trip() {
+        let src = "\
+// lint:hot\n\
+fn hot() {\n\
+    let v = SmallVec::new_in(arena);\n\
+    let s = String::from_utf8(b);\n\
+    my_format!(x);\n\
+    recollect(xs);\n\
+}\n";
+        assert!(lints_of(LIB, src).is_empty(), "{:?}", lints_of(LIB, src));
+    }
+
+    #[test]
+    fn l9_flags_float_casts_through_methods_literals_and_groups() {
+        for bad in [
+            "let i = x.floor() as i64;",
+            "let u = (r / cell).ceil() as usize;",
+            "let u = (x * 1.5) as u64;",
+            "let u = (12.0 * d * (g.len() as f64).ln()) as u64;",
+            "let u = 2.5 as usize;",
+            "let u = x as f64 as usize;",
+        ] {
+            let hits = lints_of(LIB, &format!("fn f() {{ {bad} }}\n"));
+            assert_eq!(hits, vec![("L9", 1)], "{bad}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn l9_leaves_integer_casts_and_the_audited_home_alone() {
+        for ok in [
+            "let u = n as usize;",
+            "let u = (a + b) as u64;",
+            "let u = xs.len() as u64;",
+            "let u = t.0 as usize;",
+            "let u = 0x1e9 as u64;",
+        ] {
+            let hits = lints_of(LIB, &format!("fn f() {{ {ok} }}\n"));
+            assert!(hits.is_empty(), "{ok}: {hits:?}");
+        }
+        let hits = lints_of(
+            CAST_HOME,
+            "pub fn floor_i64(x: f64) -> i64 { x.floor() as i64 }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn l4_extension_flags_as_i64_and_signed_as_u64() {
+        // Non-float `as i64` is an L4 finding (slot counters are u64).
+        assert_eq!(
+            lints_of(LIB, "fn f(s: u64) -> i64 { s as i64 }\n"),
+            vec![("L4", 1)]
+        );
+        // Float `as i64` belongs to L9, not L4 — exactly one finding.
+        assert_eq!(
+            lints_of(LIB, "fn f(x: f64) -> i64 { x.floor() as i64 }\n"),
+            vec![("L9", 1)]
+        );
+        // `as u64` on an expression with a top-level minus.
+        assert_eq!(
+            lints_of(LIB, "fn f(a: u64, b: u64) -> u64 { (a - b) as u64 }\n"),
+            vec![("L4", 1)]
+        );
+        // Negated literal.
+        assert_eq!(
+            lints_of(LIB, "fn f() -> u64 { -5 as u64 }\n"),
+            vec![("L4", 1)]
+        );
+    }
+
+    #[test]
+    fn l4_extension_leaves_benign_u64_casts_alone() {
+        for ok in [
+            "let u = n as u64;",
+            // Binary minus: `as` binds tighter, only `5` is cast.
+            "let u = a - 5 as u64;",
+            // The minus is nested below a call boundary, and `->` arrows
+            // and exponent signs are not subtraction.
+            "let u = (f(a - b)) as u64;",
+            "let u = (x.saturating_sub(y)) as u64;",
+        ] {
+            let hits = lints_of(LIB, &format!("fn f() {{ {ok} }}\n"));
+            assert!(hits.is_empty(), "{ok}: {hits:?}");
+        }
     }
 }

@@ -2,163 +2,25 @@
 //!
 //! The only subcommand today is `lint`, the repo-specific static-analysis
 //! pass (determinism, panic-freedom, paper-constant hygiene, lossy-cast
-//! audit). See `docs/LINTING.md` for the lint catalog and the allowlist
-//! format.
+//! audit, hot-path allocation audit). See `docs/LINTING.md` for the lint
+//! catalog, `cargo xtask lint --explain L<n>` for any single rule, and
+//! [`xtask::cli`] for the engine itself.
 //!
-//! Exit codes: 0 = clean, 1 = violations reported, 2 = usage or I/O error.
+//! Exit codes: 0 = clean, 1 = violations / ratchet regression / self-test
+//! failure, 2 = usage or I/O error.
 
-mod allowlist;
-mod lexer;
-mod lints;
-mod report;
-
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-use lints::Violation;
-use report::Format;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(clean) => {
-            if clean {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    match xtask::cli::run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("{USAGE}");
+            eprintln!("{}", xtask::cli::USAGE);
             ExitCode::from(2)
         }
     }
-}
-
-const USAGE: &str = "\
-Usage: cargo xtask lint [--format text|json] [--allowlist PATH]
-
-  --format text|json   report style (default: text)
-  --allowlist PATH     allowlist file (default: <repo>/xtask-lint.toml;
-                       a missing default file means an empty allowlist)";
-
-fn run(args: &[String]) -> Result<bool, String> {
-    let mut it = args.iter();
-    match it.next().map(String::as_str) {
-        Some("lint") => {}
-        Some("--help" | "-h") | None => return Err("expected a subcommand: lint".to_string()),
-        Some(other) => return Err(format!("unknown subcommand `{other}`")),
-    }
-
-    let mut format = Format::Text;
-    let mut allowlist_path: Option<PathBuf> = None;
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--format" => {
-                let v = it.next().ok_or("--format requires a value")?;
-                format = match v.as_str() {
-                    "text" => Format::Text,
-                    "json" => Format::Json,
-                    other => return Err(format!("unknown format `{other}` (text|json)")),
-                };
-            }
-            "--allowlist" => {
-                let v = it.next().ok_or("--allowlist requires a path")?;
-                allowlist_path = Some(PathBuf::from(v));
-            }
-            other => return Err(format!("unknown flag `{other}`")),
-        }
-    }
-
-    let root = repo_root();
-    let entries = load_allowlist(&root, allowlist_path.as_deref())?;
-
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut files_scanned = 0usize;
-    for file in rust_sources(&root) {
-        let rel = file
-            .strip_prefix(&root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = std::fs::read_to_string(&file)
-            .map_err(|e| format!("reading {}: {e}", file.display()))?;
-        files_scanned += 1;
-        violations.extend(lints::lint_file(&rel, &src));
-    }
-
-    // Partition into allowed and reported; remember which entries fired so
-    // stale ones can be flagged.
-    let mut used = vec![false; entries.len()];
-    let mut reported = Vec::new();
-    let mut allowed = 0usize;
-    for v in violations {
-        match entries.iter().position(|e| e.covers(&v)) {
-            Some(i) => {
-                used[i] = true;
-                allowed += 1;
-            }
-            None => reported.push(v),
-        }
-    }
-    let stale: Vec<&allowlist::AllowEntry> = entries
-        .iter()
-        .zip(&used)
-        .filter_map(|(e, &u)| (!u).then_some(e))
-        .collect();
-
-    report::emit(format, &reported, files_scanned, allowed, &stale);
-    Ok(reported.is_empty())
-}
-
-/// Workspace root: this crate lives at `<root>/crates/xtask`.
-fn repo_root() -> PathBuf {
-    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.pop(); // crates/
-    p.pop(); // root
-    p
-}
-
-fn load_allowlist(
-    root: &Path,
-    explicit: Option<&Path>,
-) -> Result<Vec<allowlist::AllowEntry>, String> {
-    let (path, required) = match explicit {
-        Some(p) => (p.to_path_buf(), true),
-        None => (root.join("xtask-lint.toml"), false),
-    };
-    match std::fs::read_to_string(&path) {
-        Ok(text) => allowlist::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
-        Err(_) if !required => Ok(Vec::new()),
-        Err(e) => Err(format!("reading {}: {e}", path.display())),
-    }
-}
-
-/// Every `.rs` file under the workspace, excluding build output and VCS
-/// metadata. Sorted for deterministic report order.
-fn rust_sources(root: &Path) -> Vec<PathBuf> {
-    let mut found = Vec::new();
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&dir) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if path.is_dir() {
-                if name == "target" || name.starts_with('.') {
-                    continue;
-                }
-                stack.push(path);
-            } else if name.ends_with(".rs") {
-                found.push(path);
-            }
-        }
-    }
-    found.sort();
-    found
 }

@@ -1,0 +1,155 @@
+//! The lint ratchet: per-lint violation budgets that may only decrease.
+//!
+//! `xtask-lint.ratchet` at the repo root pins, for every lint, the number
+//! of *reported* (post-allowlist) violations the workspace is allowed to
+//! carry. A count above its budget is a **regression** and fails the run;
+//! a count below it is **slack** — the run warns so the budget gets
+//! tightened (`--update-ratchet` rewrites the file to current counts).
+//! A lint missing from the file has budget 0, so new lints start strict.
+//!
+//! File format: `#` comment lines, blank lines, and `L<n> = <count>`
+//! entries, one per line.
+
+use crate::rules;
+
+/// Parsed budgets from `xtask-lint.ratchet`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ratchet {
+    budgets: Vec<(String, usize)>,
+}
+
+/// One lint's count-vs-budget comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Lint id.
+    pub lint: String,
+    /// Reported violations this run.
+    pub count: usize,
+    /// Budget from the ratchet file.
+    pub budget: usize,
+}
+
+/// The outcome of checking current counts against the ratchet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// Lints over budget (fail the run).
+    pub regressions: Vec<Delta>,
+    /// Lints under budget (warn: tighten the file).
+    pub slack: Vec<Delta>,
+}
+
+impl Ratchet {
+    /// Parses the ratchet file. Unknown lint ids and duplicate entries are
+    /// errors so typos cannot silently grant an infinite budget.
+    pub fn parse(text: &str) -> Result<Ratchet, String> {
+        let mut budgets: Vec<(String, usize)> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `L<n> = <count>`", i + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            if rules::rule(key).is_none() {
+                return Err(format!("line {}: unknown lint id `{key}`", i + 1));
+            }
+            if budgets.iter().any(|(k, _)| k == key) {
+                return Err(format!("line {}: duplicate entry for `{key}`", i + 1));
+            }
+            let count: usize = value
+                .parse()
+                .map_err(|_| format!("line {}: `{value}` is not a count", i + 1))?;
+            budgets.push((key.to_string(), count));
+        }
+        Ok(Ratchet { budgets })
+    }
+
+    /// The budget for `lint` (0 when absent).
+    pub fn budget(&self, lint: &str) -> usize {
+        self.budgets
+            .iter()
+            .find(|(k, _)| k == lint)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// Compares per-lint counts against the budgets. `counts` must cover
+    /// every lint (zeros included) so slack in unhit lints is seen too.
+    pub fn check(&self, counts: &[(&str, usize)]) -> Outcome {
+        let mut out = Outcome::default();
+        for &(lint, count) in counts {
+            let budget = self.budget(lint);
+            let delta = Delta {
+                lint: lint.to_string(),
+                count,
+                budget,
+            };
+            if count > budget {
+                out.regressions.push(delta);
+            } else if count < budget {
+                out.slack.push(delta);
+            }
+        }
+        out
+    }
+}
+
+/// Renders a ratchet file pinning exactly `counts` (used by
+/// `--update-ratchet`).
+pub fn render(counts: &[(&str, usize)]) -> String {
+    let mut out = String::from(
+        "# xtask lint ratchet — per-lint budgets for *reported* (post-allowlist)\n\
+         # violations. Counts may only go down: a run above a budget fails, a run\n\
+         # below one warns. Tighten with `cargo xtask lint --update-ratchet`.\n",
+    );
+    for &(lint, count) in counts {
+        out.push_str(&format!("{lint} = {count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_entries() {
+        let r = Ratchet::parse("# header\n\nL2 = 3\nL7 = 0\n").expect("parses");
+        assert_eq!(r.budget("L2"), 3);
+        assert_eq!(r.budget("L7"), 0);
+        // Missing entry means zero budget.
+        assert_eq!(r.budget("L9"), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_ids_duplicates_and_garbage() {
+        assert!(Ratchet::parse("L10 = 0\n").is_err());
+        assert!(Ratchet::parse("L2 = 1\nL2 = 2\n").is_err());
+        assert!(Ratchet::parse("L2 = many\n").is_err());
+        assert!(Ratchet::parse("L2: 1\n").is_err());
+    }
+
+    #[test]
+    fn check_partitions_regressions_and_slack() {
+        let r = Ratchet::parse("L2 = 2\nL8 = 1\n").expect("parses");
+        let outcome = r.check(&[("L2", 3), ("L8", 0), ("L9", 0)]);
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].lint, "L2");
+        assert_eq!(
+            (outcome.regressions[0].count, outcome.regressions[0].budget),
+            (3, 2)
+        );
+        assert_eq!(outcome.slack.len(), 1);
+        assert_eq!(outcome.slack[0].lint, "L8");
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let text = render(&[("L1", 0), ("L2", 4)]);
+        let r = Ratchet::parse(&text).expect("rendered file parses");
+        assert_eq!(r.budget("L2"), 4);
+        assert_eq!(r.check(&[("L1", 0), ("L2", 4)]), Outcome::default());
+    }
+}

@@ -1,93 +1,136 @@
-//! Text and JSON report emitters.
+//! Text, JSON, and SARIF report emitters.
 //!
-//! The JSON schema (stable, versioned — consumed by CI tooling):
+//! The JSON schema (stable, versioned — consumed by CI tooling and
+//! round-tripped through `sinr_obs::json` in the e2e tests):
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "summary": {"files_scanned": N, "allowed": N, "reported": N},
 //!   "violations": [
-//!     {"lint": "L2", "file": "…", "line": 12, "message": "…", "snippet": "…"}
+//!     {"lint": "L2", "file": "…", "line": 12, "col": 5,
+//!      "message": "…", "snippet": "…"}
 //!   ],
-//!   "stale_allows": [{"lint": "L2", "path": "…", "pattern": "…", "defined_at": N}]
+//!   "stale_allows": [{"lint": "L2", "path": "…", "pattern": "…", "defined_at": N}],
+//!   "ratchet": {"checked": true,
+//!               "regressions": [{"lint": "L8", "count": 2, "budget": 0}],
+//!               "slack": [{"lint": "L2", "count": 1, "budget": 3}]}
 //! }
 //! ```
+//!
+//! Schema history: v1 had no `col` on violations and no `ratchet` section.
+//!
+//! `--format sarif` emits SARIF 2.1.0 with the rule catalog embedded, so
+//! code-scanning UIs can show the rationale next to each finding.
 
 use crate::allowlist::AllowEntry;
 use crate::lints::Violation;
+use crate::ratchet;
+use crate::rules;
 
 /// Report style.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Format {
     /// Human-readable, one block per violation.
     Text,
-    /// Machine-readable single JSON object on stdout.
+    /// Machine-readable single JSON object on stdout (schema v2 above).
     Json,
+    /// SARIF 2.1.0 on stdout (for code-scanning uploads).
+    Sarif,
+}
+
+/// Everything one run produced, ready to render.
+pub struct RunReport<'a> {
+    /// Violations that survived the allowlist.
+    pub reported: &'a [Violation],
+    /// Files scanned (including sibling test files that were then skipped).
+    pub files_scanned: usize,
+    /// Violations suppressed by the allowlist.
+    pub allowed: usize,
+    /// Allowlist entries that matched nothing.
+    pub stale: &'a [&'a AllowEntry],
+    /// Ratchet comparison, when a ratchet file was checked.
+    pub ratchet: Option<&'a ratchet::Outcome>,
 }
 
 /// Prints the report for one run.
-pub fn emit(
-    format: Format,
-    reported: &[Violation],
-    files_scanned: usize,
-    allowed: usize,
-    stale: &[&AllowEntry],
-) {
+pub fn emit(format: Format, r: &RunReport<'_>) {
     match format {
-        Format::Text => emit_text(reported, files_scanned, allowed, stale),
-        Format::Json => emit_json(reported, files_scanned, allowed, stale),
+        Format::Text => emit_text(r),
+        Format::Json => println!("{}", render_json(r)),
+        Format::Sarif => println!("{}", render_sarif(r.reported)),
     }
 }
 
-fn emit_text(reported: &[Violation], files_scanned: usize, allowed: usize, stale: &[&AllowEntry]) {
-    for v in reported {
-        println!("{}: {}:{}", v.lint, v.file, v.line);
+fn emit_text(r: &RunReport<'_>) {
+    for v in r.reported {
+        println!("{}: {}:{}:{}", v.lint, v.file, v.line, v.col);
         println!("  {}", v.message);
         if !v.snippet.is_empty() {
             println!("  | {}", v.snippet);
         }
         println!();
     }
-    for e in stale {
+    for e in r.stale {
         println!(
             "warning: stale allowlist entry (xtask-lint.toml:{}) — {} {} `{}` matched nothing; \
              remove it",
             e.defined_at, e.lint, e.path, e.pattern
         );
     }
+    if let Some(outcome) = r.ratchet {
+        for d in &outcome.slack {
+            println!(
+                "warning: ratchet slack — {} reports {} violation(s), budget is {}; \
+                 tighten with `cargo xtask lint --update-ratchet`",
+                d.lint, d.count, d.budget
+            );
+        }
+        for d in &outcome.regressions {
+            println!(
+                "ratchet regression: {} reports {} violation(s), budget is {} \
+                 (xtask-lint.ratchet) — fix the new sites or allowlist them with a reason",
+                d.lint, d.count, d.budget
+            );
+        }
+    }
     println!(
         "xtask lint: {} file(s) scanned, {} violation(s) reported, {} allowlisted",
-        files_scanned,
-        reported.len(),
-        allowed
+        r.files_scanned,
+        r.reported.len(),
+        r.allowed
     );
-    if !reported.is_empty() {
+    if !r.reported.is_empty() {
         println!("see docs/LINTING.md for the lint catalog and the allowlist format");
+        println!("run `cargo xtask lint --explain <lint>` for any rule's rationale and fix");
     }
 }
 
-fn emit_json(reported: &[Violation], files_scanned: usize, allowed: usize, stale: &[&AllowEntry]) {
-    let mut out = String::from("{\"version\":1,\"summary\":{");
+fn render_json(r: &RunReport<'_>) -> String {
+    let mut out = String::from("{\"version\":2,\"summary\":{");
     out.push_str(&format!(
-        "\"files_scanned\":{files_scanned},\"allowed\":{allowed},\"reported\":{}",
-        reported.len()
+        "\"files_scanned\":{},\"allowed\":{},\"reported\":{}",
+        r.files_scanned,
+        r.allowed,
+        r.reported.len()
     ));
     out.push_str("},\"violations\":[");
-    for (i, v) in reported.iter().enumerate() {
+    for (i, v) in r.reported.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"lint\":{},\"file\":{},\"line\":{},\"message\":{},\"snippet\":{}}}",
+            "{{\"lint\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"snippet\":{}}}",
             json_str(v.lint),
             json_str(&v.file),
             v.line,
+            v.col,
             json_str(&v.message),
             json_str(&v.snippet)
         ));
     }
     out.push_str("],\"stale_allows\":[");
-    for (i, e) in stale.iter().enumerate() {
+    for (i, e) in r.stale.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -99,8 +142,75 @@ fn emit_json(reported: &[Violation], files_scanned: usize, allowed: usize, stale
             e.defined_at
         ));
     }
-    out.push_str("]}");
-    println!("{out}");
+    out.push_str("],\"ratchet\":");
+    match r.ratchet {
+        None => out.push_str("{\"checked\":false,\"regressions\":[],\"slack\":[]}"),
+        Some(o) => {
+            out.push_str("{\"checked\":true,\"regressions\":[");
+            push_deltas(&mut out, &o.regressions);
+            out.push_str("],\"slack\":[");
+            push_deltas(&mut out, &o.slack);
+            out.push_str("]}");
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn push_deltas(out: &mut String, deltas: &[ratchet::Delta]) {
+    for (i, d) in deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":{},\"count\":{},\"budget\":{}}}",
+            json_str(&d.lint),
+            d.count,
+            d.budget
+        ));
+    }
+}
+
+/// Renders the findings as a SARIF 2.1.0 log with the full rule catalog.
+pub fn render_sarif(reported: &[Violation]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"xtask-lint\",\
+         \"informationUri\":\"docs/LINTING.md\",\"rules\":[",
+    );
+    for (i, rule) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"fullDescription\":{{\"text\":{}}},\"help\":{{\"text\":{}}}}}",
+            json_str(rule.id),
+            json_str(rule.title),
+            json_str(rule.rationale),
+            json_str(rule.fix)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, v) in reported.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_str(v.lint),
+            json_str(&v.message),
+            json_str(&v.file),
+            v.line,
+            v.col
+        ));
+    }
+    out.push_str("]}]}");
+    out
 }
 
 /// Escapes a string as a JSON string literal.
@@ -126,11 +236,71 @@ fn json_str(s: &str) -> String {
 mod tests {
     use super::*;
 
+    fn violation() -> Violation {
+        Violation {
+            lint: "L8",
+            file: "crates/sinr/src/resolver.rs".to_string(),
+            line: 7,
+            col: 13,
+            message: "allocation in hot item".to_string(),
+            snippet: "let v = Vec::new();".to_string(),
+        }
+    }
+
     #[test]
     fn json_escaping_covers_quotes_backslashes_and_control_bytes() {
         assert_eq!(json_str(r#"a"b\c"#), r#""a\"b\\c""#);
         assert_eq!(json_str("x\ny\tz"), r#""x\ny\tz""#);
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
         assert_eq!(json_str("plain"), r#""plain""#);
+    }
+
+    #[test]
+    fn json_report_is_version_2_with_columns_and_ratchet() {
+        let v = [violation()];
+        let outcome = ratchet::Outcome {
+            regressions: vec![ratchet::Delta {
+                lint: "L8".to_string(),
+                count: 1,
+                budget: 0,
+            }],
+            slack: vec![],
+        };
+        let r = RunReport {
+            reported: &v,
+            files_scanned: 3,
+            allowed: 1,
+            stale: &[],
+            ratchet: Some(&outcome),
+        };
+        let json = render_json(&r);
+        assert!(json.starts_with("{\"version\":2,"));
+        assert!(json.contains("\"col\":13"));
+        assert!(json.contains("\"ratchet\":{\"checked\":true"));
+        assert!(json.contains("\"regressions\":[{\"lint\":\"L8\",\"count\":1,\"budget\":0}]"));
+    }
+
+    #[test]
+    fn json_report_marks_unchecked_ratchet() {
+        let r = RunReport {
+            reported: &[],
+            files_scanned: 0,
+            allowed: 0,
+            stale: &[],
+            ratchet: None,
+        };
+        assert!(render_json(&r).contains("\"ratchet\":{\"checked\":false"));
+    }
+
+    #[test]
+    fn sarif_embeds_rules_and_locations() {
+        let v = [violation()];
+        let sarif = render_sarif(&v);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"id\":\"L1\""));
+        assert!(sarif.contains("\"id\":\"L9\""));
+        assert!(sarif.contains("\"ruleId\":\"L8\""));
+        assert!(sarif.contains("\"startLine\":7,\"startColumn\":13"));
+        assert!(sarif.contains("crates/sinr/src/resolver.rs"));
     }
 }

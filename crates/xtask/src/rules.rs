@@ -1,0 +1,158 @@
+//! The rule catalog: one entry per lint, with the rationale and remedy.
+//!
+//! These strings are the **single source of truth** for what each lint
+//! means: `cargo xtask lint --explain L<n>` prints them, the SARIF emitter
+//! embeds them as `rules[]` metadata, and `docs/LINTING.md` quotes the
+//! titles verbatim (an e2e test checks the doc stays in sync).
+
+/// One lint's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable identifier: `"L1"` … `"L9"`.
+    pub id: &'static str,
+    /// One-line name, quoted verbatim in `docs/LINTING.md`.
+    pub title: &'static str,
+    /// Why the construct is banned in this workspace.
+    pub rationale: &'static str,
+    /// What to write instead.
+    pub fix: &'static str,
+}
+
+/// Every lint the engine knows, in id order.
+pub const RULES: [Rule; 9] = [
+    Rule {
+        id: "L1",
+        title: "no unseeded RNG",
+        rationale: "Experiment results cite seeds; an entropy-based generator \
+                    (thread_rng, from_entropy, OsRng) makes a run impossible to \
+                    reproduce and silently invalidates every determinism test.",
+        fix: "Construct generators only via sinr_rng::SeedableRng::seed_from_u64, \
+              deriving per-node seeds from the run seed.",
+    },
+    Rule {
+        id: "L2",
+        title: "no panics in library code",
+        rationale: "A panic in a library crate aborts a million-node simulation \
+                    hours in; callers cannot recover or even log the run state.",
+        fix: "Return a Result through the crate's error type; if the invariant \
+              truly cannot fail, document it and allowlist the site in \
+              xtask-lint.toml with a reason.",
+    },
+    Rule {
+        id: "L3",
+        title: "paper constants only in their audited homes",
+        rationale: "The paper's formula constants (the 96 of R_I, the 32 of the \
+                    Theorem-3 guard distance, the 16 of its interference bound) \
+                    restated at call sites drift independently when the model \
+                    is tuned, and the reproduction stops matching the paper.",
+        fix: "Derive the value from sinr_model::SinrConfig \
+              (crates/sinr/src/config.rs) or MwParams (crates/core/src/params.rs) \
+              instead of restating it.",
+    },
+    Rule {
+        id: "L4",
+        title: "no lossy id/slot-counter casts",
+        rationale: "Node ids are usize and slot counters u64 throughout; a \
+                    narrowing cast (as u32, as u16, …) truncates silently at \
+                    scale, `as i64` wraps slot counters above 2^63, and `as u64` \
+                    on an expression with subtraction wraps negatives to huge \
+                    values — all without any signal.",
+        fix: "Use TryFrom/try_into with explicit error handling (e.g. \
+              i64::try_from(x).unwrap_or(i64::MAX) where saturation is the \
+              documented intent), and compute differences in signed or float \
+              arithmetic before converting.",
+    },
+    Rule {
+        id: "L5",
+        title: "no console output in library code",
+        rationale: "Library prints interleave nondeterministically with the \
+                    driver's output and bypass the telemetry layer, so runs \
+                    stop being machine-comparable.",
+        fix: "Record through sinr_obs::Recorder and let the binary choose a \
+              sink; the sanctioned sinks live in crates/obs/src/sink.rs.",
+    },
+    Rule {
+        id: "L6",
+        title: "no threading primitives outside crates/pool",
+        rationale: "Ad-hoc std::thread/std::sync use invites merge orders that \
+                    depend on OS scheduling; the workspace's bit-identical \
+                    outputs rely on every parallel construct flowing through \
+                    one audited home.",
+        fix: "Run parallel work through sinr_pool::Pool (static partitioning, \
+              thread-ordered merges) so outputs stay identical for every \
+              thread count.",
+    },
+    Rule {
+        id: "L7",
+        title: "no entropy-keyed hash collections in library code",
+        rationale: "std's HashMap/HashSet default to RandomState, which draws a \
+                    fresh hash key per process: iteration order differs between \
+                    runs, so any code that visits entries becomes a hidden \
+                    source of nondeterminism.",
+        fix: "Use sinr_rng::DetHashMap/DetHashSet (fixed-key hasher, same API; \
+              iteration order is a pure function of the insertion sequence), or \
+              a BTree collection when visit order should be meaningful.",
+    },
+    Rule {
+        id: "L8",
+        title: "hot paths must not allocate or format",
+        rationale: "Items marked `// lint:hot` are the per-slot inner loops \
+                    (SINR resolution, the engine's slot phases); a stray \
+                    Vec::new, format!, or .clone() there turns an \
+                    allocation-free loop into millions of allocator calls and \
+                    wrecks the perf baseline in ways profilers only show later.",
+        fix: "Preallocate scratch buffers outside the loop (ChunkScratch-style), \
+              write into &mut slices, and hoist formatting/cloning to a cold \
+              path; allowlist a site only with a measured justification.",
+    },
+    Rule {
+        id: "L9",
+        title: "float→int casts go through checked helpers",
+        rationale: "A bare `expr as usize/u64/i64` on a float saturates \
+                    silently — NaN becomes 0 and out-of-range values clamp — \
+                    which is indistinguishable from correct rounding until an \
+                    extreme density or corrupted input produces garbage \
+                    geometry.",
+        fix: "Route the conversion through sinr_geometry::cast \
+              (floor_usize, ceil_i64, …): debug builds trap NaN and \
+              out-of-range values, release builds keep the documented \
+              saturating behavior.",
+    },
+];
+
+/// Looks up a rule by id (`"L1"` … `"L9"`).
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// The `--explain` text for one rule.
+pub fn explain(id: &str) -> Option<String> {
+    let r = rule(id)?;
+    Some(format!(
+        "{} — {}\n\nWhy:\n  {}\n\nFix:\n  {}\n\nScope and allowlisting: see docs/LINTING.md.",
+        r.id, r.title, r.rationale, r.fix
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_ordered() {
+        assert_eq!(RULES.len(), 9);
+        for (i, r) in RULES.iter().enumerate() {
+            assert_eq!(r.id, format!("L{}", i + 1));
+            assert!(!r.title.is_empty() && !r.rationale.is_empty() && !r.fix.is_empty());
+        }
+    }
+
+    #[test]
+    fn explain_renders_known_rules_and_rejects_unknown() {
+        let text = explain("L7").expect("L7 exists");
+        assert!(text.contains("RandomState"));
+        assert!(text.contains("DetHashMap"));
+        assert!(explain("L42").is_none());
+        assert!(explain("l7").is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! `cargo xtask lint --self-test`: the engine checks itself against a
+//! fixture tree of known-bad (and known-clean) files.
+//!
+//! Each fixture in `crates/xtask/fixtures/` is a `.rs` file that is **not**
+//! compiled; its first line declares the workspace-relative path the lints
+//! should pretend it lives at, and `//~ L<n>` trailing comments mark the
+//! lines that must be flagged (several ids may follow one `//~`):
+//!
+//! ```text
+//! //! fixture: crates/mac/src/fixture.rs
+//! fn f() { q.unwrap(); } //~ L2
+//! ```
+//!
+//! The self-test fails on any missed expectation **or any extra finding**,
+//! so fixtures pin both detection and false-positive behavior. The normal
+//! workspace walk skips `fixtures/` directories, so the deliberate
+//! violations never reach `cargo xtask lint` itself.
+
+use std::path::Path;
+
+use crate::lints;
+
+/// Outcome of one self-test run: fixtures checked and mismatches found.
+pub struct SelfTest {
+    /// Number of fixture files exercised.
+    pub fixtures: usize,
+    /// Human-readable mismatch descriptions (empty = pass).
+    pub failures: Vec<String>,
+}
+
+/// Runs every fixture under `dir`. `Err` is an environment problem
+/// (missing/unreadable tree); mismatches land in [`SelfTest::failures`].
+pub fn run(dir: &Path) -> Result<SelfTest, String> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading fixtures dir {}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            path.extension().is_some_and(|x| x == "rs").then_some(path)
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .rs fixtures under {}", dir.display()));
+    }
+
+    let mut out = SelfTest {
+        fixtures: 0,
+        failures: Vec::new(),
+    };
+    for path in files {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+        out.fixtures += 1;
+        check_fixture(&name, &src, &mut out.failures)?;
+    }
+    Ok(out)
+}
+
+fn check_fixture(name: &str, src: &str, failures: &mut Vec<String>) -> Result<(), String> {
+    let first = src.lines().next().unwrap_or("");
+    let pretend = first
+        .strip_prefix("//! fixture: ")
+        .ok_or_else(|| format!("{name}: first line must be `//! fixture: <pretend-path>`"))?
+        .trim();
+
+    let mut expected = expectations(name, src)?;
+    let mut actual: Vec<(usize, &'static str)> = lints::lint_file(pretend, src)
+        .into_iter()
+        .map(|v| (v.line, v.lint))
+        .collect();
+    expected.sort_unstable();
+    actual.sort_unstable();
+
+    for &(line, lint) in &expected {
+        if !actual.contains(&(line, lint)) {
+            failures.push(format!(
+                "{name}:{line}: expected {lint}, engine reported nothing"
+            ));
+        }
+    }
+    for &(line, lint) in &actual {
+        if !expected.contains(&(line, lint)) {
+            failures.push(format!("{name}:{line}: engine reported unexpected {lint}"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses the `//~ L<n> [L<m> …]` expectation comments.
+fn expectations(name: &str, src: &str) -> Result<Vec<(usize, &'static str)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let Some(at) = line.find("//~") else {
+            continue;
+        };
+        for id in line[at + 3..].split_whitespace() {
+            let rule = crate::rules::rule(id)
+                .ok_or_else(|| format!("{name}:{}: unknown lint `{id}` in expectation", i + 1))?;
+            out.push((i + 1, rule.id));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_expectations_parse_and_match() {
+        let src = "//! fixture: crates/mac/src/fx.rs\nfn f() { q.unwrap(); } //~ L2\n";
+        let mut failures = Vec::new();
+        check_fixture("fx.rs", src, &mut failures).expect("well-formed");
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn missed_and_extra_findings_are_both_failures() {
+        // Expects L2 on a clean line → "reported nothing".
+        let src = "//! fixture: crates/mac/src/fx.rs\nfn f() {} //~ L2\n";
+        let mut failures = Vec::new();
+        check_fixture("fx.rs", src, &mut failures).expect("well-formed");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("reported nothing"));
+
+        // Unannotated violation → "unexpected".
+        let src = "//! fixture: crates/mac/src/fx.rs\nfn f() { q.unwrap(); }\n";
+        let mut failures = Vec::new();
+        check_fixture("fx.rs", src, &mut failures).expect("well-formed");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("unexpected L2"));
+    }
+
+    #[test]
+    fn malformed_fixtures_are_environment_errors() {
+        let mut failures = Vec::new();
+        assert!(check_fixture("fx.rs", "fn f() {}\n", &mut failures).is_err());
+        let src = "//! fixture: crates/mac/src/fx.rs\nfn f() {} //~ L99\n";
+        assert!(check_fixture("fx.rs", src, &mut failures).is_err());
+    }
+}
