@@ -45,7 +45,7 @@ impl Instance {
     pub fn run_sinr(&self, seed: u64, schedule: WakeupSchedule) -> MwOutcome {
         run_mw(
             &self.graph,
-            FastSinrModel::auto(self.cfg, self.graph.len()),
+            FastSinrModel::auto(self.cfg, &self.graph),
             &MwConfig::new(self.params).with_seed(seed),
             schedule,
         )

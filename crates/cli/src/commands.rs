@@ -201,14 +201,9 @@ fn run_model(
         "sinr" => Ok(go(graph, SinrModel::new(cfg), mw_cfg, mode)),
         // Same tables as "sinr" (bit-identical), grid-tiled resolver.
         "sinr-fast" => Ok(go(graph, FastSinrModel::new(cfg), mw_cfg, mode)),
-        // Grid-tiled resolver, but the grid is skipped below
-        // `AUTO_GRID_MIN_NODES` where it cannot pay for itself.
-        "sinr-auto" => Ok(go(
-            graph,
-            FastSinrModel::auto(cfg, graph.len()),
-            mw_cfg,
-            mode,
-        )),
+        // Grid-tiled resolver, but the grid is skipped on instances
+        // whose expected slot density cannot pay for it.
+        "sinr-auto" => Ok(go(graph, FastSinrModel::auto(cfg, graph), mw_cfg, mode)),
         "graph" => Ok(go(graph, GraphModel::new(), mw_cfg, mode)),
         "ideal" => Ok(go(graph, IdealModel::new(), mw_cfg, mode)),
         other => Err(err(format!("unknown model {other}"))),

@@ -1,0 +1,530 @@
+//! A dense, incrementally-maintained cell grid over a *fixed* point set.
+//!
+//! [`SpatialGrid`](crate::SpatialGrid) hashes arbitrary points into sparse
+//! buckets and is rebuilt from scratch for every query set. The SINR
+//! resolver's steady state is different: the *point set is immutable* (node
+//! positions never move) while the *member subset* (the per-slot transmitter
+//! set) churns. [`CellGrid`] exploits that: it binds once to the point set —
+//! computing the bounding box, a dense `rows × cols` cell table, and every
+//! node's home cell — and afterwards supports `O(1)` membership updates:
+//!
+//! * each cell stores its members as packed [`CellEntry`] records
+//!   (`x`, `y`, `id`), so interference summation streams one contiguous
+//!   slice per cell instead of chasing `positions[id]` through the whole
+//!   point array — the structure-of-arrays layout the resolver reads;
+//! * per-node `node_cell` / `node_slot` indices make insert and
+//!   swap-removal constant-time and allocation-free in steady state;
+//! * the occupied-cell list tolerates stale (emptied) entries and compacts
+//!   itself once stale entries outnumber live ones, keeping scans linear in
+//!   the number of *live* cells.
+//!
+//! Cell coordinates are plain integers into the dense table, so the
+//! resolver's near/far classification is index arithmetic — no hashing.
+//!
+//! # Example
+//!
+//! ```
+//! use sinr_geometry::{CellGrid, Point};
+//!
+//! let pts = vec![Point::new(0.2, 0.2), Point::new(0.4, 0.1), Point::new(3.5, 3.5)];
+//! let mut grid = CellGrid::try_bind(&pts, 1.0).unwrap();
+//! grid.insert(0);
+//! grid.insert(2);
+//! assert_eq!(grid.len(), 2);
+//! assert!(grid.contains(0) && !grid.contains(1));
+//! grid.remove(0);
+//! assert_eq!(grid.len(), 1);
+//! ```
+
+use crate::cast;
+use crate::point::Point;
+use crate::NodeId;
+
+/// One grid member: its coordinates copied next to its id, so per-cell
+/// scans touch a single contiguous slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellEntry {
+    /// x coordinate of the member (copied from the bound point set).
+    pub x: f64,
+    /// y coordinate of the member.
+    pub y: f64,
+    /// The member's node id.
+    pub id: NodeId,
+}
+
+/// Sentinel for "node is not currently a member".
+const NOT_MEMBER: u32 = u32::MAX;
+
+/// Dense grids refuse to allocate more than `4·n + 4096` cells — beyond
+/// that (pathologically scattered point sets) a dense table wastes memory
+/// and scan time, and callers should fall back to per-query structures.
+pub const MAX_DENSE_CELLS_PER_NODE: usize = 4;
+
+/// A dense cell grid bound to a fixed point set (see module docs).
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    cell: f64,
+    cols: i64,
+    rows: i64,
+    /// Member records per cell, indexed densely by `cy * cols + cx`.
+    cells: Vec<Vec<CellEntry>>,
+    /// Cell indices that may be non-empty; may contain stale (emptied)
+    /// entries, compacted once they outnumber live cells.
+    occupied: Vec<u32>,
+    /// Whether a cell index currently sits in `occupied`.
+    in_occupied: Vec<bool>,
+    /// Number of currently non-empty cells (`occupied` minus stale).
+    live_cells: usize,
+    /// Home cell of every node of the bound point set.
+    node_cell: Vec<u32>,
+    /// Position of each member within its cell's entry list, or
+    /// [`NOT_MEMBER`].
+    node_slot: Vec<u32>,
+    /// Coordinates copied from the bound point set (flat, id-indexed).
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    members: usize,
+}
+
+impl CellGrid {
+    /// Binds a grid of side `cell` to `points`, with no members yet.
+    ///
+    /// Returns `None` when the point set's bounding box would need more
+    /// than `4·n + 4096` cells — a dense table would be mostly empty air;
+    /// callers should treat that as "grid not worth it" and fall back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not finite and strictly positive, or any point
+    /// has a non-finite coordinate.
+    pub fn try_bind(points: &[Point], cell: f64) -> Option<CellGrid> {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "grid cell side must be positive and finite"
+        );
+        let n = points.len();
+        let mut min_x = 0.0f64;
+        let mut min_y = 0.0f64;
+        let mut max_x = 0.0f64;
+        let mut max_y = 0.0f64;
+        for (id, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {id} has non-finite coordinates");
+            if id == 0 {
+                (min_x, min_y, max_x, max_y) = (p.x, p.y, p.x, p.y);
+            } else {
+                min_x = min_x.min(p.x);
+                min_y = min_y.min(p.y);
+                max_x = max_x.max(p.x);
+                max_y = max_y.max(p.y);
+            }
+        }
+        let cols = (cast::floor_i64((max_x - min_x) / cell) + 1).max(1);
+        let rows = (cast::floor_i64((max_y - min_y) / cell) + 1).max(1);
+        let cell_count = cols.checked_mul(rows)?;
+        let budget = i64::try_from(
+            MAX_DENSE_CELLS_PER_NODE
+                .saturating_mul(n)
+                .saturating_add(4096),
+        )
+        .unwrap_or(i64::MAX);
+        if cell_count > budget {
+            return None;
+        }
+        let cell_count = usize::try_from(cell_count).ok()?;
+        // Cell indices and per-cell slots are packed into `u32` (with
+        // `u32::MAX` reserved as the sentinel); refuse point sets or grids
+        // that could not be indexed losslessly. Unreachable in practice —
+        // 2³² nodes or cells would need hundreds of GiB — but it makes
+        // every `as u32` below provably in range.
+        if u32::try_from(cell_count).is_err() || u32::try_from(n).is_err() {
+            return None;
+        }
+        let mut node_cell = Vec::with_capacity(n);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for p in points {
+            let cx = cast::floor_i64((p.x - min_x) / cell).clamp(0, cols - 1);
+            let cy = cast::floor_i64((p.y - min_y) / cell).clamp(0, rows - 1);
+            node_cell.push((cy * cols + cx) as u32);
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        Some(CellGrid {
+            cell,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cell_count],
+            occupied: Vec::new(),
+            in_occupied: vec![false; cell_count],
+            live_cells: 0,
+            node_cell,
+            node_slot: vec![NOT_MEMBER; n],
+            xs,
+            ys,
+            members: 0,
+        })
+    }
+
+    /// The cell side the grid was bound with.
+    pub fn cell_side(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of nodes in the bound point set.
+    pub fn bound_len(&self) -> usize {
+        self.node_cell.len()
+    }
+
+    /// Grid dimensions as `(rows, cols)`.
+    pub fn dims(&self) -> (i64, i64) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of current members.
+    pub fn len(&self) -> usize {
+        self.members
+    }
+
+    /// Whether the grid has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// Whether node `id` is currently a member.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.node_slot[id] != NOT_MEMBER
+    }
+
+    /// Home cell index of node `id` (valid whether or not it is a member).
+    pub fn cell_of(&self, id: NodeId) -> u32 {
+        self.node_cell[id]
+    }
+
+    /// Flat home-cell slice for the whole bound point set, id-indexed.
+    pub fn node_cells(&self) -> &[u32] {
+        &self.node_cell
+    }
+
+    /// Integer cell coordinates `(cx, cy)` of a dense cell index.
+    pub fn cell_coords(&self, cell: u32) -> (i64, i64) {
+        let c = cell as i64;
+        (c % self.cols, c / self.cols)
+    }
+
+    /// Members of cell `cell`, as packed records.
+    pub fn entries(&self, cell: u32) -> &[CellEntry] {
+        &self.cells[cell as usize]
+    }
+
+    /// Cell indices that may hold members (may include stale empties;
+    /// check [`CellGrid::entries`] for emptiness when scanning).
+    pub fn occupied(&self) -> &[u32] {
+        &self.occupied
+    }
+
+    /// Number of currently non-empty cells.
+    pub fn live_cells(&self) -> usize {
+        self.live_cells
+    }
+
+    /// Verifies that `points` still looks like the bound point set — a
+    /// cheap spot check (length plus first/last coordinates), relied on by
+    /// callers that cache a `CellGrid` keyed on a borrowed graph.
+    pub fn binds(&self, points: &[Point]) -> bool {
+        if points.len() != self.node_cell.len() {
+            return false;
+        }
+        match (points.first(), points.last()) {
+            (Some(f), Some(l)) => {
+                let n = points.len();
+                f.x == self.xs[0] && f.y == self.ys[0] && l.x == self.xs[n - 1] && l.y == self.ys[n - 1]
+            }
+            _ => true,
+        }
+    }
+
+    /// Adds node `id` as a member.
+    ///
+    /// Steady-state allocation-free: entry vectors retain capacity across
+    /// remove/insert cycles, so only first-time cell growth allocates.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `id` is already a member (callers dedupe).
+    // lint:hot — delta-apply path, runs once per started transmitter per slot
+    pub fn insert(&mut self, id: NodeId) {
+        debug_assert!(!self.contains(id), "node {id} inserted twice");
+        let cell = self.node_cell[id] as usize;
+        let bucket = &mut self.cells[cell];
+        if bucket.is_empty() {
+            self.live_cells += 1;
+            if !self.in_occupied[cell] {
+                self.in_occupied[cell] = true;
+                self.occupied.push(cell as u32);
+            }
+        }
+        self.node_slot[id] = bucket.len() as u32;
+        bucket.push(CellEntry {
+            x: self.xs[id],
+            y: self.ys[id],
+            id,
+        });
+        self.members += 1;
+    }
+
+    /// Removes node `id` from membership; returns `false` (leaving the
+    /// grid untouched) if it was not a member — callers use that as the
+    /// signal that an externally supplied delta is inconsistent.
+    // lint:hot — delta-apply path, runs once per stopped transmitter per slot
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let slot = self.node_slot[id];
+        if slot == NOT_MEMBER {
+            return false;
+        }
+        let cell = self.node_cell[id] as usize;
+        let bucket = &mut self.cells[cell];
+        bucket.swap_remove(slot as usize);
+        if let Some(moved) = bucket.get(slot as usize) {
+            self.node_slot[moved.id] = slot;
+        }
+        if bucket.is_empty() {
+            self.live_cells -= 1;
+        }
+        self.node_slot[id] = NOT_MEMBER;
+        self.members -= 1;
+        true
+    }
+
+    /// Removes every member while keeping all cell capacity (so a refill
+    /// allocates nothing), and drops stale occupied entries.
+    pub fn clear_members(&mut self) {
+        for &c in &self.occupied {
+            let bucket = &mut self.cells[c as usize];
+            for e in bucket.iter() {
+                self.node_slot[e.id] = NOT_MEMBER;
+            }
+            bucket.clear();
+            self.in_occupied[c as usize] = false;
+        }
+        self.occupied.clear();
+        self.live_cells = 0;
+        self.members = 0;
+    }
+
+    /// Drops stale (emptied) cells from the occupied list. Called by
+    /// [`CellGrid::maintain`]; also useful after a bulk rebuild.
+    pub fn compact_occupied(&mut self) {
+        let cells = &self.cells;
+        let in_occupied = &mut self.in_occupied;
+        self.occupied.retain(|&c| {
+            if cells[c as usize].is_empty() {
+                in_occupied[c as usize] = false;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Compacts the occupied list once stale entries outnumber live cells
+    /// (amortized `O(1)` per membership update). Call once per batch of
+    /// updates.
+    pub fn maintain(&mut self) {
+        if self.occupied.len() > 2 * self.live_cells + 16 {
+            self.compact_occupied();
+        }
+    }
+
+    /// Calls `f(cell_index, chebyshev_cell_distance)` for every dense cell
+    /// within Chebyshev distance `reach` of `cell` (clipped to the grid),
+    /// in row-major order. Pure index arithmetic — visits empty cells too;
+    /// intended for stamping passes where the caller filters.
+    pub fn for_each_window_cell<F: FnMut(u32, i64)>(&self, cell: u32, reach: i64, mut f: F) {
+        debug_assert!(reach >= 0, "window reach must be non-negative");
+        let (cx, cy) = self.cell_coords(cell);
+        let x0 = (cx - reach).max(0);
+        let x1 = (cx + reach).min(self.cols - 1);
+        let y0 = (cy - reach).max(0);
+        let y1 = (cy + reach).min(self.rows - 1);
+        for gy in y0..=y1 {
+            let base = gy * self.cols;
+            let dy = (gy - cy).abs();
+            for gx in x0..=x1 {
+                f((base + gx) as u32, dy.max((gx - cx).abs()));
+            }
+        }
+    }
+
+    /// Chebyshev cell distance between two dense cell indices.
+    pub fn cheb(&self, a: u32, b: u32) -> i64 {
+        let (ax, ay) = self.cell_coords(a);
+        let (bx, by) = self.cell_coords(b);
+        (ax - bx).abs().max((ay - by).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point> {
+        vec![
+            Point::new(0.2, 0.2),
+            Point::new(0.4, 0.1), // same cell as 0
+            Point::new(1.5, 0.5),
+            Point::new(0.5, 2.5),
+            Point::new(3.9, 3.9),
+        ]
+    }
+
+    #[test]
+    fn bind_assigns_home_cells() {
+        let g = CellGrid::try_bind(&pts(), 1.0).unwrap();
+        assert_eq!(g.bound_len(), 5);
+        assert_eq!(g.cell_of(0), g.cell_of(1));
+        assert_ne!(g.cell_of(0), g.cell_of(2));
+        let (rows, cols) = g.dims();
+        assert_eq!((rows, cols), (4, 4));
+        assert!(g.is_empty());
+        // Coordinates round-trip through the dense index.
+        for id in 0..5 {
+            let (cx, cy) = g.cell_coords(g.cell_of(id));
+            assert!(cx >= 0 && cx < cols && cy >= 0 && cy < rows);
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = CellGrid::try_bind(&pts(), 1.0).unwrap();
+        g.insert(0);
+        g.insert(1);
+        g.insert(4);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.live_cells(), 2);
+        assert!(g.contains(1));
+        let cell0 = g.cell_of(0);
+        assert_eq!(g.entries(cell0).len(), 2);
+        assert!(g.remove(0));
+        // Swap-removal keeps node 1 reachable at its new slot.
+        assert!(g.contains(1));
+        assert_eq!(g.entries(cell0).len(), 1);
+        assert_eq!(g.entries(cell0)[0].id, 1);
+        assert!(!g.remove(0), "double remove reports inconsistency");
+        assert!(g.remove(1));
+        assert_eq!(g.live_cells(), 1);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn entries_carry_coordinates() {
+        let p = pts();
+        let mut g = CellGrid::try_bind(&p, 1.0).unwrap();
+        g.insert(3);
+        let e = g.entries(g.cell_of(3))[0];
+        assert_eq!((e.x, e.y, e.id), (p[3].x, p[3].y, 3));
+    }
+
+    #[test]
+    fn clear_members_resets_everything() {
+        let mut g = CellGrid::try_bind(&pts(), 1.0).unwrap();
+        for id in 0..5 {
+            g.insert(id);
+        }
+        g.clear_members();
+        assert!(g.is_empty());
+        assert_eq!(g.live_cells(), 0);
+        assert!(g.occupied().is_empty());
+        for id in 0..5 {
+            assert!(!g.contains(id));
+        }
+        g.insert(2); // reusable after clearing
+        assert_eq!(g.entries(g.cell_of(2)).len(), 1);
+    }
+
+    #[test]
+    fn occupied_tolerates_staleness_and_compacts() {
+        let mut g = CellGrid::try_bind(&pts(), 1.0).unwrap();
+        g.insert(0);
+        g.insert(2);
+        g.remove(0);
+        // Stale entry for node 0's cell is still listed...
+        assert_eq!(g.occupied().len(), 2);
+        assert_eq!(g.live_cells(), 1);
+        g.compact_occupied();
+        assert_eq!(g.occupied().len(), 1);
+        // ...and re-inserting re-registers the cell exactly once.
+        g.insert(0);
+        g.insert(1);
+        assert_eq!(g.occupied().len(), 2);
+    }
+
+    #[test]
+    fn maintain_compacts_when_stale_dominates() {
+        // 40 nodes in 40 distinct cells along a line.
+        let p: Vec<Point> = (0..40).map(|i| Point::new(i as f64 + 0.5, 0.5)).collect();
+        let mut g = CellGrid::try_bind(&p, 1.0).unwrap();
+        for id in 0..40 {
+            g.insert(id);
+        }
+        for id in 1..40 {
+            g.remove(id);
+        }
+        assert_eq!(g.occupied().len(), 40);
+        g.maintain();
+        assert_eq!(g.occupied().len(), 1, "stale cells dropped");
+        assert!(g.contains(0));
+    }
+
+    #[test]
+    fn window_clips_to_grid_and_reports_cheb() {
+        let g = CellGrid::try_bind(&pts(), 1.0).unwrap();
+        // Corner cell: window clipped to the grid.
+        let corner = g.cell_of(0);
+        let mut seen = Vec::new();
+        g.for_each_window_cell(corner, 1, |c, d| seen.push((c, d)));
+        assert_eq!(seen.len(), 4, "2×2 clipped window at the corner");
+        for &(c, d) in &seen {
+            assert_eq!(d, g.cheb(corner, c));
+            assert!(d <= 1);
+        }
+        // Full window away from edges covers (2r+1)².
+        let mut count = 0;
+        g.for_each_window_cell(g.cell_of(2), 1, |_, _| count += 1);
+        assert_eq!(count, 6, "3 wide × 2 tall at the bottom edge");
+    }
+
+    #[test]
+    fn bind_refuses_pathological_scatter() {
+        let p = vec![Point::new(0.0, 0.0), Point::new(1.0e5, 1.0e5)];
+        assert!(CellGrid::try_bind(&p, 1.0).is_none());
+        assert!(CellGrid::try_bind(&p, 1.0e5).is_some());
+    }
+
+    #[test]
+    fn binds_spot_checks_the_point_set() {
+        let p = pts();
+        let g = CellGrid::try_bind(&p, 1.0).unwrap();
+        assert!(g.binds(&p));
+        assert!(!g.binds(&p[..4]));
+        let mut moved = p.clone();
+        moved[0] = Point::new(9.0, 9.0);
+        assert!(!g.binds(&moved));
+        let empty: Vec<Point> = Vec::new();
+        let ge = CellGrid::try_bind(&empty, 1.0).unwrap();
+        assert!(ge.binds(&empty));
+    }
+
+    #[test]
+    fn empty_point_set_binds() {
+        let g = CellGrid::try_bind(&[], 1.0).unwrap();
+        assert_eq!(g.bound_len(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.dims(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_rejected() {
+        let _ = CellGrid::try_bind(&[], 0.0);
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`Bbox`] — axis-aligned bounding boxes for deployment areas.
 //! * [`SpatialGrid`] — a uniform hash grid supporting fast range queries,
 //!   used both for UDG construction and for interference bookkeeping.
+//! * [`CellGrid`] — a dense grid bound to a fixed point set with `O(1)`
+//!   incremental membership updates, the SINR resolver's steady-state
+//!   transmitter index.
 //! * [`placement`] — deterministic, seeded node-placement generators
 //!   (uniform random, jittered grid, clustered, line).
 //! * [`UnitDiskGraph`] — the communication graph `G = (V, E, R_T)`.
@@ -33,6 +36,7 @@
 
 pub mod bbox;
 pub mod cast;
+pub mod cellgrid;
 pub mod graph;
 pub mod greedy;
 pub mod grid;
@@ -41,6 +45,7 @@ pub mod placement;
 pub mod point;
 
 pub use bbox::Bbox;
+pub use cellgrid::{CellEntry, CellGrid};
 pub use graph::UnitDiskGraph;
 pub use grid::{GridKey, SpatialGrid};
 pub use point::Point;

@@ -5,7 +5,7 @@ use crate::stats::SimStats;
 use crate::trace::{Event, Trace};
 use crate::wakeup::WakeupSchedule;
 use sinr_geometry::{NodeId, UnitDiskGraph};
-use sinr_model::{InterferenceModel, ReceptionTable};
+use sinr_model::{InterferenceModel, ReceptionTable, TxDelta};
 use sinr_obs::{keys, NoopRecorder, Recorder};
 use sinr_pool::{PerThread, Pool};
 use sinr_rng::rngs::StdRng;
@@ -72,6 +72,7 @@ pub struct Simulator<P: Protocol, M: InterferenceModel> {
     slot: u64,
     stats: SimStats,
     done: Vec<bool>,
+    done_count: usize,
     trace: Option<Trace>,
     // Dense per-slot buffers, reused across slots so the steady-state hot
     // loop performs no allocation (previously a fresh HashMap + Vecs per
@@ -80,6 +81,21 @@ pub struct Simulator<P: Protocol, M: InterferenceModel> {
     is_tx: Vec<bool>,
     tx_msg: Vec<Option<P::Message>>,
     inbox: Vec<(NodeId, P::Message)>,
+    // Previous slot's transmitter set (list + bitmap), rolled at the end
+    // of every slot; together with the current set it yields the
+    // start/stop delta handed to stateful resolvers for free.
+    prev_tx_ids: Vec<NodeId>,
+    prev_is_tx: Vec<bool>,
+    started: Vec<NodeId>,
+    stopped: Vec<NodeId>,
+    // Node ids sorted by (wake slot, id): a cursor over this list replaces
+    // the per-slot O(n) wake scan.
+    wake_order: Vec<NodeId>,
+    wake_cursor: usize,
+    // Whether the fused sequential fast path is usable: it skips sleeping
+    // nodes entirely, which is only sound when no node is already done at
+    // construction (an untouched sleeping node can then never be done).
+    fused_ok: bool,
     // Worker pool for the sharded step phases (sequential by default) and
     // its per-thread scratch.
     pool: Pool,
@@ -103,6 +119,9 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             .map(|v| StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ v as u64))
             .collect();
         let stats = SimStats::new(wake.clone());
+        let mut wake_order: Vec<NodeId> = (0..n).collect();
+        wake_order.sort_by_key(|&v| wake[v]); // stable: ascending id per slot
+        let fused_ok = nodes.iter().all(|nd| !nd.is_done());
         Simulator {
             graph,
             model,
@@ -112,11 +131,19 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             slot: 0,
             stats,
             done: vec![false; n],
+            done_count: 0,
             trace: None,
             tx_ids: Vec::new(),
             is_tx: vec![false; n],
             tx_msg: (0..n).map(|_| None).collect(),
             inbox: Vec::new(),
+            prev_tx_ids: Vec::new(),
+            prev_is_tx: vec![false; n],
+            started: Vec::new(),
+            stopped: Vec::new(),
+            wake_order,
+            wake_cursor: 0,
+            fused_ok,
             pool: Pool::sequential(),
             par: PerThread::new(1, |_| EngineScratch::new()),
         }
@@ -182,7 +209,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
 
     /// Whether every node has decided.
     pub fn all_done(&self) -> bool {
-        self.done.iter().all(|&d| d)
+        self.done_count == self.done.len()
     }
 
     fn ctx(&self, v: NodeId) -> NodeCtx {
@@ -211,17 +238,24 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         let slot = self.slot;
         let obs = rec.enabled();
 
-        // 1. Wake-ups.
-        for v in 0..n {
-            if self.wake[v] == slot {
-                let ctx = self.ctx(v);
-                self.nodes[v].on_wake(&ctx);
-                if let Some(t) = &mut self.trace {
-                    t.push(slot, Event::Wake(v));
-                }
-                if obs {
-                    rec.event(slot, &Event::Wake(v).to_obs());
-                }
+        // 1. Wake-ups. A cursor over the wake-sorted id list visits each
+        // node exactly once over the whole run instead of scanning all n
+        // ids every slot; ids waking in the same slot are visited in
+        // ascending order (the sort is stable over an ascending list).
+        while self.wake_cursor < n {
+            let v = self.wake_order[self.wake_cursor];
+            if self.wake[v] > slot {
+                break;
+            }
+            debug_assert_eq!(self.wake[v], slot, "slots advance one at a time");
+            self.wake_cursor += 1;
+            let ctx = self.ctx(v);
+            self.nodes[v].on_wake(&ctx);
+            if let Some(t) = &mut self.trace {
+                t.push(slot, Event::Wake(v));
+            }
+            if obs {
+                rec.event(slot, &Event::Wake(v).to_obs());
             }
         }
 
@@ -230,59 +264,200 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         // events are emitted sequentially, per slot, in node order).
         let par_step =
             self.pool.threads() > 1 && n >= PAR_NODE_CUTOFF && self.trace.is_none() && !obs;
+        // The fused sequential path folds the action, accounting,
+        // delivery, and termination phases into two passes; it produces
+        // bit-identical stats, RNG streams, and protocol states, but emits
+        // no events, so any event consumer falls back to the phased loops.
+        let fused = !par_step && !obs && self.trace.is_none() && self.fused_ok;
 
-        // 2. Actions — recorded into the dense reused buffers.
-        self.phase_actions(slot, par_step, obs, rec);
-        // 3. Channel resolution + activity accounting (listen status is
-        // derived from the `is_tx` bitmap: awake ∧ active ∧ ¬transmitting).
-        let table = self.model.resolve(&self.graph, &self.tx_ids);
+        // 2. Actions — recorded into the dense reused buffers; `started`
+        // is filled against the previous slot's transmitter bitmap.
+        if fused {
+            self.phase_actions_fused(slot);
+        } else {
+            self.phase_actions(slot, par_step, obs, rec);
+            self.started.clear();
+            for &t in &self.tx_ids {
+                if !self.prev_is_tx[t] {
+                    self.started.push(t);
+                }
+            }
+            for &t in &self.tx_ids {
+                self.stats.tx_slots[t] += 1;
+            }
+            // Activity accounting (listen status is derived from the
+            // `is_tx` bitmap: awake ∧ active ∧ ¬transmitting).
+            for v in 0..n {
+                if self.is_awake(v) && self.nodes[v].is_active() && !self.is_tx[v] {
+                    self.stats.listen_slots[v] += 1;
+                }
+            }
+        }
+        self.stopped.clear();
+        for &t in &self.prev_tx_ids {
+            if !self.is_tx[t] {
+                self.stopped.push(t);
+            }
+        }
+
+        // 3. Channel resolution. The start/stop delta is exact by
+        // construction, so stateful resolvers can update their persistent
+        // indices in O(|delta|); stateless ones ignore it.
+        let table = self.model.resolve_delta(
+            &self.graph,
+            &self.tx_ids,
+            TxDelta {
+                started: &self.started,
+                stopped: &self.stopped,
+            },
+        );
         self.stats.transmissions += self.tx_ids.len() as u64;
         self.stats.record_channel_load(self.tx_ids.len());
-        for &t in &self.tx_ids {
-            self.stats.tx_slots[t] += 1;
-        }
-        for v in 0..n {
-            if self.is_awake(v) && self.nodes[v].is_active() && !self.is_tx[v] {
-                self.stats.listen_slots[v] += 1;
-            }
-        }
 
-        // 4. Delivery + end-of-slot processing for every awake node.
-        self.phase_delivery(slot, par_step, obs, &table, rec);
-
-        // 5. Termination bookkeeping.
+        // 4 + 5. Delivery, end-of-slot processing, and termination
+        // bookkeeping for every awake node.
         let mut newly_done = Vec::new();
-        for v in 0..n {
-            if !self.done[v] && self.nodes[v].is_done() {
-                self.done[v] = true;
-                self.stats.done_slot[v] = Some(slot);
-                newly_done.push(v);
-                if let Some(t) = &mut self.trace {
-                    t.push(slot, Event::Done(v));
-                }
-                if obs {
-                    rec.event(slot, &Event::Done(v).to_obs());
+        if fused {
+            self.phase_delivery_fused(slot, &table, &mut newly_done);
+        } else {
+            self.phase_delivery(slot, par_step, obs, &table, rec);
+            for v in 0..n {
+                if !self.done[v] && self.nodes[v].is_done() {
+                    self.done[v] = true;
+                    self.done_count += 1;
+                    self.stats.done_slot[v] = Some(slot);
+                    newly_done.push(v);
+                    if let Some(t) = &mut self.trace {
+                        t.push(slot, Event::Done(v));
+                    }
+                    if obs {
+                        rec.event(slot, &Event::Done(v).to_obs());
+                    }
                 }
             }
         }
 
-        // 6. Reset the dense buffers for the next slot (O(transmitters),
-        // not O(n)). Resolver statistics are read once at end of run, not
-        // snapshotted per slot.
+        let transmitters = self.tx_ids.clone();
+
+        // 6. Roll the slot buffers (O(transmitters), not O(n)): this
+        // slot's transmitter list and bitmap become the previous-slot pair
+        // the next delta is computed against, and the freshly cleared pair
+        // becomes the next slot's working buffers. Resolver statistics are
+        // read once at end of run, not snapshotted per slot.
+        for &t in &self.prev_tx_ids {
+            self.prev_is_tx[t] = false;
+        }
         for &t in &self.tx_ids {
-            self.is_tx[t] = false;
             self.tx_msg[t] = None;
         }
+        std::mem::swap(&mut self.prev_tx_ids, &mut self.tx_ids);
+        std::mem::swap(&mut self.prev_is_tx, &mut self.is_tx);
 
         self.slot += 1;
         self.stats.slots = self.slot;
 
         StepView {
             slot,
-            transmitters: self.tx_ids.clone(),
+            transmitters,
             receptions: table,
             newly_done,
         }
+    }
+
+    /// Fused slot phases 2 + 3a: one sequential pass decides every awake
+    /// active node's action, maintains the transmit buffers and the
+    /// `started` delta, and accounts tx/listen activity — replacing three
+    /// O(n) scans of the phased path with one.
+    // lint:hot — per-node action loop, runs every slot for every node
+    fn phase_actions_fused(&mut self, slot: u64) {
+        let n = self.graph.len();
+        self.tx_ids.clear();
+        self.started.clear();
+        for v in 0..n {
+            if self.wake[v] > slot || !self.nodes[v].is_active() {
+                continue;
+            }
+            let ctx = NodeCtx {
+                id: v,
+                global_slot: slot,
+                local_slot: slot - self.wake[v],
+            };
+            let mut rng = RandSlotRng(&mut self.rngs[v]);
+            match self.nodes[v].begin_slot(&ctx, &mut rng) {
+                Action::Transmit(msg) => {
+                    self.tx_ids.push(v);
+                    self.is_tx[v] = true;
+                    self.tx_msg[v] = Some(msg);
+                    if !self.prev_is_tx[v] {
+                        self.started.push(v);
+                    }
+                    self.stats.tx_slots[v] += 1;
+                }
+                // Re-checked after begin_slot so a node that deactivates
+                // inside the callback is not billed a listen slot, exactly
+                // like the phased accounting pass that runs post-actions.
+                Action::Listen => {
+                    if self.nodes[v].is_active() {
+                        self.stats.listen_slots[v] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fused slot phases 4 + 5: one ascending-id pass merge-joins the
+    /// sorted reception table against the awake nodes (no per-node binary
+    /// search), runs `end_slot`, and folds in the termination check.
+    ///
+    /// Sleeping nodes are skipped wholesale — sound because the fused path
+    /// is gated on `fused_ok` (no node starts done, and a node's `is_done`
+    /// cannot change before its first callback).
+    // lint:hot — per-node delivery loop, runs every slot for every node
+    fn phase_delivery_fused(
+        &mut self,
+        slot: u64,
+        table: &ReceptionTable,
+        newly_done: &mut Vec<NodeId>,
+    ) {
+        let n = self.graph.len();
+        let pairs = table.pairs();
+        let mut p = 0usize;
+        let mut inbox = std::mem::take(&mut self.inbox);
+        for v in 0..n {
+            if self.wake[v] > slot {
+                continue;
+            }
+            if self.nodes[v].is_active() {
+                // Receptions granted to sleeping or inactive receivers are
+                // dropped undelivered and uncounted, as in the phased loop.
+                while p < pairs.len() && pairs[p].0 < v {
+                    p += 1;
+                }
+                inbox.clear();
+                while p < pairs.len() && pairs[p].0 == v {
+                    let sender = pairs[p].1;
+                    let msg = self.tx_msg[sender]
+                        .as_ref()
+                        .expect("reception from a node that transmitted");
+                    inbox.push((sender, msg.clone()));
+                    p += 1;
+                }
+                self.stats.receptions += inbox.len() as u64;
+                let ctx = NodeCtx {
+                    id: v,
+                    global_slot: slot,
+                    local_slot: slot - self.wake[v],
+                };
+                self.nodes[v].end_slot(&ctx, &inbox);
+            }
+            if !self.done[v] && self.nodes[v].is_done() {
+                self.done[v] = true;
+                self.done_count += 1;
+                self.stats.done_slot[v] = Some(slot);
+                newly_done.push(v);
+            }
+        }
+        self.inbox = inbox;
     }
 
     /// Slot phase 2: every awake active node decides its action; the

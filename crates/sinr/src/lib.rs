@@ -52,7 +52,8 @@ pub mod resolver;
 pub use config::SinrConfig;
 pub use fading::FadingSinrModel;
 pub use model::{
-    GraphModel, IdealModel, InterferenceModel, ReceptionTable, SinrModel, PAR_CANDIDATE_CUTOFF,
+    GraphModel, IdealModel, InterferenceModel, ReceptionTable, SinrModel, TxDelta,
+    PAR_CANDIDATE_CUTOFF,
 };
 pub use power::{NonUniformSinrModel, PowerAssignment};
-pub use resolver::{FastSinrModel, ResolverStats, AUTO_GRID_MIN_NODES};
+pub use resolver::{FastSinrModel, ResolverStats, AUTO_TX_DENSITY_FACTOR, EPOCH_REBUILD_SLOTS};

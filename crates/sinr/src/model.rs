@@ -50,6 +50,15 @@ impl ReceptionTable {
         self.pairs.iter().copied()
     }
 
+    /// The full reception list, sorted by receiver (then sender).
+    ///
+    /// Exposed so delivery loops can merge-join the table against an
+    /// ascending receiver sweep instead of binary-searching
+    /// [`ReceptionTable::heard_by`] once per node.
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
     /// Total number of successful receptions.
     pub fn len(&self) -> usize {
         self.pairs.len()
@@ -70,6 +79,25 @@ impl ReceptionTable {
     }
 }
 
+/// The change in the transmitter set since the previous resolved slot,
+/// as reported by a driver that tracks per-node transitions anyway (the
+/// slot engine computes both lists for free during its action phase).
+///
+/// `started` are nodes transmitting now that were silent last slot;
+/// `stopped` are nodes silent now that transmitted last slot. Together
+/// with the previous set they determine the current one. Stateful
+/// resolvers use the delta to update persistent indices in `O(|delta|)`
+/// instead of rebuilding in `O(k)`; they remain responsible for verifying
+/// the delta against their own state and rebuilding when it is
+/// inconsistent, so a wrong delta can cost time but never correctness.
+#[derive(Debug, Clone, Copy)]
+pub struct TxDelta<'a> {
+    /// Nodes that began transmitting this slot.
+    pub started: &'a [NodeId],
+    /// Nodes that ceased transmitting this slot.
+    pub stopped: &'a [NodeId],
+}
+
 /// A per-slot reception resolver.
 ///
 /// Given the communication graph (positions + `R_T` adjacency) and the set
@@ -82,6 +110,23 @@ pub trait InterferenceModel {
     /// `transmitting` must contain valid node ids of `g` (duplicates are not
     /// allowed). Listeners are all non-transmitting nodes.
     fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable;
+
+    /// Resolves one slot, additionally handing the model the transmitter-set
+    /// change since the slot it last resolved (see [`TxDelta`]).
+    ///
+    /// The default ignores the delta and calls [`InterferenceModel::resolve`];
+    /// stateless models need not care. Implementations must return exactly
+    /// what `resolve(g, transmitting)` would — the delta is a pure
+    /// performance hint, never allowed to change the table.
+    fn resolve_delta(
+        &self,
+        g: &UnitDiskGraph,
+        transmitting: &[NodeId],
+        delta: TxDelta<'_>,
+    ) -> ReceptionTable {
+        let _ = delta;
+        self.resolve(g, transmitting)
+    }
 
     /// Short model name for reports.
     fn name(&self) -> &'static str;
@@ -104,6 +149,15 @@ pub trait InterferenceModel {
 impl<M: InterferenceModel + ?Sized> InterferenceModel for Box<M> {
     fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
         (**self).resolve(g, transmitting)
+    }
+
+    fn resolve_delta(
+        &self,
+        g: &UnitDiskGraph,
+        transmitting: &[NodeId],
+        delta: TxDelta<'_>,
+    ) -> ReceptionTable {
+        (**self).resolve_delta(g, transmitting, delta)
     }
 
     fn name(&self) -> &'static str {

@@ -1,45 +1,65 @@
-//! A fast **exact** SINR resolver: grid-tiled near/far interference bounds
-//! with a certified-bound fast path and a bit-identical exact fallback.
+//! A fast **exact** SINR resolver: incrementally maintained grid-tiled
+//! near/far interference bounds with a certified fast path and a
+//! bit-identical exact fallback.
 //!
 //! [`FastSinrModel`] resolves the same reception tables as
 //! [`SinrModel`](crate::SinrModel) — provably, and checked by differential
 //! proptests — while doing far less work per slot:
 //!
-//! 1. The slot's transmitters are bucketed into a reusable
-//!    [`SpatialGrid`] (cell side `R_T`), and the grid's occupied cells are
-//!    snapshotted into a flat `(key, ids)` list — at most one entry per
-//!    transmitter, independent of the playing-field area.
-//! 2. Each candidate receiver classifies every occupied cell by integer
-//!    (Chebyshev) cell distance: cells within `reach` are *near* and their
-//!    transmitters' powers are summed, everything else is *far* and only
-//!    counted. The far tail is bounded by `|far| · P / (reach·R_T)^α` — a
-//!    Lemma-3-style conservative ring bound: every far transmitter sits
-//!    strictly beyond `reach · R_T`, so its true contribution is strictly
-//!    below the per-node cap (see `Distributed Node Coloring in the SINR
-//!    Model`, Lemma 3, and the uniform-power tail bounds of Avin et al.,
-//!    arXiv:0906.2311). Classification is pure integer arithmetic over the
-//!    snapshot — no hashing, no probing of empty window cells.
+//! 1. The model binds a dense [`CellGrid`] (cell side `R_T`) to the graph's
+//!    point set **once**, and from then on maintains the transmitter set
+//!    *incrementally*: each slot applies only the start/stop **delta**
+//!    against the previous slot — either handed in by the driver via
+//!    [`InterferenceModel::resolve_delta`] (the slot engine computes the
+//!    delta for free during its action phase) or self-diffed against the
+//!    previous transmitter list. Membership updates are `O(1)` swap
+//!    insert/removals into packed per-cell entry lists; there is no
+//!    per-slot clear-and-refill and no hashing.
+//! 2. Near/far classification is shared per *cell* instead of recomputed
+//!    per candidate: each occupied transmitter cell stamps itself into the
+//!    near lists of the candidate cells inside its `(2·reach+1)²` window
+//!    (pure dense-index arithmetic). A candidate receiver then walks its
+//!    cell's near list, streaming each near cell's packed
+//!    `(x, y, id)` entries for the exact near sum; everything not in the
+//!    list is *far* and only counted. The far tail is bounded by
+//!    `|far| · P / (reach·R_T)^α` — a Lemma-3-style conservative ring
+//!    bound: every far transmitter sits strictly beyond `reach · R_T`, so
+//!    its true contribution is strictly below the per-node cap (see
+//!    `Distributed Node Coloring in the SINR Model`, Lemma 3, and the
+//!    uniform-power tail bounds of Avin et al., arXiv:0906.2311).
 //! 3. A sender is decoded on the fast path only when the *pessimistic*
 //!    SINR (far tail fully charged) already clears `β` **and** no other
 //!    sender clears `β` even *optimistically* (far tail zero). A slot
 //!    verdict of "nothing decodable" requires every sender to fail
-//!    optimistically. The bounds carry a relative slack of
-//!    [`SUM_SLACK`] so they bracket the naive resolver's floating-point
-//!    sum (not just the real-valued one) regardless of summation order.
-//!    Whenever the bounds disagree, the resolver falls back to the full
+//!    optimistically. The bounds carry a relative slack of [`SUM_SLACK`]
+//!    so they bracket the naive resolver's floating-point sum (not just
+//!    the real-valued one) regardless of summation order — which also
+//!    makes the verdicts independent of the grid's *entry order*, so the
+//!    incremental membership history cannot influence results. Whenever
+//!    the bounds disagree, the resolver falls back to the full
 //!    interference sum **in the same iteration order as the naive
 //!    resolver**, so the produced [`ReceptionTable`] is bit-identical in
 //!    every case — the fast path is a pure strength reduction, never an
 //!    approximation.
 //!
+//! The persistent state is defensively certified: an externally supplied
+//! delta is validated element-by-element against the grid's own membership
+//! (plus a full `O(k)` containment sweep), and any inconsistency triggers
+//! a certified full rebuild of the batch state — a wrong delta can cost
+//! time, never correctness. A periodic epoch rebuild
+//! (every [`EPOCH_REBUILD_SLOTS`] slots) re-canonicalizes the packed
+//! entry lists and compacts the occupied-cell index, bounding any drift
+//! in layout quality over arbitrarily long runs.
+//!
 //! All scratch state (transmitter bitmap, candidate marks, the transmitter
-//! grid) lives behind a `RefCell` and is reused across slots, so steady-
-//! state resolution performs no allocation beyond the returned table.
+//! grid, the stamped near lists) lives behind a `RefCell` and is reused
+//! across slots, so steady-state resolution performs no allocation beyond
+//! the returned table.
 
 use crate::config::SinrConfig;
 use crate::interference::{received_power, received_power_d2, sinr_from_total};
-use crate::model::{InterferenceModel, ReceptionTable, PAR_CANDIDATE_CUTOFF};
-use sinr_geometry::{GridKey, NodeId, SpatialGrid, UnitDiskGraph};
+use crate::model::{InterferenceModel, ReceptionTable, TxDelta, PAR_CANDIDATE_CUTOFF};
+use sinr_geometry::{CellGrid, NodeId, UnitDiskGraph};
 use sinr_pool::{PerThread, Pool};
 use std::cell::RefCell;
 
@@ -53,24 +73,34 @@ use std::cell::RefCell;
 pub const DEFAULT_NEAR_REACH_CELLS: i64 = 4;
 
 /// Below this many transmitters the naive `O(k)` sum is cheaper than
-/// bucketing the slot into the grid, so small slots skip the fast path.
+/// stamping the slot's candidate cells, so small slots skip the fast path
+/// (grid membership is still maintained so later slots stay incremental).
 pub const SMALL_SLOT_EXACT_CUTOFF: usize = 12;
 
-/// Below this many nodes [`FastSinrModel::auto`] disables the grid
-/// entirely. On small instances almost every slot sits near
-/// [`SMALL_SLOT_EXACT_CUTOFF`] transmitters, so the snapshot never pays
-/// for itself (at n=256 the measured hit rate was 0.2% and end-to-end
-/// throughput *lost* 7% to grid upkeep); the exact loop over reused
-/// scratch is strictly faster there.
-pub const AUTO_GRID_MIN_NODES: usize = 512;
+/// Calibration constant of [`FastSinrModel::auto`]: across MW runs the
+/// steady-state slot carries about `0.18 · n / mean_degree` simultaneous
+/// transmitters (measured 31.3 at `n = 2048`, mean degree 12.2 — factor
+/// 0.186 — and 231.5 at `n = 16384`, factor 0.17; the protocol's
+/// transmission probability scales as `1/degree`, so the fraction falls
+/// with density). `auto` enables the grid only when that estimate clears
+/// [`SMALL_SLOT_EXACT_CUTOFF`], i.e. when typical slots would actually
+/// take the fast path.
+pub const AUTO_TX_DENSITY_FACTOR: f64 = 0.18;
+
+/// Slots between defensive full rebuilds of the persistent transmitter
+/// grid. A rebuild re-inserts the current set in `transmitting` order,
+/// re-canonicalizing packed entry order and compacting the occupied-cell
+/// index; correctness never depends on it (verdicts are order-independent
+/// by the [`SUM_SLACK`] bracket), it only bounds layout drift.
+pub const EPOCH_REBUILD_SLOTS: u64 = 1024;
 
 /// Relative slack applied to the interference bounds so they bracket the
 /// naive resolver's *floating-point* sum, not just the real-valued one:
-/// the near sum is accumulated in grid order (and from squared distances)
-/// while the fallback sums in `transmitting` order, so the two can differ
-/// by accumulated rounding of roughly `k·ε` relative (`ε = 2⁻⁵²`; below
-/// `10⁻⁹` for any realistic `k ≤ 10⁶`). Only candidates whose SINR sits
-/// within the slack of `β` lose the fast path.
+/// the near sum is accumulated in near-list/entry order (and from squared
+/// distances) while the fallback sums in `transmitting` order, so the two
+/// can differ by accumulated rounding of roughly `k·ε` relative
+/// (`ε = 2⁻⁵²`; below `10⁻⁹` for any realistic `k ≤ 10⁶`). Only
+/// candidates whose SINR sits within the slack of `β` lose the fast path.
 pub const SUM_SLACK: f64 = 1e-9;
 
 /// Cumulative counters exposed by resolvers that track their fast path.
@@ -81,9 +111,22 @@ pub struct ResolverStats {
     /// Candidate receivers that needed the full exact interference sum
     /// (bound disagreement, or a small slot below the grid cutoff).
     pub exact_fallbacks: u64,
-    /// Occupied grid cells examined during near/far classification
-    /// (counts every snapshot entry once per fast-path candidate).
+    /// Near-list entries examined during interference summation (one per
+    /// near transmitter cell per fast-path candidate).
     pub cells_scanned: u64,
+    /// Transmitters incrementally inserted into the persistent grid
+    /// (nodes that started transmitting relative to the previous slot).
+    pub delta_started: u64,
+    /// Transmitters incrementally removed from the persistent grid
+    /// (nodes that stopped transmitting relative to the previous slot).
+    pub delta_stopped: u64,
+    /// Scheduled epoch rebuilds of the persistent grid (see
+    /// [`EPOCH_REBUILD_SLOTS`]).
+    pub epoch_rebuilds: u64,
+    /// Certified full rebuilds forced by an externally supplied delta
+    /// that failed validation against the grid's own membership. Always
+    /// zero when the driver's deltas are consistent.
+    pub full_rebuilds: u64,
 }
 
 impl ResolverStats {
@@ -104,6 +147,10 @@ impl ResolverStats {
         self.fast_path_hits += other.fast_path_hits;
         self.exact_fallbacks += other.exact_fallbacks;
         self.cells_scanned += other.cells_scanned;
+        self.delta_started += other.delta_started;
+        self.delta_stopped += other.delta_stopped;
+        self.epoch_rebuilds += other.epoch_rebuilds;
+        self.full_rebuilds += other.full_rebuilds;
     }
 
     /// Exports the counters (and the derived hit rate, when defined) into
@@ -113,8 +160,75 @@ impl ResolverStats {
         rec.counter_add(keys::RESOLVER_FAST_PATH_HITS, self.fast_path_hits);
         rec.counter_add(keys::RESOLVER_EXACT_FALLBACKS, self.exact_fallbacks);
         rec.counter_add(keys::RESOLVER_CELLS_SCANNED, self.cells_scanned);
+        rec.counter_add(keys::RESOLVER_DELTA_STARTED, self.delta_started);
+        rec.counter_add(keys::RESOLVER_DELTA_STOPPED, self.delta_stopped);
+        rec.counter_add(keys::RESOLVER_DELTA_EPOCH_REBUILDS, self.epoch_rebuilds);
+        rec.counter_add(keys::RESOLVER_DELTA_FULL_REBUILDS, self.full_rebuilds);
         if let Some(rate) = self.hit_rate() {
             rec.gauge_set(keys::RESOLVER_HIT_RATE, rate);
+        }
+    }
+}
+
+/// "Not stamped this slot" marker in `GridState::cand_cell_idx`.
+const NOT_STAMPED: u32 = u32::MAX;
+
+/// One near cell of a candidate cell: the transmitter cell's dense index
+/// plus whether it is close enough (Chebyshev ≤ 1) to hold decodable
+/// senders for receivers in the candidate cell.
+#[derive(Debug, Clone, Copy)]
+struct NearRef {
+    cell: u32,
+    sender: bool,
+}
+
+/// The persistent incremental state: the bound transmitter grid, the
+/// previous slot's transmitter list (for self-diffing), the epoch clock,
+/// and the per-slot candidate-cell stamping scratch.
+#[derive(Debug, Clone)]
+struct GridState {
+    /// Dense grid bound to the current graph's point set; `None` before
+    /// the first bind or when binding was refused (see `bind_failed`).
+    grid: Option<CellGrid>,
+    /// The bound point set was too scattered for a dense grid
+    /// ([`CellGrid::try_bind`] returned `None`); resolve exactly until
+    /// the graph changes.
+    bind_failed: bool,
+    /// Bind fingerprint: the positions slice pointer, its length, and the
+    /// graph radius. [`UnitDiskGraph`]s are immutable, so a matching
+    /// fingerprint (re-verified with [`CellGrid::binds`]'s endpoint spot
+    /// check each slot) identifies the bound graph.
+    bound_ptr: usize,
+    bound_len: usize,
+    bound_radius: f64,
+    /// The transmitter list of the previously resolved slot, for
+    /// self-diffing when the driver supplies no delta.
+    prev_tx: Vec<NodeId>,
+    /// Slots resolved since the last full (re)build of the grid.
+    slots_since_epoch: u64,
+    /// Per-cell stamp: index into `near_refs` when the cell holds
+    /// candidates this slot, [`NOT_STAMPED`] otherwise.
+    cand_cell_idx: Vec<u32>,
+    /// Candidate cells stamped this slot (indices into `cand_cell_idx`,
+    /// unstamped at the start of the next slot).
+    stamped: Vec<u32>,
+    /// Near list per stamped candidate cell; pooled and reused.
+    near_refs: Vec<Vec<NearRef>>,
+}
+
+impl GridState {
+    fn empty() -> Self {
+        GridState {
+            grid: None,
+            bind_failed: false,
+            bound_ptr: 0,
+            bound_len: 0,
+            bound_radius: 0.0,
+            prev_tx: Vec::new(),
+            slots_since_epoch: 0,
+            cand_cell_idx: Vec::new(),
+            stamped: Vec::new(),
+            near_refs: Vec::new(),
         }
     }
 }
@@ -123,19 +237,14 @@ impl ResolverStats {
 /// [`InterferenceModel::resolve`]'s `&self` signature).
 #[derive(Debug, Clone)]
 struct Scratch {
-    /// Transmitter grid, cell side `R_T`; cleared and refilled per slot.
-    grid: SpatialGrid,
+    /// Persistent incremental grid state (see [`GridState`]).
+    gs: GridState,
     /// Dense transmitter bitmap, unmarked after every slot.
     is_tx: Vec<bool>,
     /// Dense candidate-receiver marks, unmarked after every slot.
     candidate_mark: Vec<bool>,
     /// Candidate receivers in naive discovery order.
     candidates: Vec<NodeId>,
-    /// Occupancy snapshot: one `(cell key, range into tx_flat)` per
-    /// non-empty cell, rebuilt per slot.
-    tx_cells: Vec<(GridKey, usize, usize)>,
-    /// Transmitter ids backing `tx_cells`, grouped by cell.
-    tx_flat: Vec<NodeId>,
     /// One scratch slot per pool thread; slot 0 doubles as the
     /// sequential path's buffers.
     thread: PerThread<ChunkScratch>,
@@ -165,16 +274,15 @@ impl ChunkScratch {
 }
 
 /// Immutable per-slot context shared by every chunk: the graph, the
-/// transmitter set, the grid snapshot, and the precomputed bounds.
+/// transmitter set, the stamped near lists, and the precomputed bounds.
 struct SlotCtx<'a> {
     cfg: &'a SinrConfig,
     g: &'a UnitDiskGraph,
     transmitting: &'a [NodeId],
-    grid: &'a SpatialGrid,
-    tx_cells: &'a [(GridKey, usize, usize)],
-    tx_flat: &'a [NodeId],
-    use_grid: bool,
-    reach: i64,
+    /// `Some` iff this slot takes the grid fast path.
+    grid: Option<&'a CellGrid>,
+    cand_cell_idx: &'a [u32],
+    near_refs: &'a [Vec<NearRef>],
     far_cap: f64,
     adjacency_r2: f64,
     power: f64,
@@ -193,31 +301,31 @@ fn resolve_candidate(ctx: &SlotCtx<'_>, u: NodeId, cs: &mut ChunkScratch) {
     let positions = ctx.g.positions();
     let pu = positions[u];
     let mut resolved = false;
-    if ctx.use_grid {
-        let (ucx, ucy) = ctx.grid.key_of(pu);
-        // One pass over the occupied cells: near cells (Chebyshev
-        // distance ≤ reach) are summed exactly; far cells only counted.
-        // Senders must lie within R_T = one cell side, so they live in
-        // cells at Chebyshev distance ≤ 1 and are collected for the SINR
-        // evaluation below.
+    if let Some(grid) = ctx.grid {
+        // The near/far split was already computed per *cell* during
+        // stamping: this candidate's cell carries the list of occupied
+        // transmitter cells within `reach`. Stream each near cell's
+        // packed entries for the exact near sum; everything else is far
+        // and only counted. Senders must lie within R_T = one cell side,
+        // so they live in cells flagged `sender` (Chebyshev ≤ 1) and are
+        // collected for the SINR evaluation below.
+        let refs = &ctx.near_refs[ctx.cand_cell_idx[grid.cell_of(u) as usize] as usize];
         let mut near_sum = 0.0f64;
         let mut near_count = 0usize;
         cs.sender_buf.clear();
-        for &((cx, cy), start, end) in ctx.tx_cells {
-            let cheb = (cx - ucx).abs().max((cy - ucy).abs());
-            if cheb <= ctx.reach {
-                let collect_senders = cheb <= 1;
-                for &w in &ctx.tx_flat[start..end] {
-                    near_sum +=
-                        received_power_d2(ctx.power, pu.distance_squared(positions[w]), ctx.alpha);
-                    if collect_senders {
-                        cs.sender_buf.push(w);
-                    }
+        for r in refs {
+            let entries = grid.entries(r.cell);
+            for e in entries {
+                let dx = pu.x - e.x;
+                let dy = pu.y - e.y;
+                near_sum += received_power_d2(ctx.power, dx * dx + dy * dy, ctx.alpha);
+                if r.sender {
+                    cs.sender_buf.push(e.id);
                 }
-                near_count += end - start;
             }
+            near_count += entries.len();
         }
-        cs.cells += ctx.tx_cells.len() as u64;
+        cs.cells += refs.len() as u64;
         let far_tail = (ctx.k - near_count) as f64 * ctx.far_cap;
         // [total_low, total_high] brackets the naive resolver's
         // floating-point interference sum; SUM_SLACK absorbs the
@@ -282,6 +390,47 @@ fn resolve_candidate(ctx: &SlotCtx<'_>, u: NodeId, cs: &mut ChunkScratch) {
     }
 }
 
+/// Stamps this slot's candidate cells and builds their near lists: every
+/// occupied transmitter cell registers itself (with its sender flag) in
+/// each stamped candidate cell inside its `(2·reach+1)²` window.
+///
+/// `near_refs` must hold at least as many pooled lists as there are
+/// distinct candidate cells (the caller grows the pool beforehand, so
+/// this stays allocation-free apart from amortized list growth).
+// lint:hot — cell-stamping pass, runs once per grid slot
+fn stamp_candidate_cells(
+    grid: &CellGrid,
+    candidates: &[NodeId],
+    reach: i64,
+    cand_cell_idx: &mut [u32],
+    stamped: &mut Vec<u32>,
+    near_refs: &mut [Vec<NearRef>],
+) {
+    for &u in candidates {
+        let c = grid.cell_of(u);
+        if cand_cell_idx[c as usize] == NOT_STAMPED {
+            let idx = stamped.len() as u32;
+            cand_cell_idx[c as usize] = idx;
+            stamped.push(c);
+            near_refs[idx as usize].clear();
+        }
+    }
+    for &c in grid.occupied() {
+        if grid.entries(c).is_empty() {
+            continue; // stale occupied entry
+        }
+        grid.for_each_window_cell(c, reach, |w, cheb| {
+            let idx = cand_cell_idx[w as usize];
+            if idx != NOT_STAMPED {
+                near_refs[idx as usize].push(NearRef {
+                    cell: c,
+                    sender: cheb <= 1,
+                });
+            }
+        });
+    }
+}
+
 /// The grid-tiled exact SINR resolver (drop-in replacement for
 /// [`SinrModel`](crate::SinrModel): identical tables, much faster slots).
 ///
@@ -305,6 +454,7 @@ pub struct FastSinrModel {
     cfg: SinrConfig,
     near_reach: i64,
     grid_enabled: bool,
+    epoch_interval: u64,
     pool: Pool,
     scratch: RefCell<Scratch>,
 }
@@ -333,14 +483,13 @@ impl FastSinrModel {
             cfg,
             near_reach: near_reach_cells,
             grid_enabled: true,
+            epoch_interval: EPOCH_REBUILD_SLOTS,
             pool: Pool::sequential(),
             scratch: RefCell::new(Scratch {
-                grid: SpatialGrid::empty(1.0),
+                gs: GridState::empty(),
                 is_tx: Vec::new(),
                 candidate_mark: Vec::new(),
                 candidates: Vec::new(),
-                tx_cells: Vec::new(),
-                tx_flat: Vec::new(),
                 thread: PerThread::new(1, |_| ChunkScratch::default()),
                 stats: ResolverStats::default(),
             }),
@@ -354,14 +503,20 @@ impl FastSinrModel {
         model
     }
 
-    /// Creates the resolver with the grid heuristic sized for an
-    /// `nodes`-node instance: below [`AUTO_GRID_MIN_NODES`] the grid is
-    /// disabled and every slot resolves in exact naive order (over reused
-    /// scratch), which is faster than maintaining snapshots that almost
-    /// never certify. Tables are bit-identical either way.
-    pub fn auto(cfg: SinrConfig, nodes: usize) -> Self {
+    /// Creates the resolver with the grid heuristic sized for the given
+    /// instance's *slot density*: the grid is enabled only when the
+    /// expected per-slot transmitter count
+    /// (`AUTO_TX_DENSITY_FACTOR · n / mean_degree`, see
+    /// [`AUTO_TX_DENSITY_FACTOR`]) clears [`SMALL_SLOT_EXACT_CUTOFF`].
+    /// On instances below that — few nodes, or so dense that the
+    /// protocol's `1/degree` transmission probability keeps slots tiny —
+    /// almost every slot would skip the fast path anyway, and the exact
+    /// loop over reused scratch is strictly faster than maintaining grid
+    /// state that never certifies. Tables are bit-identical either way.
+    pub fn auto(cfg: SinrConfig, g: &UnitDiskGraph) -> Self {
         let mut model = Self::new(cfg);
-        model.grid_enabled = nodes >= AUTO_GRID_MIN_NODES;
+        let expected_tx = AUTO_TX_DENSITY_FACTOR * g.len() as f64 / g.mean_degree().max(1.0);
+        model.grid_enabled = expected_tx > SMALL_SLOT_EXACT_CUTOFF as f64;
         model
     }
 
@@ -380,6 +535,18 @@ impl FastSinrModel {
         self.grid_enabled
     }
 
+    /// Overrides the epoch rebuild interval (default
+    /// [`EPOCH_REBUILD_SLOTS`]); mainly for tests that want to force
+    /// frequent rebuilds. An interval of 1 rebuilds every slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn set_epoch_interval(&mut self, slots: u64) {
+        assert!(slots > 0, "epoch interval must be at least 1 slot");
+        self.epoch_interval = slots;
+    }
+
     /// Snapshot of the cumulative fast-path statistics.
     pub fn stats(&self) -> ResolverStats {
         self.scratch.borrow().stats
@@ -389,27 +556,28 @@ impl FastSinrModel {
     pub fn reset_stats(&self) {
         self.scratch.borrow_mut().stats = ResolverStats::default();
     }
-}
 
-impl InterferenceModel for FastSinrModel {
-    fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
+    /// Shared implementation of `resolve` / `resolve_delta`.
+    fn resolve_inner(
+        &self,
+        g: &UnitDiskGraph,
+        transmitting: &[NodeId],
+        delta: Option<TxDelta<'_>>,
+    ) -> ReceptionTable {
         debug_assert!(
             (g.radius() - self.cfg.r_t()).abs() < 1e-9 * self.cfg.r_t().max(1.0),
             "graph radius {} does not match configured R_T {}",
             g.radius(),
             self.cfg.r_t()
         );
-        let positions = g.positions();
         let n = g.len();
         let k = transmitting.len();
         let mut scratch = self.scratch.borrow_mut();
         let Scratch {
-            grid,
+            gs,
             is_tx,
             candidate_mark,
             candidates,
-            tx_cells,
-            tx_flat,
             thread,
             stats,
         } = &mut *scratch;
@@ -435,24 +603,31 @@ impl InterferenceModel for FastSinrModel {
             }
         }
 
-        let use_grid = self.grid_enabled && k > SMALL_SLOT_EXACT_CUTOFF;
+        if self.grid_enabled {
+            self.update_grid(gs, stats, g, transmitting, is_tx, delta);
+        }
+
+        // Stamp candidate cells only when the slot is worth the fast
+        // path; membership above was maintained regardless, so skipped
+        // slots keep the incremental state current.
+        let use_grid = k > SMALL_SLOT_EXACT_CUTOFF && gs.grid.is_some();
         if use_grid {
-            let cell = g.radius();
-            if grid.cell_side() != cell {
-                *grid = SpatialGrid::empty(cell);
+            for &c in &gs.stamped {
+                gs.cand_cell_idx[c as usize] = NOT_STAMPED;
             }
-            grid.clear();
-            for &t in transmitting {
-                grid.insert(t, positions[t]);
+            gs.stamped.clear();
+            while gs.near_refs.len() < candidates.len() {
+                gs.near_refs.push(Vec::new());
             }
-            // Snapshot the occupancy into flat arrays so per-candidate
-            // classification is pure integer arithmetic (no hashing).
-            tx_cells.clear();
-            tx_flat.clear();
-            for &key in grid.occupied_keys() {
-                let start = tx_flat.len();
-                tx_flat.extend_from_slice(grid.ids_in_cell(key));
-                tx_cells.push((key, start, tx_flat.len()));
+            if let Some(grid) = &gs.grid {
+                stamp_candidate_cells(
+                    grid,
+                    candidates,
+                    self.near_reach,
+                    &mut gs.cand_cell_idx,
+                    &mut gs.stamped,
+                    &mut gs.near_refs,
+                );
             }
         }
 
@@ -462,15 +637,14 @@ impl InterferenceModel for FastSinrModel {
             cfg: &self.cfg,
             g,
             transmitting,
-            grid,
-            tx_cells,
-            tx_flat,
-            use_grid,
-            reach: self.near_reach,
+            grid: if use_grid { gs.grid.as_ref() } else { None },
+            cand_cell_idx: &gs.cand_cell_idx,
+            near_refs: &gs.near_refs,
             // Far transmitters sit strictly beyond `near_reach` cells (two
-            // cells whose keys differ by more than `reach` in a coordinate
-            // are separated by more than `reach · cell` in that
-            // coordinate), so each contributes strictly less than this cap.
+            // cells whose dense coordinates differ by more than `reach` in
+            // a coordinate are separated by more than `reach · cell` in
+            // that coordinate), so each contributes strictly less than
+            // this cap.
             far_cap: received_power(power, self.near_reach as f64 * g.radius(), alpha),
             adjacency_r2: g.radius() * g.radius(),
             power,
@@ -526,6 +700,145 @@ impl InterferenceModel for FastSinrModel {
         ReceptionTable::from_pairs(pairs)
     }
 
+    /// Brings the persistent grid's membership to the current transmitter
+    /// set: (re)binds on graph change, applies the start/stop delta
+    /// (driver-supplied after validation, or self-diffed against the
+    /// previous slot), and performs scheduled epoch rebuilds.
+    fn update_grid(
+        &self,
+        gs: &mut GridState,
+        stats: &mut ResolverStats,
+        g: &UnitDiskGraph,
+        transmitting: &[NodeId],
+        is_tx: &[bool],
+        delta: Option<TxDelta<'_>>,
+    ) {
+        let positions = g.positions();
+        let ptr = positions.as_ptr() as usize;
+        let bound = gs.bound_ptr == ptr
+            && gs.bound_len == positions.len()
+            && gs.bound_radius == g.radius()
+            && match &gs.grid {
+                Some(grid) => grid.binds(positions),
+                None => gs.bind_failed,
+            };
+        if !bound {
+            gs.grid = CellGrid::try_bind(positions, g.radius());
+            gs.bind_failed = gs.grid.is_none();
+            gs.bound_ptr = ptr;
+            gs.bound_len = positions.len();
+            gs.bound_radius = g.radius();
+            gs.prev_tx.clear();
+            gs.stamped.clear();
+            if let Some(grid) = &gs.grid {
+                let (rows, cols) = grid.dims();
+                gs.cand_cell_idx.clear();
+                gs.cand_cell_idx.resize((rows * cols) as usize, NOT_STAMPED);
+            }
+        }
+        let Some(grid) = &mut gs.grid else {
+            return;
+        };
+
+        gs.slots_since_epoch += 1;
+        let epoch_due = gs.slots_since_epoch >= self.epoch_interval;
+        if !bound || epoch_due {
+            // Full (re)build in `transmitting` order: canonical entry
+            // layout, compacted occupied index.
+            grid.clear_members();
+            for &t in transmitting {
+                grid.insert(t);
+            }
+            grid.compact_occupied();
+            if bound && epoch_due {
+                stats.epoch_rebuilds += 1;
+            }
+            gs.slots_since_epoch = 0;
+        } else if let Some(d) = delta {
+            // Driver-supplied delta: apply with per-element validation,
+            // then certify membership outright — every current
+            // transmitter present and the counts equal. Any mismatch
+            // falls back to a full rebuild, so an inconsistent delta can
+            // cost time but never correctness.
+            let mut ok = true;
+            for &t in d.stopped {
+                if t >= grid.bound_len() || !grid.remove(t) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for &t in d.started {
+                    if t >= grid.bound_len() || grid.contains(t) {
+                        ok = false;
+                        break;
+                    }
+                    grid.insert(t);
+                }
+            }
+            if ok && grid.len() == transmitting.len() {
+                for &t in transmitting {
+                    if !grid.contains(t) {
+                        ok = false;
+                        break;
+                    }
+                }
+            } else {
+                ok = false;
+            }
+            if ok {
+                stats.delta_started += d.started.len() as u64;
+                stats.delta_stopped += d.stopped.len() as u64;
+            } else {
+                stats.full_rebuilds += 1;
+                grid.clear_members();
+                for &t in transmitting {
+                    grid.insert(t);
+                }
+                grid.compact_occupied();
+                gs.slots_since_epoch = 0;
+            }
+        } else {
+            // Self-diff against the previous slot's transmitter list:
+            // correct by construction, no validation needed.
+            let mut stopped = 0u64;
+            let mut started = 0u64;
+            for &t in &gs.prev_tx {
+                if !is_tx[t] {
+                    grid.remove(t);
+                    stopped += 1;
+                }
+            }
+            for &t in transmitting {
+                if !grid.contains(t) {
+                    grid.insert(t);
+                    started += 1;
+                }
+            }
+            debug_assert_eq!(grid.len(), transmitting.len());
+            stats.delta_started += started;
+            stats.delta_stopped += stopped;
+        }
+        grid.maintain();
+        gs.prev_tx.clear();
+        gs.prev_tx.extend_from_slice(transmitting);
+    }
+}
+
+impl InterferenceModel for FastSinrModel {
+    fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
+        self.resolve_inner(g, transmitting, None)
+    }
+
+    fn resolve_delta(
+        &self,
+        g: &UnitDiskGraph,
+        transmitting: &[NodeId],
+        delta: TxDelta<'_>,
+    ) -> ReceptionTable {
+        self.resolve_inner(g, transmitting, Some(delta))
+    }
+
     fn name(&self) -> &'static str {
         "sinr-fast"
     }
@@ -562,6 +875,12 @@ mod tests {
         (0..n)
             .map(|_| Point::new(next() * extent, next() * extent))
             .collect()
+    }
+
+    /// A scatter sized for roughly the given mean degree at `R_T = 1`.
+    fn scatter_with_degree(n: usize, degree: f64, seed: u64) -> Vec<Point> {
+        let extent = (n as f64 * std::f64::consts::PI / degree).sqrt();
+        scatter(n, extent, seed)
     }
 
     fn spread_tx(n: usize, k: usize) -> Vec<NodeId> {
@@ -635,8 +954,14 @@ mod tests {
         let s = fast.stats();
         assert!(s.fast_path_hits + s.exact_fallbacks > 0);
         assert!(s.cells_scanned > 0);
+        assert_eq!(s.delta_started, 0, "first slot is the initial grid build");
         let rate = s.hit_rate().expect("candidates were resolved");
         assert!((0.0..=1.0).contains(&rate));
+        // A second, shifted slot exercises the incremental delta path.
+        let tx2: Vec<NodeId> = tx.iter().map(|&t| (t + 3) % 400).collect();
+        let _ = fast.resolve(&g, &tx2);
+        let s2 = fast.stats();
+        assert!(s2.delta_started > 0 && s2.delta_stopped > 0);
         fast.reset_stats();
         assert_eq!(fast.stats(), ResolverStats::default());
     }
@@ -652,11 +977,18 @@ mod tests {
         assert_eq!(s.fast_path_hits, 0, "small slots resolve exactly");
         assert_eq!(s.cells_scanned, 0);
         assert!(s.exact_fallbacks > 0);
+        // Membership is still maintained incrementally on skipped slots.
+        let tx2: Vec<NodeId> = tx.iter().map(|&t| t + 1).collect();
+        let _ = fast.resolve(&g, &tx2);
+        let s2 = fast.stats();
+        assert!(s2.delta_started > 0 && s2.delta_stopped > 0);
+        assert_eq!(s2.fast_path_hits, 0);
     }
 
     #[test]
     fn scratch_adapts_to_graph_changes() {
-        // Same model instance across different graphs and radii.
+        // Same model instance across different graphs and radii; the
+        // persistent grid must rebind when the fingerprint changes.
         let fast = FastSinrModel::new(cfg());
         let g1 = UnitDiskGraph::new(scatter(80, 4.0, 2), 1.0);
         let _ = fast.resolve(&g1, &spread_tx(80, 20));
@@ -664,6 +996,9 @@ mod tests {
         let naive = SinrModel::new(cfg());
         let tx = spread_tx(250, 70);
         assert_eq!(fast.resolve(&g2, &tx), naive.resolve(&g2, &tx));
+        // And back again: the first graph still resolves correctly.
+        let tx1 = spread_tx(80, 30);
+        assert_eq!(fast.resolve(&g1, &tx1), naive.resolve(&g1, &tx1));
     }
 
     #[test]
@@ -713,21 +1048,201 @@ mod tests {
     }
 
     #[test]
-    fn auto_disables_grid_below_threshold() {
+    fn incremental_sequence_matches_fresh_and_naive() {
+        // One model reused across an evolving slot sequence (high churn)
+        // must match both a fresh model per slot and the naive resolver.
         let c = cfg();
-        let small = FastSinrModel::auto(c, AUTO_GRID_MIN_NODES - 1);
-        assert!(!small.grid_enabled());
-        assert!(FastSinrModel::auto(c, AUTO_GRID_MIN_NODES).grid_enabled());
-        assert!(FastSinrModel::new(c).grid_enabled());
-        // With the grid off every candidate takes the exact path, and the
-        // tables still match the naive resolver bit for bit.
-        let g = UnitDiskGraph::new(scatter(300, 8.0, 4), c.r_t());
+        let g = UnitDiskGraph::new(scatter(300, 8.0, 21), c.r_t());
         let naive = SinrModel::new(c);
-        let tx = spread_tx(300, 80);
-        assert_eq!(small.resolve(&g, &tx), naive.resolve(&g, &tx));
-        let s = small.stats();
+        let reused = FastSinrModel::new(c);
+        for step in 0..40usize {
+            // Shifting, size-varying transmitter sets.
+            let k = 5 + (step * 17) % 90;
+            let tx: Vec<NodeId> = (0..k).map(|i| (i * 300 / k + step * 7) % 300).collect();
+            let fresh = FastSinrModel::new(c);
+            let expected = naive.resolve(&g, &tx);
+            assert_eq!(reused.resolve(&g, &tx), expected, "step {step} (reused)");
+            assert_eq!(fresh.resolve(&g, &tx), expected, "step {step} (fresh)");
+        }
+        let s = reused.stats();
+        assert!(s.delta_started > 0 && s.delta_stopped > 0);
+        assert_eq!(s.full_rebuilds, 0);
+    }
+
+    #[test]
+    fn resolve_delta_matches_resolve() {
+        let c = cfg();
+        let g = UnitDiskGraph::new(scatter(300, 8.0, 33), c.r_t());
+        let naive = SinrModel::new(c);
+        let with_delta = FastSinrModel::new(c);
+        let self_diff = FastSinrModel::new(c);
+        let mut prev: Vec<NodeId> = Vec::new();
+        let mut is_prev = vec![false; 300];
+        for step in 0..30usize {
+            let k = 10 + (step * 13) % 80;
+            let tx: Vec<NodeId> = (0..k).map(|i| (i * 300 / k + step * 11) % 300).collect();
+            let started: Vec<NodeId> = tx.iter().copied().filter(|&t| !is_prev[t]).collect();
+            let mut is_now = vec![false; 300];
+            for &t in &tx {
+                is_now[t] = true;
+            }
+            let stopped: Vec<NodeId> = prev.iter().copied().filter(|&t| !is_now[t]).collect();
+            let delta = TxDelta {
+                started: &started,
+                stopped: &stopped,
+            };
+            let expected = naive.resolve(&g, &tx);
+            assert_eq!(with_delta.resolve_delta(&g, &tx, delta), expected, "step {step}");
+            assert_eq!(self_diff.resolve(&g, &tx), expected, "step {step}");
+            is_prev = is_now;
+            prev = tx;
+        }
+        // A consistent delta stream never forces a rebuild, and both
+        // update modes see the exact same start/stop traffic.
+        assert_eq!(with_delta.stats(), self_diff.stats());
+        assert_eq!(with_delta.stats().full_rebuilds, 0);
+    }
+
+    #[test]
+    fn inconsistent_delta_rebuilds_and_stays_correct() {
+        let c = cfg();
+        let g = UnitDiskGraph::new(scatter(300, 8.0, 8), c.r_t());
+        let naive = SinrModel::new(c);
+        let fast = FastSinrModel::new(c);
+        let tx0 = spread_tx(300, 60);
+        let _ = fast.resolve(&g, &tx0);
+        // Lie about the delta in several ways; tables must stay correct.
+        let tx1: Vec<NodeId> = (0..60).map(|i| (i * 5 + 1) % 300).collect();
+        let lies = [
+            TxDelta {
+                started: &[],
+                stopped: &[],
+            }, // missing everything
+            TxDelta {
+                started: &[tx0[0]],
+                stopped: &[],
+            }, // "starts" a node the grid already holds
+            TxDelta {
+                started: &[],
+                stopped: &[299],
+            }, // "stops" a node that never transmitted
+        ];
+        for (i, lie) in lies.iter().enumerate() {
+            let expected = naive.resolve(&g, &tx1);
+            assert_eq!(fast.resolve_delta(&g, &tx1, *lie), expected, "lie {i}");
+        }
+        assert_eq!(fast.stats().full_rebuilds, 3, "every lie forced a rebuild");
+        // After the rebuilds the state is healthy again: a truthful
+        // self-diffed slot needs no rebuild.
+        let tx2 = spread_tx(300, 40);
+        assert_eq!(fast.resolve(&g, &tx2), naive.resolve(&g, &tx2));
+        assert_eq!(fast.stats().full_rebuilds, 3);
+    }
+
+    #[test]
+    fn epoch_rebuilds_fire_and_preserve_results() {
+        let c = cfg();
+        let g = UnitDiskGraph::new(scatter(300, 8.0, 13), c.r_t());
+        let naive = SinrModel::new(c);
+        let mut fast = FastSinrModel::new(c);
+        fast.set_epoch_interval(4);
+        for step in 0..20usize {
+            let k = 20 + (step * 7) % 60;
+            let tx: Vec<NodeId> = (0..k).map(|i| (i * 300 / k + step * 3) % 300).collect();
+            assert_eq!(fast.resolve(&g, &tx), naive.resolve(&g, &tx), "step {step}");
+        }
+        let s = fast.stats();
+        assert_eq!(s.epoch_rebuilds, 4, "20 slots at interval 4");
+        assert_eq!(s.full_rebuilds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 slot")]
+    fn zero_epoch_interval_rejected() {
+        let mut fast = FastSinrModel::new(cfg());
+        fast.set_epoch_interval(0);
+    }
+
+    #[test]
+    fn pathological_scatter_disables_grid_but_stays_exact() {
+        // Two far-apart clusters spread over a 10⁵-wide area: a dense
+        // grid would need ~10¹⁰ cells, so binding is refused and every
+        // slot resolves exactly — still bit-identical to naive.
+        let c = cfg();
+        let mut pts = scatter(30, 3.0, 2);
+        for p in scatter(30, 3.0, 5) {
+            pts.push(Point::new(p.x + 1.0e5, p.y + 1.0e5));
+        }
+        let g = UnitDiskGraph::new(pts, c.r_t());
+        let naive = SinrModel::new(c);
+        let fast = FastSinrModel::new(c);
+        let tx = spread_tx(60, 20);
+        assert_eq!(fast.resolve(&g, &tx), naive.resolve(&g, &tx));
+        let s = fast.stats();
+        assert_eq!(s.fast_path_hits, 0, "no grid, no fast path");
+        assert_eq!(s.delta_started, 0, "no grid, no delta tracking");
+        assert!(s.exact_fallbacks > 0);
+    }
+
+    #[test]
+    fn auto_enables_grid_by_slot_density() {
+        let c = cfg();
+        // Sparse mid-size instance (degree ~12): expected slot size
+        // 0.18·1024/12 ≈ 15 > 12 — grid on.
+        let mid = UnitDiskGraph::new(scatter_with_degree(1024, 12.0, 1), c.r_t());
+        assert!(FastSinrModel::auto(c, &mid).grid_enabled());
+        // Small instance at the same degree: 0.18·256/12 ≈ 3.8 — off
+        // (this was the v3 bench pathology: hit rate 0.002, e2e 0.93×).
+        let small = UnitDiskGraph::new(scatter_with_degree(256, 12.0, 2), c.r_t());
+        assert!(!FastSinrModel::auto(c, &small).grid_enabled());
+        // Large but very dense (degree ~180): the protocol transmits with
+        // p ~ 1/degree, so slots stay tiny — 0.18·2048/180 ≈ 2 — off.
+        // Node count alone would have said "on".
+        let dense = UnitDiskGraph::new(scatter_with_degree(2048, 180.0, 3), c.r_t());
+        assert!(dense.mean_degree() > 100.0, "construction sanity");
+        assert!(!FastSinrModel::auto(c, &dense).grid_enabled());
+        // Plain constructor always enables the grid.
+        assert!(FastSinrModel::new(c).grid_enabled());
+    }
+
+    #[test]
+    fn auto_with_grid_off_is_still_exact() {
+        let c = cfg();
+        let g = UnitDiskGraph::new(scatter_with_degree(256, 12.0, 4), c.r_t());
+        let auto = FastSinrModel::auto(c, &g);
+        assert!(!auto.grid_enabled());
+        let naive = SinrModel::new(c);
+        let tx = spread_tx(256, 80);
+        assert_eq!(auto.resolve(&g, &tx), naive.resolve(&g, &tx));
+        let s = auto.stats();
         assert_eq!(s.fast_path_hits, 0);
         assert_eq!(s.cells_scanned, 0);
         assert!(s.exact_fallbacks > 0);
+    }
+
+    #[test]
+    fn stats_merge_covers_every_counter() {
+        let mut a = ResolverStats {
+            fast_path_hits: 1,
+            exact_fallbacks: 2,
+            cells_scanned: 3,
+            delta_started: 4,
+            delta_stopped: 5,
+            epoch_rebuilds: 6,
+            full_rebuilds: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            ResolverStats {
+                fast_path_hits: 2,
+                exact_fallbacks: 4,
+                cells_scanned: 6,
+                delta_started: 8,
+                delta_stopped: 10,
+                epoch_rebuilds: 12,
+                full_rebuilds: 14,
+            }
+        );
     }
 }

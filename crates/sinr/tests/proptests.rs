@@ -169,7 +169,7 @@ proptest! {
             prop_assert_eq!(&naive, &baseline, "naive, {} threads", threads);
             let fast = FastSinrModel::with_pool(cfg, pool.clone());
             prop_assert_eq!(&fast.resolve(&g, &tx), &baseline, "fast, {} threads", threads);
-            let mut auto = FastSinrModel::auto(cfg, g.len());
+            let mut auto = FastSinrModel::auto(cfg, &g);
             auto.set_pool(&pool);
             prop_assert_eq!(&auto.resolve(&g, &tx), &baseline, "auto, {} threads", threads);
         }

@@ -1,0 +1,34 @@
+//! fixture: crates/sinr/src/fixture.rs
+//! L8 — the incremental-resolver loop shapes: delta-apply and
+//! cell-resummation loops run once per slot and carry `// lint:hot`;
+//! in-place index updates are clean, per-slot allocation is flagged.
+
+// lint:hot — delta apply, runs once per started/stopped transmitter
+fn apply_delta(started: &[usize], stopped: &[usize], members: &mut [u32], count: &mut u32) {
+    let mut undo = Vec::new(); //~ L8
+    for &t in stopped {
+        members[t] = u32::MAX;
+        *count -= 1;
+        undo.push(t); // pushes are not allocation sites; the Vec::new above is
+    }
+    for &t in started {
+        members[t] = *count;
+        *count += 1;
+    }
+}
+
+// lint:hot — cell resummation, runs once per stamped cell per slot
+fn resum_cells(cells: &[u32], power: &mut [f64], contrib: &[f64]) {
+    let touched = cells.to_vec(); //~ L8
+    for &c in &touched {
+        power[c as usize] = 0.0;
+    }
+    for (&c, &p) in cells.iter().zip(contrib) {
+        power[c as usize] += p;
+    }
+}
+
+fn cold_rebuild(cells: &[u32]) -> Vec<f64> {
+    // Epoch rebuilds are cold by design: fresh allocation is fine here.
+    vec![0.0; cells.len()]
+}

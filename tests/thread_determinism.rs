@@ -52,7 +52,7 @@ fn outcomes(
         ),
         (
             "sinr-auto",
-            run_mw(graph, FastSinrModel::auto(cfg, graph.len()), &mw, schedule),
+            run_mw(graph, FastSinrModel::auto(cfg, graph), &mw, schedule),
         ),
     ]
 }
@@ -153,7 +153,7 @@ fn auto_model_matches_naive_on_both_sides_of_the_grid_threshold() {
         );
         let auto = run_mw(
             &graph,
-            FastSinrModel::auto(cfg, graph.len()),
+            FastSinrModel::auto(cfg, &graph),
             &mw,
             WakeupSchedule::Synchronous,
         );
