@@ -489,8 +489,7 @@ fn main() {
     // large-n row would silently change what the trend lines measure.
     let largest = *sizes
         .iter()
-        .filter(|&&n| n < LARGE_N)
-        .next_back()
+        .rfind(|&&n| n < LARGE_N)
         .expect("at least one small size");
     eprintln!("thread scaling: n = {largest} ...");
     let scaling = bench_threads(largest, quick);

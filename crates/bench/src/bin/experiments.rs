@@ -13,8 +13,15 @@
 //! With `EXPERIMENTS_JSON_DIR=<dir>` set, every experiment additionally
 //! writes its machine-readable report to `<dir>/OBS_<ID>.json` (schema
 //! `experiment_report`, `docs/OBS_SCHEMA.md`).
+//!
+//! With `EXPERIMENTS_TRACE_DIR=<dir>` set, the binary also writes a
+//! Chrome trace-event timeline of one observed reference run (slot-time
+//! spans plus a wall-clock overlay; open in Perfetto) to
+//! `<dir>/TRACE_uniform128.json`.
 
 use sinr_bench::experiments::{run_by_id, ALL};
+use sinr_bench::obs::recorded_instance_trace;
+use sinr_bench::workload::Instance;
 use std::time::Instant;
 
 fn main() {
@@ -76,6 +83,14 @@ fn main() {
             }
             None => unknown.push(id.clone()),
         }
+    }
+    if let Ok(dir) = std::env::var("EXPERIMENTS_TRACE_DIR") {
+        std::fs::create_dir_all(&dir).expect("create EXPERIMENTS_TRACE_DIR");
+        let start = Instant::now();
+        let inst = Instance::uniform(128, 12.0, 7);
+        let path = format!("{dir}/TRACE_uniform128.json");
+        std::fs::write(&path, recorded_instance_trace(&inst, 0)).expect("write trace JSON");
+        eprintln!("[trace -> {path} in {:.1?}]", start.elapsed());
     }
     if !unknown.is_empty() {
         eprintln!(

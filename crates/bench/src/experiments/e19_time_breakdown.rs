@@ -4,10 +4,18 @@
 //! listen + counter race) and 7 (time in `R` = request/grant wait). This
 //! experiment decomposes measured per-node time into the five phase kinds
 //! and checks the decomposition against the lemmas' structure.
+//!
+//! The decomposition is read off the span layer: the MW phase tracker
+//! records one residency span per `(node, phase stay)` on the trace
+//! timeline (`docs/OBSERVABILITY.md`), and this experiment aggregates
+//! those spans by phase name — the same data a Perfetto view of
+//! `sinrcolor trace` shows, summed instead of drawn.
 
 use crate::report::{pct, ExpReport};
 use crate::workload::Instance;
-use sinr_coloring::mw::MwPhase;
+use sinr_coloring::mw::{run_mw_recorded, MwConfig, MwPhase, MwProbeConfig};
+use sinr_model::FastSinrModel;
+use sinr_obs::{FullRecorder, SpanTrack, QUARTERS_PER_SLOT};
 use sinr_radiosim::WakeupSchedule;
 
 /// Runs E19.
@@ -31,17 +39,41 @@ pub fn run(quick: bool) -> ExpReport {
         "pre-color share",
     ]);
 
+    // Phase tracking only: the residency spans are the measurement; the
+    // invariant probes are other experiments' business.
+    let probes = MwProbeConfig {
+        thm1_stride: 0,
+        track_phases: true,
+        residency: false,
+    };
     for &deg in degrees {
         let inst = Instance::uniform(n, deg, 19_000 + deg as u64);
-        let out = inst.run_sinr(3, WakeupSchedule::Synchronous);
+        // One span per (node, phase stay) plus three engine spans per
+        // slot; a generous ring keeps the timeline complete.
+        let mut rec = FullRecorder::with_ring_capacity(1 << 20);
+        let out = run_mw_recorded(
+            &inst.graph,
+            FastSinrModel::auto(inst.cfg, &inst.graph),
+            &MwConfig::new(inst.params).with_seed(3),
+            WakeupSchedule::Synchronous,
+            probes,
+            &mut rec,
+        );
         assert!(out.all_done);
+        assert_eq!(rec.spans_dropped(), 0, "span ring must hold the full run");
+
+        // Sum node-track residency spans by phase kind. Per node the
+        // spans partition [0, slots], so the totals add up to n × slots.
         let mut totals = [0u64; 5];
-        for r in &out.node_reports {
-            for (k, t) in r.phase_slots.iter().enumerate() {
-                totals[k] += t;
+        for s in rec.spans() {
+            if matches!(s.track, SpanTrack::Node(_)) {
+                if let Some(k) = MwPhase::KIND_NAMES.iter().position(|&name| name == s.name) {
+                    totals[k] += s.dur_q / QUARTERS_PER_SLOT;
+                }
             }
         }
         let all: u64 = totals.iter().sum();
+        assert_eq!(all, out.slots * n as u64, "spans tile every node timeline");
         // Leader/Colored slots are post-decision (the node already has its
         // color); the paper's time bound covers the first three phases.
         let pre_color = totals[0] + totals[1] + totals[2];
@@ -52,7 +84,6 @@ pub fn run(quick: bool) -> ExpReport {
                 pct(totals[k] as f64 / all.max(1) as f64)
             )
         };
-        let _ = MwPhase::KIND_NAMES; // column order documented by this constant
         report.push_row([
             inst.graph.max_degree().to_string(),
             cell(0),

@@ -5,7 +5,7 @@
 use crate::workload::Instance;
 use sinr_coloring::mw::{run_mw_recorded, MwConfig, MwProbeConfig};
 use sinr_model::FastSinrModel;
-use sinr_obs::{keys, FullRecorder, OBS_SCHEMA_VERSION};
+use sinr_obs::{keys, FullRecorder, Stopwatch, WallSpan, OBS_SCHEMA_VERSION};
 use sinr_radiosim::WakeupSchedule;
 
 /// Runs one fully observed coloring of `inst` (fast SINR model, probes at
@@ -23,7 +23,8 @@ pub fn recorded_instance_report(inst: &Instance, seed: u64) -> String {
         &mut rec,
     );
 
-    let reg = rec.registry();
+    // Exported (not live) registry: carries the obs.* retention counters.
+    let reg = rec.export_registry();
     let probe = |key: &str| reg.counter(key).unwrap_or(0);
     format!(
         "{{\"schema_version\":{OBS_SCHEMA_VERSION},\"kind\":\"experiment_obs\",\
@@ -50,6 +51,38 @@ pub fn recorded_instance_report(inst: &Instance, seed: u64) -> String {
     )
 }
 
+/// Runs one fully observed coloring of `inst` and renders its span
+/// timeline as Chrome trace-event JSON with a wall-clock overlay.
+///
+/// The slot-time process (pid 0) is deterministic — byte-identical for
+/// every thread count and machine. The overlay (pid 1) is the one
+/// sanctioned wall-clock reading ([`Stopwatch`], bench binaries only) and
+/// exists purely for eyeballing simulated-vs-real time in Perfetto.
+pub fn recorded_instance_trace(inst: &Instance, seed: u64) -> String {
+    // Big span ring: one span per (node, phase stay) plus three per slot.
+    let mut rec = FullRecorder::with_ring_capacity(1 << 20);
+    let sw = Stopwatch::start();
+    let out = run_mw_recorded(
+        &inst.graph,
+        FastSinrModel::new(inst.cfg),
+        &MwConfig::new(inst.params).with_seed(seed),
+        WakeupSchedule::Synchronous,
+        MwProbeConfig::default(),
+        &mut rec,
+    );
+    let wall = [WallSpan {
+        name: format!(
+            "run_mw_recorded n={} slots={} done={}",
+            inst.graph.len(),
+            out.slots,
+            out.all_done
+        ),
+        start_us: 0.0,
+        dur_us: sw.elapsed_ns() as f64 / 1_000.0,
+    }];
+    rec.trace_json_with_wall(&wall)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,10 +91,22 @@ mod tests {
     fn obs_report_covers_run_probes_and_metrics() {
         let inst = Instance::uniform(20, 6.0, 7);
         let doc = recorded_instance_report(&inst, 0);
-        assert!(doc.starts_with("{\"schema_version\":1,\"kind\":\"experiment_obs\","));
+        assert!(doc.starts_with("{\"schema_version\":2,\"kind\":\"experiment_obs\","));
         assert!(doc.contains("\"instance\":{\"n\":20,"));
         assert!(doc.contains("\"thm1_violations\":0"));
         assert!(doc.contains("\"sim.slots\""));
+        assert!(doc.contains("\"obs.events.dropped\""));
         assert!(doc.ends_with('}'));
+    }
+
+    #[test]
+    fn instance_trace_has_slot_time_and_wall_clock_processes() {
+        let inst = Instance::uniform(20, 6.0, 7);
+        let doc = recorded_instance_trace(&inst, 0);
+        assert!(doc.starts_with("{\"schema_version\":2,\"kind\":\"trace_events\""));
+        assert!(doc.contains("\"slot-time\""));
+        assert!(doc.contains("\"wall-clock\""));
+        assert!(doc.contains("\"name\":\"resolve\""));
+        assert!(doc.contains("run_mw_recorded n=20"));
     }
 }

@@ -1,6 +1,7 @@
 //! Tabular experiment reports.
 
 use sinr_obs::json::push_str_escaped;
+use sinr_obs::OBS_SCHEMA_VERSION;
 use std::fmt;
 
 /// A rendered experiment: identifier, the paper claim it validates, a
@@ -85,7 +86,9 @@ impl ExpReport {
     /// present, is embedded verbatim — it is already JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
-        s.push_str("{\"schema_version\":1,\"kind\":\"experiment_report\",\"id\":");
+        s.push_str(&format!(
+            "{{\"schema_version\":{OBS_SCHEMA_VERSION},\"kind\":\"experiment_report\",\"id\":"
+        ));
         push_str_escaped(&mut s, self.id);
         s.push_str(",\"title\":");
         push_str_escaped(&mut s, self.title);
@@ -229,15 +232,15 @@ mod tests {
     fn json_rendering_escapes_and_embeds_obs() {
         let mut r = sample();
         r.note("has \"quotes\" inside");
-        r.obs = Some("{\"schema_version\":1,\"kind\":\"experiment_obs\"}".to_string());
+        r.obs = Some("{\"schema_version\":2,\"kind\":\"experiment_obs\"}".to_string());
         let json = r.to_json();
         assert!(
-            json.starts_with("{\"schema_version\":1,\"kind\":\"experiment_report\",\"id\":\"E0\"")
+            json.starts_with("{\"schema_version\":2,\"kind\":\"experiment_report\",\"id\":\"E0\"")
         );
         assert!(json.contains("\"headers\":[\"a\",\"bb\"]"));
         assert!(json.contains("\"rows\":[[\"1\",\"2\"],[\"30\",\"4\"]]"));
         assert!(json.contains("has \\\"quotes\\\" inside"));
-        assert!(json.contains("\"obs\":{\"schema_version\":1,\"kind\":\"experiment_obs\"}"));
+        assert!(json.contains("\"obs\":{\"schema_version\":2,\"kind\":\"experiment_obs\"}"));
         assert!(json.ends_with('}'));
     }
 

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use crate::io::{format_assignment, format_positions, parse_assignment, parse_positions};
-use crate::obs::{run_report, ObsSpec};
+use crate::obs::{run_report, warn_truncation, ObsSpec};
 use crate::{err, CliResult};
 use sinr_coloring::distance_d::color_at_distance;
 use sinr_coloring::mis::run_clustering;
@@ -18,7 +18,9 @@ use sinr_mac::mp::{BfsLayers, Convergecast, Flooding};
 use sinr_mac::srs::{simulate_general_bundled, simulate_uniform};
 use sinr_mac::tdma::{broadcast_audit, TdmaSchedule};
 use sinr_model::{FastSinrModel, GraphModel, IdealModel, InterferenceModel, SinrConfig, SinrModel};
-use sinr_obs::{FullRecorder, StderrSink};
+use sinr_obs::{
+    diff_documents, render_diff_report, DiffPolicy, FullRecorder, SeriesConfig, StderrSink,
+};
 use sinr_radiosim::WakeupSchedule;
 use std::io::Write;
 
@@ -40,6 +42,13 @@ COMMANDS:
             [--threads N] [--thm1-stride K] [--ring CAP] [--obs SPEC]
             run a fully observed MW coloring; emit the machine-readable
             run report (docs/OBS_SCHEMA.md) as JSON on stdout
+  trace     --input FILE [--seed S] [--model ...] [--threads N] [--ring CAP]
+            run a fully observed MW coloring; emit the span timeline as
+            Chrome trace-event JSON on stdout (open in Perfetto)
+  diff      --baseline FILE --current FILE [--policy FILE]
+            structurally compare two JSON artifacts (run reports, metrics
+            dumps, bench reports) under per-key tolerances; emit a
+            diff_report on stdout and exit nonzero on any finding
   reduce    --input FILE --colors FILE
             palette-reduce an existing proper coloring to Δ+1 colors
   schedule  --input FILE [--seed S]
@@ -64,8 +73,10 @@ runs slot resolution on N worker threads — outputs are identical for
 every N.
 
 Observability: SPEC is a comma-separated sink list — jsonl:PATH (event
-stream as JSON Lines), metrics:PATH (metrics registry dump), stderr
-(mirror events live). Schemas: docs/OBS_SCHEMA.md.
+stream as JSON Lines), metrics:PATH (metrics registry dump), trace:PATH
+(Chrome trace-event span timeline), timeseries:PATH (per-slot samples;
+--series-stride K sets the stride, default 1), stderr (mirror events
+live). Schemas: docs/OBS_SCHEMA.md.
 ";
 
 fn physical_config(args: &Args) -> Result<SinrConfig, crate::CliError> {
@@ -139,6 +150,7 @@ enum RunMode {
         stderr: bool,
         ring: usize,
         probes: MwProbeConfig,
+        series: Option<SeriesConfig>,
     },
 }
 
@@ -167,8 +179,12 @@ fn run_model(
                 stderr: true,
                 ring,
                 probes,
+                series,
             } => {
                 let mut sink = StderrSink::with_ring_capacity(ring);
+                if let Some(cfg) = series {
+                    sink.enable_series(cfg);
+                }
                 let out = run_mw_recorded(
                     graph,
                     model,
@@ -183,8 +199,12 @@ fn run_model(
                 stderr: false,
                 ring,
                 probes,
+                series,
             } => {
                 let mut rec = FullRecorder::with_ring_capacity(ring);
+                if let Some(cfg) = series {
+                    rec.enable_series(cfg);
+                }
                 let out = run_mw_recorded(
                     graph,
                     model,
@@ -227,10 +247,23 @@ fn obs_mode(args: &Args, spec: Option<&ObsSpec>) -> Result<RunMode, crate::CliEr
     if stride == 0 {
         return Err(err("--thm1-stride must be at least 1"));
     }
+    // Time-series sampling turns on when a timeseries sink is requested
+    // or the stride is given explicitly.
+    let wants_series = spec.is_some_and(|s| s.timeseries.is_some());
+    let series = if wants_series || args.get("series-stride").is_some() {
+        let series_stride: u64 = args.get_parsed("series-stride", 1)?;
+        if series_stride == 0 {
+            return Err(err("--series-stride must be at least 1"));
+        }
+        Some(SeriesConfig::new(series_stride))
+    } else {
+        None
+    };
     Ok(RunMode::Recorded {
         stderr: spec.is_some_and(|s| s.stderr),
         ring,
         probes: MwProbeConfig::default().with_thm1_stride(stride),
+        series,
     })
 }
 
@@ -354,11 +387,96 @@ pub fn report(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResul
         rec.events_dropped(),
         violations
     )?;
+    warn_truncation(&rec, log)?;
     writeln!(out, "{}", run_report(model, seed, &outcome, &rec))?;
     if outcome.all_done {
         Ok(())
     } else {
         Err(err("coloring hit the slot cap"))
+    }
+}
+
+/// `trace`: run a fully observed coloring and emit the span timeline as
+/// Chrome trace-event JSON (load into Perfetto / `chrome://tracing`).
+///
+/// The timeline is slot-time (1 slot = 1 µs in the viewer) and therefore
+/// byte-identical for every `--threads` value.
+pub fn trace(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult {
+    let cfg = physical_config(args)?;
+    let pts = read_positions(args)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let model = args.get("model").unwrap_or("sinr-fast");
+
+    let graph = UnitDiskGraph::new(pts, cfg.r_t());
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    let mw_cfg = MwConfig::new(params)
+        .with_seed(seed)
+        .with_threads(thread_count(args)?);
+    let mode = obs_mode(args, None)?;
+    let (outcome, rec) = run_model(&graph, model, cfg, &mw_cfg, mode)?;
+    let rec = rec.expect("trace always records");
+
+    writeln!(
+        log,
+        "traced {} nodes for {} slots; {} spans ({} dropped)",
+        graph.len(),
+        outcome.slots,
+        rec.spans_recorded(),
+        rec.spans_dropped(),
+    )?;
+    warn_truncation(&rec, log)?;
+    writeln!(out, "{}", rec.trace_json())?;
+    if outcome.all_done {
+        Ok(())
+    } else {
+        Err(err("coloring hit the slot cap"))
+    }
+}
+
+/// `diff`: structurally compare two JSON artifacts under a tolerance
+/// policy; any finding is a regression and fails the command.
+pub fn diff(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult {
+    let baseline_path = args.require("baseline")?;
+    let current_path = args.require("current")?;
+    let load = |path: &str| -> Result<sinr_obs::json::Json, crate::CliError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        sinr_obs::json::parse_value(text.trim())
+            .ok_or_else(|| err(format!("{path} is not valid JSON")))
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let policy = match args.get("policy") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            DiffPolicy::parse(&text).map_err(|e| err(format!("bad diff policy {path}: {e}")))?
+        }
+        None => DiffPolicy::empty(),
+    };
+
+    let findings = diff_documents(&baseline, &current, &policy);
+    writeln!(
+        out,
+        "{}",
+        render_diff_report(baseline_path, current_path, policy.rules.len(), &findings)
+    )?;
+    writeln!(
+        log,
+        "compared {current_path} against {baseline_path}: {} findings under {} rules",
+        findings.len(),
+        policy.rules.len(),
+    )?;
+    for f in &findings {
+        writeln!(log, "  {}: {} ({})", f.path, f.kind, f.detail)?;
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(err(format!(
+            "{} regressions against {baseline_path}",
+            findings.len()
+        )))
     }
 }
 
@@ -562,6 +680,8 @@ pub fn dispatch(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliRes
         "info" => info(args, out),
         "color" => color(args, out, log),
         "report" => report(args, out, log),
+        "trace" => trace(args, out, log),
+        "diff" => diff(args, out, log),
         "reduce" => reduce(args, out, log),
         "schedule" => schedule(args, out, log),
         "render" => render(args, out),
@@ -799,8 +919,49 @@ mod tests {
             );
         }
         let metrics = std::fs::read_to_string(mf.path()).unwrap();
-        assert!(metrics.starts_with("{\"schema_version\":1,\"kind\":\"metrics\""));
+        assert!(metrics.starts_with("{\"schema_version\":2,\"kind\":\"metrics\""));
         assert!(metrics.contains("\"sim.slots\""));
+        assert!(metrics.contains("\"obs.events.dropped\""));
+    }
+
+    #[test]
+    fn color_obs_writes_trace_and_timeseries_files() {
+        let f = tmp_positions(20);
+        let tf = tempfile::write(b"");
+        let sf = tempfile::write(b"");
+        let spec = format!("trace:{},timeseries:{}", tf.path(), sf.path());
+        let (r, _, log) = run(&[
+            "color",
+            "--input",
+            f.path(),
+            "--seed",
+            "1",
+            "--obs",
+            &spec,
+            "--series-stride",
+            "2",
+        ]);
+        assert!(r.is_ok(), "{log}");
+
+        let trace = std::fs::read_to_string(tf.path()).unwrap();
+        assert!(trace.starts_with("{\"schema_version\":2,\"kind\":\"trace_events\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"slot-time\""));
+        let series = std::fs::read_to_string(sf.path()).unwrap();
+        assert!(series.starts_with("{\"schema_version\":2,\"kind\":\"timeseries\""));
+        assert!(series.contains("\"stride\":2"));
+        assert!(series.contains("\"sim.slot.transmitters\""));
+
+        let (r, _, _) = run(&[
+            "color",
+            "--input",
+            f.path(),
+            "--obs",
+            &spec,
+            "--series-stride",
+            "0",
+        ]);
+        assert!(r.is_err(), "stride 0 is rejected");
     }
 
     #[test]
@@ -837,7 +998,7 @@ mod tests {
         let (r, out, log) = run(&["report", "--input", f.path(), "--seed", "2"]);
         assert!(r.is_ok(), "{log}");
         let doc = out.trim();
-        assert!(doc.starts_with("{\"schema_version\":1,\"kind\":\"run_report\","));
+        assert!(doc.starts_with("{\"schema_version\":2,\"kind\":\"run_report\","));
         assert!(doc.contains("\"run\":{\"nodes\":20,\"model\":\"sinr-fast\",\"seed\":2,"));
         assert!(doc.contains("\"metrics\":{"));
         // The paper's invariants hold on every e2e run: all probes quiet.
@@ -846,8 +1007,123 @@ mod tests {
              \"lemma6_violations\":0,\"lemma7_violations\":0}"
         ));
         assert!(doc.contains("\"events\":{\"recorded\":"));
+        assert!(doc.contains("\"spans\":{\"recorded\":"));
+        assert!(doc.contains("\"obs.events.dropped\""));
         assert!(doc.ends_with('}'));
         assert!(log.contains("0 probe violations"));
+    }
+
+    #[test]
+    fn trace_emits_chrome_trace_json() {
+        let f = tmp_positions(20);
+        let (r, out, log) = run(&["trace", "--input", f.path(), "--seed", "2"]);
+        assert!(r.is_ok(), "{log}");
+        let doc = out.trim();
+        assert!(doc.starts_with("{\"schema_version\":2,\"kind\":\"trace_events\""));
+        assert!(doc.contains("\"traceEvents\":["));
+        // Engine phases, resolver internals, and node residencies all land
+        // on the timeline.
+        assert!(doc.contains("\"name\":\"actions\""));
+        assert!(doc.contains("\"name\":\"resolve\""));
+        assert!(doc.contains("\"name\":\"delivery\""));
+        assert!(doc.contains("\"cat\":\"node\""));
+        assert!(log.contains("traced 20 nodes"));
+        // Friendly failures: missing input, unknown model.
+        let (r, _, _) = run(&["trace"]);
+        assert!(r.is_err());
+        let (r, _, _) = run(&["trace", "--input", f.path(), "--model", "psychic"]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trace_is_identical_across_thread_counts() {
+        let f = tmp_positions(20);
+        let (r1, base, _) = run(&["trace", "--input", f.path(), "--seed", "3"]);
+        assert!(r1.is_ok());
+        for threads in ["2", "4"] {
+            let (r2, threaded, _) = run(&[
+                "trace",
+                "--input",
+                f.path(),
+                "--seed",
+                "3",
+                "--threads",
+                threads,
+            ]);
+            assert!(r2.is_ok());
+            assert_eq!(base, threaded, "trace must not depend on thread count");
+        }
+    }
+
+    #[test]
+    fn diff_of_a_run_against_itself_is_clean() {
+        let f = tmp_positions(20);
+        let (r, report_doc, _) = run(&["report", "--input", f.path(), "--seed", "2"]);
+        assert!(r.is_ok());
+        let a = tempfile::write(report_doc.as_bytes());
+        let b = tempfile::write(report_doc.as_bytes());
+        let (r, out, log) = run(&["diff", "--baseline", a.path(), "--current", b.path()]);
+        assert!(r.is_ok(), "{log}");
+        assert!(out.starts_with("{\"schema_version\":2,\"kind\":\"diff_report\""));
+        assert!(out.contains("\"count\":0"));
+        assert!(log.contains("0 findings"));
+    }
+
+    #[test]
+    fn diff_flags_regressions_and_honors_the_policy() {
+        let a = tempfile::write(b"{\"kind\":\"metrics\",\"v\":{\"value\":10}}");
+        let b = tempfile::write(b"{\"kind\":\"metrics\",\"v\":{\"value\":11}}");
+        let (r, out, _) = run(&["diff", "--baseline", a.path(), "--current", b.path()]);
+        assert!(r.is_err(), "a changed value without tolerance fails");
+        assert!(out.contains("\"path\":\"v/value\""));
+
+        let policy = tempfile::write(
+            b"{\"kind\":\"diff_policy\",\"rules\":[{\"path\":\"v/**\",\"mode\":\"rel\",\"value\":0.2}]}",
+        );
+        let (r, out, log) = run(&[
+            "diff",
+            "--baseline",
+            a.path(),
+            "--current",
+            b.path(),
+            "--policy",
+            policy.path(),
+        ]);
+        assert!(r.is_ok(), "{log}");
+        assert!(out.contains("\"count\":0"));
+    }
+
+    #[test]
+    fn diff_rejects_malformed_inputs_with_friendly_errors() {
+        let good = tempfile::write(b"{\"a\":1}");
+        let bad = tempfile::write(b"not json at all");
+        let (r, _, _) = run(&["diff", "--baseline", good.path()]);
+        assert!(r.is_err(), "missing --current");
+        let (r, _, _) = run(&["diff", "--baseline", bad.path(), "--current", good.path()]);
+        let msg = format!("{}", r.unwrap_err());
+        assert!(msg.contains("not valid JSON"), "{msg}");
+        let (r, _, _) = run(&[
+            "diff",
+            "--baseline",
+            good.path(),
+            "--current",
+            good.path(),
+            "--policy",
+            bad.path(),
+        ]);
+        let msg = format!("{}", r.unwrap_err());
+        assert!(msg.contains("bad diff policy"), "{msg}");
+        let (r, _, _) = run(&[
+            "diff",
+            "--baseline",
+            good.path(),
+            "--current",
+            good.path(),
+            "--policy",
+            "/nonexistent/policy.json",
+        ]);
+        let msg = format!("{}", r.unwrap_err());
+        assert!(msg.contains("cannot read"), "{msg}");
     }
 
     #[test]

@@ -3,14 +3,17 @@
 //! The spec grammar is a comma-separated list of sinks:
 //!
 //! ```text
-//! --obs jsonl:trace.jsonl,metrics:metrics.json,stderr
+//! --obs jsonl:events.jsonl,metrics:metrics.json,trace:trace.json,timeseries:ts.json,stderr
 //! ```
 //!
 //! * `jsonl:PATH` — write the recorded event stream as JSON Lines.
 //! * `metrics:PATH` — write the metrics registry dump.
+//! * `trace:PATH` — write the span timeline as Chrome trace-event JSON.
+//! * `timeseries:PATH` — write the per-slot time series (enables the
+//!   sampler; `--series-stride` sets the sampling stride).
 //! * `stderr` — additionally mirror events to stderr as they happen.
 //!
-//! Both file sinks follow the schemas in `docs/OBS_SCHEMA.md`.
+//! All file sinks follow the schemas in `docs/OBS_SCHEMA.md`.
 
 use crate::{err, CliError};
 use sinr_coloring::mw::MwOutcome;
@@ -24,6 +27,10 @@ pub struct ObsSpec {
     pub jsonl: Option<String>,
     /// Write the metrics registry dump to this path.
     pub metrics: Option<String>,
+    /// Write the span timeline (Chrome trace-event JSON) to this path.
+    pub trace: Option<String>,
+    /// Write the per-slot time series to this path.
+    pub timeseries: Option<String>,
     /// Mirror events to stderr as they are recorded.
     pub stderr: bool,
 }
@@ -53,10 +60,21 @@ impl ObsSpec {
                         return Err(err("duplicate metrics sink in --obs spec"));
                     }
                 }
+                Some(("trace", path)) if !path.is_empty() => {
+                    if out.trace.replace(path.to_string()).is_some() {
+                        return Err(err("duplicate trace sink in --obs spec"));
+                    }
+                }
+                Some(("timeseries", path)) if !path.is_empty() => {
+                    if out.timeseries.replace(path.to_string()).is_some() {
+                        return Err(err("duplicate timeseries sink in --obs spec"));
+                    }
+                }
                 None if item == "stderr" => out.stderr = true,
                 _ => {
                     return Err(err(format!(
-                        "bad --obs sink {item:?}: expected jsonl:PATH, metrics:PATH, or stderr"
+                        "bad --obs sink {item:?}: expected jsonl:PATH, metrics:PATH, \
+                         trace:PATH, timeseries:PATH, or stderr"
                     )))
                 }
             }
@@ -78,8 +96,41 @@ impl ObsSpec {
             std::fs::write(path, rec.metrics_json())
                 .map_err(|e| err(format!("cannot write {path}: {e}")))?;
         }
+        if let Some(path) = &self.trace {
+            std::fs::write(path, rec.trace_json())
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        if let Some(path) = &self.timeseries {
+            let doc = rec
+                .timeseries_json()
+                .ok_or_else(|| err("timeseries sink requested but sampling was not enabled"))?;
+            std::fs::write(path, doc).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
         Ok(())
     }
+}
+
+/// Writes a truncation warning to the log stream when the recorder's
+/// bounded buffers evicted anything — so a clipped event stream or span
+/// timeline is never mistaken for a complete one.
+pub fn warn_truncation(rec: &FullRecorder, log: &mut dyn std::io::Write) -> std::io::Result<()> {
+    if rec.events_dropped() > 0 {
+        writeln!(
+            log,
+            "warning: event ring overflowed — {} of {} events dropped (raise --ring)",
+            rec.events_dropped(),
+            rec.events_recorded(),
+        )?;
+    }
+    if rec.spans_dropped() > 0 {
+        writeln!(
+            log,
+            "warning: span ring overflowed — {} of {} spans dropped (raise --ring)",
+            rec.spans_dropped(),
+            rec.spans_recorded(),
+        )?;
+    }
+    Ok(())
 }
 
 fn push_opt_u64(out: &mut String, v: Option<u64>) {
@@ -93,7 +144,8 @@ fn push_opt_u64(out: &mut String, v: Option<u64>) {
 /// summary, full metrics registry, probe verdicts, and event-stream
 /// accounting, in one self-describing object.
 pub fn run_report(model: &str, seed: u64, out: &MwOutcome, rec: &FullRecorder) -> String {
-    let reg = rec.registry();
+    // Exported (not live) registry: carries the obs.* retention counters.
+    let reg = rec.export_registry();
     let mut s = String::with_capacity(1024);
     s.push_str(&format!(
         "{{\"schema_version\":{OBS_SCHEMA_VERSION},\"kind\":\"run_report\","
@@ -133,10 +185,16 @@ pub fn run_report(model: &str, seed: u64, out: &MwOutcome, rec: &FullRecorder) -
     ));
 
     s.push_str(&format!(
-        "\"events\":{{\"recorded\":{},\"dropped\":{},\"capacity\":{}}}}}",
+        "\"events\":{{\"recorded\":{},\"dropped\":{},\"capacity\":{}}},",
         rec.events_recorded(),
         rec.events_dropped(),
         rec.ring_capacity(),
+    ));
+
+    s.push_str(&format!(
+        "\"spans\":{{\"recorded\":{},\"dropped\":{}}}}}",
+        rec.spans_recorded(),
+        rec.spans_dropped(),
     ));
     s
 }
@@ -159,6 +217,17 @@ mod tests {
         assert_eq!(s.metrics.as_deref(), Some("out.json"));
         assert!(s.jsonl.is_none());
         assert!(!s.stderr);
+    }
+
+    #[test]
+    fn parses_trace_and_timeseries_sinks() {
+        let s = ObsSpec::parse("trace:t.json,timeseries:ts.json").unwrap();
+        assert_eq!(s.trace.as_deref(), Some("t.json"));
+        assert_eq!(s.timeseries.as_deref(), Some("ts.json"));
+        assert!(ObsSpec::parse("trace:").is_err());
+        assert!(ObsSpec::parse("timeseries:").is_err());
+        assert!(ObsSpec::parse("trace:a,trace:b").is_err());
+        assert!(ObsSpec::parse("timeseries:a,timeseries:b").is_err());
     }
 
     #[test]

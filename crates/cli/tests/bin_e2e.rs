@@ -109,6 +109,84 @@ fn invalid_physical_parameters_are_a_clean_error() {
 }
 
 #[test]
+fn trace_pipes_valid_chrome_trace_json_to_stdout() {
+    let gen = sinrcolor(&["generate", "--kind", "uniform", "--n", "20", "--seed", "4"]);
+    assert!(gen.status.success());
+    let pts_file = tmp("trace-pts.txt", &String::from_utf8_lossy(&gen.stdout));
+
+    let out = sinrcolor(&[
+        "trace",
+        "--input",
+        pts_file.to_str().unwrap(),
+        "--seed",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert!(doc.starts_with("{\"schema_version\":2,\"kind\":\"trace_events\""));
+    assert!(doc.contains("\"traceEvents\":["));
+    assert!(doc.trim_end().ends_with('}'));
+
+    let _ = std::fs::remove_file(pts_file);
+}
+
+#[test]
+fn diff_gates_on_findings_and_rejects_bad_policy() {
+    let base = tmp(
+        "diff-base.json",
+        "{\"kind\":\"metrics\",\"v\":{\"value\":10}}",
+    );
+    let drift = tmp(
+        "diff-drift.json",
+        "{\"kind\":\"metrics\",\"v\":{\"value\":12}}",
+    );
+
+    // Identical documents: exit zero.
+    let ok = sinrcolor(&[
+        "diff",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        base.to_str().unwrap(),
+    ]);
+    assert!(ok.status.success());
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("\"count\":0"));
+
+    // A drifted value without tolerance: exit nonzero, finding on stderr.
+    let bad = sinrcolor(&[
+        "diff",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        drift.to_str().unwrap(),
+    ]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("v/value"));
+
+    // A malformed policy is a friendly error, not a panic.
+    let policy = tmp("diff-policy-bad.json", "{\"rules\":[{\"path\":\"v\"}]}");
+    let rejected = sinrcolor(&[
+        "diff",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        base.to_str().unwrap(),
+        "--policy",
+        policy.to_str().unwrap(),
+    ]);
+    assert_eq!(rejected.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&rejected.stderr).contains("bad diff policy"));
+
+    for f in [base, drift, policy] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
 fn positional_argument_after_command_is_rejected() {
     let out = sinrcolor(&["color", "stray"]);
     assert_eq!(out.status.code(), Some(2));

@@ -16,13 +16,15 @@
 //!
 //! The phase tracker additionally streams MW state transitions
 //! (`A_i → R → C_j`, with levels) and `χ(P_v)` counter resets as
-//! [`ObsEvent::Phase`] / [`ObsEvent::Note`] events — the spanned,
-//! phase-aware trace `docs/OBSERVABILITY.md` documents.
+//! [`ObsEvent::Phase`] / [`ObsEvent::Note`] events, and records one
+//! residency span per `(node, phase kind)` stay on the trace timeline
+//! (`SpanTrack::Node`, slot-time) — the spanned, phase-aware trace
+//! `docs/OBSERVABILITY.md` documents.
 
 use crate::mw::node::{MwNode, MwPhase};
 use crate::params::MwParams;
 use sinr_model::InterferenceModel;
-use sinr_obs::{keys, ObsEvent, Recorder};
+use sinr_obs::{keys, ObsEvent, Recorder, SpanRecord, SpanTrack, QUARTERS_PER_SLOT};
 use sinr_radiosim::{Simulator, StepView};
 
 /// Probe identifier used in `thm1` violation events.
@@ -95,6 +97,9 @@ pub struct MwProbes {
     /// Last observed `(phase kind, level, resets)` per node, for
     /// transition diffing.
     prev: Vec<(usize, i64, u32)>,
+    /// Slot at which each node entered its current phase kind, for the
+    /// per-node residency spans on the trace timeline.
+    enter_slot: Vec<u64>,
 }
 
 /// The protocol level of a phase, `−1` where levels do not apply (`R`).
@@ -119,6 +124,7 @@ impl MwProbes {
             lemma6_budget: 4 * (params.spread as u64 + 1) * per_level,
             lemma7_budget: 4 * request,
             prev: vec![(0, 0, 0); n],
+            enter_slot: vec![0; n],
         }
     }
 
@@ -157,6 +163,9 @@ impl MwProbes {
                             level,
                         },
                     );
+                    if kind != pk {
+                        self.close_residency_span(v, pk, slot, rec);
+                    }
                 }
                 if resets != pr {
                     rec.counter_add(keys::MW_COUNTER_RESETS, u64::from(resets - pr));
@@ -214,6 +223,23 @@ impl MwProbes {
         }
     }
 
+    /// Emits the residency span for the phase `kind` that node `v` is
+    /// leaving at `slot`, and marks `slot` as the entry into the next
+    /// kind. Zero-length stays (entered and left within the same observed
+    /// slot) are elided.
+    fn close_residency_span(&mut self, v: usize, kind: usize, slot: u64, rec: &mut dyn Recorder) {
+        let entered = self.enter_slot[v];
+        if slot > entered {
+            rec.span(&SpanRecord::complete(
+                SpanTrack::Node(u32::try_from(v).unwrap_or(u32::MAX)),
+                MwPhase::KIND_NAMES[kind],
+                entered * QUARTERS_PER_SLOT,
+                (slot - entered) * QUARTERS_PER_SLOT,
+            ));
+        }
+        self.enter_slot[v] = slot;
+    }
+
     fn thm1_violation(&self, slot: u64, node: usize, color: usize, rec: &mut dyn Recorder) {
         rec.counter_add(keys::PROBE_THM1_VIOLATIONS, 1);
         rec.event(
@@ -237,6 +263,14 @@ impl MwProbes {
             return;
         }
         let slot = sim.current_slot();
+        if self.cfg.track_phases {
+            // Close the still-open residency span of every node so the
+            // trace timeline covers the whole run.
+            for v in 0..self.prev.len() {
+                let kind = self.prev[v].0;
+                self.close_residency_span(v, kind, slot, rec);
+            }
+        }
         let mut residency = [0u64; 5];
         let mut max_a = 0u64;
         let mut max_r = 0u64;
@@ -324,6 +358,48 @@ mod tests {
         assert_eq!(phase_level(&MwPhase::Request { leader: 0 }), -1);
         assert_eq!(phase_level(&MwPhase::Leader), 0);
         assert_eq!(phase_level(&MwPhase::Colored { level: 7 }), 7);
+    }
+
+    #[test]
+    fn residency_spans_partition_each_nodes_timeline() {
+        use crate::mw::run::{run_mw_recorded, MwConfig};
+        use sinr_geometry::{Point, UnitDiskGraph};
+        use sinr_model::{SinrConfig, SinrModel};
+        use sinr_obs::FullRecorder;
+        use sinr_radiosim::WakeupSchedule;
+
+        let c = SinrConfig::default_unit();
+        let graph = UnitDiskGraph::new(vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)], c.r_t());
+        let params = MwParams::practical(&c, 2, 1);
+        let mut rec = FullRecorder::new();
+        let out = run_mw_recorded(
+            &graph,
+            SinrModel::new(c),
+            &MwConfig::new(params).with_seed(1),
+            WakeupSchedule::Synchronous,
+            MwProbeConfig::default(),
+            &mut rec,
+        );
+        assert!(out.all_done);
+
+        // Every node-track span names a real phase kind, and per node the
+        // spans partition [0, slots): the closed stays plus the final
+        // residency closed by `finalize` sum to the whole run.
+        let mut per_node = [0u64; 2];
+        for s in rec.spans() {
+            if let SpanTrack::Node(v) = s.track {
+                assert!(MwPhase::KIND_NAMES.contains(&s.name), "span {}", s.name);
+                per_node[v as usize] += s.dur_q;
+            }
+        }
+        for (v, total) in per_node.iter().enumerate() {
+            assert_eq!(*total, out.slots * QUARTERS_PER_SLOT, "node {v}");
+        }
+        // Both nodes finished colored, so a `colored`-phase span (or the
+        // phase they decided in) must close at the end of the run.
+        assert!(rec
+            .spans()
+            .any(|s| matches!(s.track, SpanTrack::Node(_)) && s.name == "colored"));
     }
 
     #[test]

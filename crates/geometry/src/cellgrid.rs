@@ -237,7 +237,10 @@ impl CellGrid {
         match (points.first(), points.last()) {
             (Some(f), Some(l)) => {
                 let n = points.len();
-                f.x == self.xs[0] && f.y == self.ys[0] && l.x == self.xs[n - 1] && l.y == self.ys[n - 1]
+                f.x == self.xs[0]
+                    && f.y == self.ys[0]
+                    && l.x == self.xs[n - 1]
+                    && l.y == self.ys[n - 1]
             }
             _ => true,
         }

@@ -146,6 +146,15 @@ impl Json {
         }
     }
 
+    /// The numeric value (integer or float), if this is a number scalar.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Scalar(JsonValue::Int(i)) => Some(*i as f64),
+            Json::Scalar(JsonValue::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
     /// The string value, if this is a string scalar.
     pub fn as_str(&self) -> Option<&str> {
         match self {

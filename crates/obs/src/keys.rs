@@ -11,9 +11,14 @@
 //!   transitions, levels).
 //! * `probe.<claim>.*` — invariant probes; `checks` counts sweeps,
 //!   `violations` counts observed breaches of the paper claim.
+//! * `obs.*` — the recorder's own bookkeeping (ring/span retention), so
+//!   truncation is visible inside the exported artifacts themselves.
 
 /// Total slots executed.
 pub const SIM_SLOTS: &str = "sim.slots";
+/// Transmitters in the most recent slot (live per-slot gauge, the
+/// canonical time-series channel-occupancy signal).
+pub const SIM_SLOT_TRANSMITTERS: &str = "sim.slot.transmitters";
 /// Total transmissions across all nodes and slots.
 pub const SIM_TRANSMISSIONS: &str = "sim.transmissions";
 /// Total successful receptions across all nodes and slots.
@@ -80,6 +85,17 @@ pub const PROBE_LEMMA7_CHECKS: &str = "probe.lemma7.checks";
 pub const PROBE_LEMMA7_VIOLATIONS: &str = "probe.lemma7.violations";
 /// Largest per-node `R` residency observed (gauge).
 pub const PROBE_LEMMA7_MAX_SLOTS: &str = "probe.lemma7.max_slots";
+
+/// Events pushed into the bounded ring over the whole run (retained +
+/// evicted); exported into the metrics dump at end of run.
+pub const OBS_EVENTS_RECORDED: &str = "obs.events.recorded";
+/// Events evicted from the bounded ring (0 means the JSONL stream is
+/// complete; nonzero means it was truncated oldest-first).
+pub const OBS_EVENTS_DROPPED: &str = "obs.events.dropped";
+/// Spans pushed into the bounded span ring over the whole run.
+pub const OBS_SPANS_RECORDED: &str = "obs.spans.recorded";
+/// Spans evicted from the bounded span ring (trace truncation signal).
+pub const OBS_SPANS_DROPPED: &str = "obs.spans.dropped";
 
 /// Theorem 3 (TDMA schedule is interference-free): directed links audited.
 pub const PROBE_THM3_LINKS: &str = "probe.thm3.links";

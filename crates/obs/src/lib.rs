@@ -27,6 +27,7 @@
 //! frozen in `docs/OBS_SCHEMA.md`; the probe→lemma mapping and the naming
 //! scheme live in `docs/OBSERVABILITY.md`.
 
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod keys;
@@ -34,16 +35,25 @@ pub mod metrics;
 pub mod profile;
 pub mod recorder;
 pub mod ring;
+pub mod series;
 pub mod sink;
+pub mod span;
 
+pub use diff::{diff_documents, render_diff_report, DiffFinding, DiffPolicy, DiffRule, Tolerance};
 pub use event::ObsEvent;
 pub use metrics::{Histogram, MetricValue, Registry};
 pub use profile::Stopwatch;
 pub use recorder::{FullRecorder, NoopRecorder, Recorder};
 pub use ring::Ring;
+pub use series::{SeriesConfig, TimeSeries};
 pub use sink::StderrSink;
+pub use span::{SpanRecord, SpanTrack, WallSpan, QUARTERS_PER_SLOT};
 
 /// Schema version stamped into every machine-readable artifact this crate
-/// emits (metrics dumps, run reports, JSONL headers are all additive under
-/// the same number; see `docs/OBS_SCHEMA.md`).
-pub const OBS_SCHEMA_VERSION: u32 = 1;
+/// emits (metrics dumps, run reports, JSONL headers, traces, time series
+/// and diff reports are all additive under the same number; see
+/// `docs/OBS_SCHEMA.md`). Version 2 added the `trace_events`,
+/// `timeseries` and `diff_report` kinds, histogram `p50`/`p95`/`p99`
+/// summary fields, and the `obs.*` retention counters in exported
+/// registries.
+pub const OBS_SCHEMA_VERSION: u32 = 2;

@@ -108,6 +108,32 @@ impl Histogram {
         }
     }
 
+    /// The `pct`-th percentile (`0 < pct ≤ 100`) at bucket resolution:
+    /// the inclusive upper bound of the first bucket whose cumulative
+    /// count reaches `⌈count · pct / 100⌉` samples. Samples landing in
+    /// the overflow bucket report the last finite bound — a *lower*
+    /// bound on the true quantile. Returns `None` for an empty
+    /// histogram. Integer arithmetic throughout, so the value is exact
+    /// and deterministic.
+    pub fn percentile(&self, pct: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (u128::from(self.count) * u128::from(pct)).div_ceil(100);
+        let mut cumulative: u128 = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += u128::from(*c);
+            if cumulative >= target {
+                return match self.bounds.get(i) {
+                    Some(b) => Some(*b),
+                    // Overflow bucket: report the last finite bound.
+                    None => self.bounds.last().copied().or(Some(0)),
+                };
+            }
+        }
+        self.bounds.last().copied().or(Some(0))
+    }
+
     fn json_into(&self, out: &mut String) {
         out.push_str("{\"bounds\":[");
         for (i, b) in self.bounds.iter().enumerate() {
@@ -123,7 +149,15 @@ impl Histogram {
             }
             let _ = write!(out, "{c}");
         }
-        let _ = write!(out, "],\"count\":{},\"sum\":{}}}", self.count, self.sum);
+        let _ = write!(out, "],\"count\":{},\"sum\":{}", self.count, self.sum);
+        if self.count > 0 {
+            for (label, pct) in [("p50", 50), ("p95", 95), ("p99", 99)] {
+                if let Some(v) = self.percentile(pct) {
+                    let _ = write!(out, ",\"{label}\":{v}");
+                }
+            }
+        }
+        out.push('}');
     }
 }
 
@@ -391,6 +425,25 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::with_bounds(vec![1, 2, 4, 8]);
+        assert_eq!(h.percentile(50), None, "empty histogram has no quantiles");
+        for v in [1, 1, 2, 2, 3, 3, 8, 9, 20, 100] {
+            h.observe(v);
+        }
+        // 10 samples; p50 target = 5th sample → bucket ≤ 4 (cum 2,4,6).
+        assert_eq!(h.percentile(50), Some(4));
+        // p95 target = ⌈9.5⌉ = 10th sample → overflow bucket → last bound.
+        assert_eq!(h.percentile(95), Some(8));
+        assert_eq!(h.percentile(99), Some(8));
+        assert_eq!(h.percentile(100), Some(8));
+        // Degenerate overflow-only histogram still answers.
+        let mut d = Histogram::default();
+        d.observe(3);
+        assert_eq!(d.percentile(50), Some(0));
+    }
+
+    #[test]
     fn registry_counter_gauge_histogram_basics() {
         let mut r = Registry::new();
         r.counter_add("a.count", 2);
@@ -437,7 +490,8 @@ mod tests {
             "{\"a.count\":{\"type\":\"counter\",\"value\":7},\
              \"b.gauge\":{\"type\":\"gauge\",\"value\":1.5},\
              \"c.hist\":{\"type\":\"histogram\",\"value\":\
-             {\"bounds\":[1],\"counts\":[1,1],\"count\":2,\"sum\":9}}}"
+             {\"bounds\":[1],\"counts\":[1,1],\"count\":2,\"sum\":9,\
+             \"p50\":1,\"p95\":1,\"p99\":1}}}"
         );
         let parsed_ok = json.starts_with('{') && json.ends_with('}');
         assert!(parsed_ok);

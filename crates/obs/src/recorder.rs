@@ -1,8 +1,11 @@
 //! The `Recorder` trait and its in-memory implementations.
 
 use crate::event::ObsEvent;
+use crate::keys;
 use crate::metrics::{Histogram, Registry};
 use crate::ring::Ring;
+use crate::series::{SeriesConfig, TimeSeries};
+use crate::span::{chrome_trace_json, SpanRecord, WallSpan};
 use crate::OBS_SCHEMA_VERSION;
 use std::io::{self, Write};
 
@@ -41,6 +44,13 @@ pub trait Recorder {
 
     /// Merges a pre-aggregated histogram into the histogram `key`.
     fn histogram_merge(&mut self, _key: &'static str, _hist: &Histogram) {}
+
+    /// Records a completed slot-time span (see `crate::span`).
+    fn span(&mut self, _span: &SpanRecord) {}
+
+    /// Offers slot `slot` for time-series sampling; the engine calls this
+    /// once per slot after all of the slot's metrics have been recorded.
+    fn series_tick(&mut self, _slot: u64) {}
 }
 
 /// The zero-cost disabled recorder: every hook is a no-op and
@@ -51,12 +61,15 @@ pub struct NoopRecorder;
 
 impl Recorder for NoopRecorder {}
 
-/// An in-memory recorder: metrics in a [`Registry`], events in a bounded
-/// [`Ring`] (oldest evicted first), with JSON/JSONL export.
+/// An in-memory recorder: metrics in a [`Registry`], events and spans in
+/// bounded [`Ring`]s (oldest evicted first), an optional [`TimeSeries`],
+/// with JSON/JSONL export.
 #[derive(Debug, Clone)]
 pub struct FullRecorder {
     registry: Registry,
     ring: Ring<(u64, ObsEvent)>,
+    spans: Ring<SpanRecord>,
+    series: Option<TimeSeries>,
 }
 
 impl FullRecorder {
@@ -66,13 +79,26 @@ impl FullRecorder {
         Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
     }
 
-    /// A recorder whose event ring holds at most `capacity` events
-    /// (metrics are unaffected by the bound).
+    /// A recorder whose event ring and span ring each hold at most
+    /// `capacity` entries (metrics are unaffected by the bound).
     pub fn with_ring_capacity(capacity: usize) -> Self {
         FullRecorder {
             registry: Registry::new(),
             ring: Ring::with_capacity(capacity),
+            spans: Ring::with_capacity(capacity),
+            series: None,
         }
+    }
+
+    /// Enables time-series sampling with the given configuration
+    /// (subsequent [`Recorder::series_tick`] calls take snapshots).
+    pub fn enable_series(&mut self, cfg: SeriesConfig) {
+        self.series = Some(TimeSeries::new(cfg));
+    }
+
+    /// The accumulated time series, if sampling was enabled.
+    pub fn series(&self) -> Option<&TimeSeries> {
+        self.series.as_ref()
     }
 
     /// The metrics collected so far.
@@ -110,14 +136,68 @@ impl FullRecorder {
         self.ring.capacity()
     }
 
+    /// The retained spans, oldest → newest.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter()
+    }
+
+    /// Number of spans currently retained.
+    pub fn spans_len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Spans evicted from the span ring.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// Total spans ever recorded (retained + evicted).
+    pub fn spans_recorded(&self) -> u64 {
+        self.spans.pushed()
+    }
+
+    /// The collected metrics plus the recorder's own `obs.*` retention
+    /// bookkeeping (event/span ring accounting), as one registry. This is
+    /// what the exported documents embed, so truncation is visible inside
+    /// the artifact itself.
+    pub fn export_registry(&self) -> Registry {
+        let mut reg = self.registry.clone();
+        reg.counter_add(keys::OBS_EVENTS_RECORDED, self.ring.pushed());
+        reg.counter_add(keys::OBS_EVENTS_DROPPED, self.ring.dropped());
+        reg.counter_add(keys::OBS_SPANS_RECORDED, self.spans.pushed());
+        reg.counter_add(keys::OBS_SPANS_DROPPED, self.spans.dropped());
+        reg
+    }
+
     /// The metrics dump as a standalone JSON document (schema:
-    /// `docs/OBS_SCHEMA.md`, kind `metrics`).
+    /// `docs/OBS_SCHEMA.md`, kind `metrics`), including the `obs.*`
+    /// retention counters from [`FullRecorder::export_registry`].
     pub fn metrics_json(&self) -> String {
         format!(
             "{{\"schema_version\":{},\"kind\":\"metrics\",\"metrics\":{}}}",
             OBS_SCHEMA_VERSION,
-            self.registry.to_json()
+            self.export_registry().to_json()
         )
+    }
+
+    /// The retained spans as one Chrome trace-event JSON document
+    /// (schema kind `trace_events`; loadable in Perfetto).
+    pub fn trace_json(&self) -> String {
+        self.trace_json_with_wall(&[])
+    }
+
+    /// [`FullRecorder::trace_json`] with a wall-clock overlay attached as
+    /// trace process 1 — for bench binaries only; the deterministic path
+    /// never constructs [`WallSpan`]s.
+    pub fn trace_json_with_wall(&self, wall: &[WallSpan]) -> String {
+        let spans: Vec<SpanRecord> = self.spans.iter().copied().collect();
+        chrome_trace_json(&spans, self.spans.pushed(), self.spans.dropped(), wall)
+    }
+
+    /// The time series as a standalone JSON document (schema kind
+    /// `timeseries`), if sampling was enabled.
+    pub fn timeseries_json(&self) -> Option<String> {
+        self.series.as_ref().map(TimeSeries::to_json)
     }
 
     /// Writes the retained events as JSONL, one event per line,
@@ -175,12 +255,23 @@ impl Recorder for FullRecorder {
     fn histogram_merge(&mut self, key: &'static str, hist: &Histogram) {
         self.registry.histogram_merge(key, hist);
     }
+
+    fn span(&mut self, span: &SpanRecord) {
+        self.spans.push(*span);
+    }
+
+    fn series_tick(&mut self, slot: u64) {
+        if let Some(series) = self.series.as_mut() {
+            series.tick(slot, &self.registry, self.ring.dropped());
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::json::parse_flat_object;
+    use crate::json::{parse_flat_object, parse_value};
+    use crate::span::SpanTrack;
 
     #[test]
     fn noop_recorder_is_disabled_and_inert() {
@@ -191,6 +282,8 @@ mod tests {
         r.gauge_set("g", 1.0);
         r.observe("h", 1);
         r.histogram_merge("m", &Histogram::default());
+        r.span(&SpanRecord::instant(SpanTrack::Engine, "noop", 0));
+        r.series_tick(0);
     }
 
     #[test]
@@ -241,7 +334,58 @@ mod tests {
         let mut r = FullRecorder::new();
         r.counter_add("sim.slots", 7);
         let json = r.metrics_json();
-        assert!(json.starts_with("{\"schema_version\":1,\"kind\":\"metrics\","));
+        assert!(json.starts_with("{\"schema_version\":2,\"kind\":\"metrics\","));
         assert!(json.contains("\"sim.slots\":{\"type\":\"counter\",\"value\":7}"));
+    }
+
+    #[test]
+    fn export_registry_carries_retention_bookkeeping() {
+        let mut r = FullRecorder::with_ring_capacity(1);
+        r.event(0, &ObsEvent::Wake { node: 0 });
+        r.event(1, &ObsEvent::Done { node: 0 });
+        r.span(&SpanRecord::instant(SpanTrack::Engine, "a", 0));
+        let reg = r.export_registry();
+        assert_eq!(reg.counter(crate::keys::OBS_EVENTS_RECORDED), Some(2));
+        assert_eq!(reg.counter(crate::keys::OBS_EVENTS_DROPPED), Some(1));
+        assert_eq!(reg.counter(crate::keys::OBS_SPANS_RECORDED), Some(1));
+        assert_eq!(reg.counter(crate::keys::OBS_SPANS_DROPPED), Some(0));
+        assert!(r.registry().get(crate::keys::OBS_EVENTS_DROPPED).is_none());
+    }
+
+    #[test]
+    fn span_ring_bounds_and_trace_export() {
+        let mut r = FullRecorder::with_ring_capacity(2);
+        for i in 0..3u64 {
+            r.span(&SpanRecord::complete(
+                SpanTrack::Engine,
+                "actions",
+                i * 4,
+                1,
+            ));
+        }
+        assert_eq!(r.spans_len(), 2);
+        assert_eq!(r.spans_dropped(), 1);
+        assert_eq!(r.spans_recorded(), 3);
+        let trace = r.trace_json();
+        assert!(trace.contains("\"kind\":\"trace_events\""));
+        assert!(trace.contains("\"spans\":{\"recorded\":3,\"dropped\":1}"));
+        assert!(parse_value(&trace).is_some(), "trace parses as JSON");
+    }
+
+    #[test]
+    fn series_tick_samples_through_the_recorder() {
+        let mut r = FullRecorder::new();
+        r.series_tick(0); // disabled: no-op
+        assert!(r.series().is_none());
+        r.enable_series(SeriesConfig::new(1).with_keys(vec!["sim.slots"]));
+        for slot in 0..3u64 {
+            r.counter_add("sim.slots", 1);
+            r.series_tick(slot);
+        }
+        let series = r.series().expect("enabled");
+        assert_eq!(series.slots(), &[0, 1, 2]);
+        assert_eq!(series.column("sim.slots"), Some(&[1.0, 2.0, 3.0][..]));
+        let doc = r.timeseries_json().expect("document");
+        assert!(doc.starts_with("{\"schema_version\":2,\"kind\":\"timeseries\","));
     }
 }

@@ -8,6 +8,8 @@
 use crate::event::ObsEvent;
 use crate::metrics::Histogram;
 use crate::recorder::{FullRecorder, Recorder};
+use crate::series::SeriesConfig;
+use crate::span::SpanRecord;
 
 /// A recorder that streams every event to stderr as JSONL while also
 /// accumulating it (and all metrics) in an inner [`FullRecorder`].
@@ -36,6 +38,12 @@ impl StderrSink {
     /// The accumulated recorder (metrics + retained events).
     pub fn recorder(&self) -> &FullRecorder {
         &self.inner
+    }
+
+    /// Enables periodic time-series sampling on the inner recorder (see
+    /// [`FullRecorder::enable_series`]).
+    pub fn enable_series(&mut self, cfg: SeriesConfig) {
+        self.inner.enable_series(cfg);
     }
 
     /// Consumes the sink, returning the accumulated recorder.
@@ -68,5 +76,13 @@ impl Recorder for StderrSink {
 
     fn histogram_merge(&mut self, key: &'static str, hist: &Histogram) {
         self.inner.histogram_merge(key, hist);
+    }
+
+    fn span(&mut self, span: &SpanRecord) {
+        self.inner.span(span);
+    }
+
+    fn series_tick(&mut self, slot: u64) {
+        self.inner.series_tick(slot);
     }
 }

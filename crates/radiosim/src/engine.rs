@@ -5,8 +5,9 @@ use crate::stats::SimStats;
 use crate::trace::{Event, Trace};
 use crate::wakeup::WakeupSchedule;
 use sinr_geometry::{NodeId, UnitDiskGraph};
-use sinr_model::{InterferenceModel, ReceptionTable, TxDelta};
-use sinr_obs::{keys, NoopRecorder, Recorder};
+use sinr_model::{InterferenceModel, ReceptionTable, ResolverStats, TxDelta};
+use sinr_obs::span::{names as span_names, SpanRecord, SpanTrack};
+use sinr_obs::{keys, NoopRecorder, Recorder, QUARTERS_PER_SLOT};
 use sinr_pool::{PerThread, Pool};
 use sinr_rng::rngs::StdRng;
 use sinr_rng::SeedableRng;
@@ -96,6 +97,12 @@ pub struct Simulator<P: Protocol, M: InterferenceModel> {
     // nodes entirely, which is only sound when no node is already done at
     // construction (an untouched sleeping node can then never be done).
     fused_ok: bool,
+    // Previous slot's resolver-stats snapshot, kept only while a recorder
+    // is enabled: per-slot diffing of the cumulative counters yields the
+    // resolver-internal spans (delta apply, rebuilds, fallbacks) without
+    // touching the resolver itself. The counters are thread-invariant, so
+    // the derived spans are too.
+    prev_resolver: Option<ResolverStats>,
     // Worker pool for the sharded step phases (sequential by default) and
     // its per-thread scratch.
     pool: Pool,
@@ -144,6 +151,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             wake_order,
             wake_cursor: 0,
             fused_ok,
+            prev_resolver: None,
             pool: Pool::sequential(),
             par: PerThread::new(1, |_| EngineScratch::new()),
         }
@@ -300,6 +308,20 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             }
         }
 
+        // Slot-time spans: each slot subdivides into quarter ticks —
+        // actions [0,1), resolve [1,3), delivery [3,4) — so the engine's
+        // phases render as adjacent blocks on one Perfetto track. Emission
+        // is gated on `obs`, which already forces the sequential phased
+        // path, so span recording can never perturb the fused or parallel
+        // paths.
+        let q0 = slot * QUARTERS_PER_SLOT;
+        if obs {
+            rec.span(
+                &SpanRecord::complete(SpanTrack::Engine, span_names::ENGINE_ACTIONS, q0, 1)
+                    .with_arg("tx", count_i64(self.tx_ids.len())),
+            );
+        }
+
         // 3. Channel resolution. The start/stop delta is exact by
         // construction, so stateful resolvers can update their persistent
         // indices in O(|delta|); stateless ones ignore it.
@@ -313,6 +335,17 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         );
         self.stats.transmissions += self.tx_ids.len() as u64;
         self.stats.record_channel_load(self.tx_ids.len());
+        if obs {
+            rec.gauge_set(keys::SIM_SLOT_TRANSMITTERS, self.tx_ids.len() as f64);
+            rec.span(
+                &SpanRecord::complete(SpanTrack::Engine, span_names::ENGINE_RESOLVE, q0 + 1, 2)
+                    .with_arg("started", count_i64(self.started.len()))
+                    .with_arg("stopped", count_i64(self.stopped.len())),
+            );
+            self.emit_resolver_spans(q0 + 1, rec);
+        }
+
+        let rx_before = self.stats.receptions;
 
         // 4 + 5. Delivery, end-of-slot processing, and termination
         // bookkeeping for every awake node.
@@ -335,6 +368,15 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                     }
                 }
             }
+        }
+
+        if obs {
+            let rx = self.stats.receptions.saturating_sub(rx_before);
+            rec.span(
+                &SpanRecord::complete(SpanTrack::Engine, span_names::ENGINE_DELIVERY, q0 + 3, 1)
+                    .with_arg("rx", count_u64(rx))
+                    .with_arg("done", count_i64(newly_done.len())),
+            );
         }
 
         let transmitters = self.tx_ids.clone();
@@ -362,6 +404,60 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             receptions: table,
             newly_done,
         }
+    }
+
+    /// Diffs the model's cumulative resolver counters against the previous
+    /// slot's snapshot and emits resolver-internal spans for this slot's
+    /// increments (delta apply, epoch/full rebuilds, exact fallbacks).
+    /// `q_resolve` is the resolve phase's first quarter-slot tick. Runs
+    /// only while a recorder is enabled; models without resolver stats
+    /// emit nothing.
+    fn emit_resolver_spans(&mut self, q_resolve: u64, rec: &mut dyn Recorder) {
+        let Some(cur) = self.model.resolver_stats() else {
+            return;
+        };
+        if let Some(prev) = self.prev_resolver {
+            let started = cur.delta_started.saturating_sub(prev.delta_started);
+            let stopped = cur.delta_stopped.saturating_sub(prev.delta_stopped);
+            if started + stopped > 0 {
+                rec.span(
+                    &SpanRecord::complete(
+                        SpanTrack::Resolver,
+                        span_names::RESOLVER_DELTA_APPLY,
+                        q_resolve,
+                        1,
+                    )
+                    .with_arg("started", count_u64(started))
+                    .with_arg("stopped", count_u64(stopped)),
+                );
+            }
+            if cur.epoch_rebuilds > prev.epoch_rebuilds {
+                rec.span(&SpanRecord::instant(
+                    SpanTrack::Resolver,
+                    span_names::RESOLVER_EPOCH_REBUILD,
+                    q_resolve + 1,
+                ));
+            }
+            if cur.full_rebuilds > prev.full_rebuilds {
+                rec.span(&SpanRecord::instant(
+                    SpanTrack::Resolver,
+                    span_names::RESOLVER_FULL_REBUILD,
+                    q_resolve + 1,
+                ));
+            }
+            let fallbacks = cur.exact_fallbacks.saturating_sub(prev.exact_fallbacks);
+            if fallbacks > 0 {
+                rec.span(
+                    &SpanRecord::instant(
+                        SpanTrack::Resolver,
+                        span_names::RESOLVER_EXACT_FALLBACK,
+                        q_resolve + 1,
+                    )
+                    .with_arg("candidates", count_u64(fallbacks)),
+                );
+            }
+        }
+        self.prev_resolver = Some(cur);
     }
 
     /// Fused slot phases 2 + 3a: one sequential pass decides every awake
@@ -660,6 +756,9 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             }
             let view = self.step_recorded(rec);
             observe(self, &view, rec);
+            // Series sampling happens after the observer so the slot's
+            // protocol-level metrics (mw.*, probe.*) are already recorded.
+            rec.series_tick(view.slot);
         }
         RunOutcome {
             all_done: self.all_done(),
@@ -683,6 +782,17 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             rs.export_into(rec);
         }
     }
+}
+
+/// Span-argument conversion for counts: saturates instead of wrapping so a
+/// pathological value can never corrupt a trace.
+fn count_i64(x: usize) -> i64 {
+    i64::try_from(x).unwrap_or(i64::MAX)
+}
+
+/// Span-argument conversion for `u64` counters (saturating).
+fn count_u64(x: u64) -> i64 {
+    i64::try_from(x).unwrap_or(i64::MAX)
 }
 
 #[cfg(test)]
@@ -981,6 +1091,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn recorded_runs_emit_engine_phase_spans_and_series_ticks() {
+        use sinr_obs::{FullRecorder, SeriesConfig};
+        let g = two_neighbors();
+        let mut sim = Simulator::new(g, IdealModel::new(), WakeupSchedule::Synchronous, 0, |id| {
+            OneShot {
+                fire_at: id as u64,
+                fired: false,
+                heard: Vec::new(),
+            }
+        });
+        let mut rec = FullRecorder::new();
+        rec.enable_series(SeriesConfig::new(1).with_keys(vec![keys::SIM_SLOT_TRANSMITTERS]));
+        let out = sim.run_recorded(10, &mut rec, |_, _, _| {});
+        assert!(out.all_done);
+        // Three engine spans per slot, in phase order within each slot.
+        let spans: Vec<_> = rec.spans().collect();
+        assert_eq!(spans.len() as u64, 3 * out.slots);
+        assert_eq!(spans[0].name, span_names::ENGINE_ACTIONS);
+        assert_eq!(spans[1].name, span_names::ENGINE_RESOLVE);
+        assert_eq!(spans[2].name, span_names::ENGINE_DELIVERY);
+        assert!(spans.iter().all(|s| s.track == SpanTrack::Engine));
+        // Slot 0: node 0 transmits → tx arg 1; the gauge tracks the last
+        // slot's transmitter count.
+        assert_eq!(spans[0].args[0], Some(("tx", 1)));
+        let series = rec.series().expect("series enabled");
+        assert_eq!(series.len() as u64, out.slots);
+        assert_eq!(
+            series.column(keys::SIM_SLOT_TRANSMITTERS),
+            Some(&[1.0, 1.0][..])
+        );
     }
 
     #[test]

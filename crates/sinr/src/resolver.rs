@@ -1092,7 +1092,11 @@ mod tests {
                 stopped: &stopped,
             };
             let expected = naive.resolve(&g, &tx);
-            assert_eq!(with_delta.resolve_delta(&g, &tx, delta), expected, "step {step}");
+            assert_eq!(
+                with_delta.resolve_delta(&g, &tx, delta),
+                expected,
+                "step {step}"
+            );
             assert_eq!(self_diff.resolve(&g, &tx), expected, "step {step}");
             is_prev = is_now;
             prev = tx;

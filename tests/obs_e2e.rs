@@ -6,8 +6,10 @@ use sinr_coloring::mw::{run_mw, run_mw_recorded, MwConfig, MwOutcome, MwProbeCon
 use sinr_coloring::params::MwParams;
 use sinr_geometry::{placement, UnitDiskGraph};
 use sinr_model::{FastSinrModel, GraphModel, InterferenceModel, SinrConfig, SinrModel};
-use sinr_obs::json::parse_flat_object;
-use sinr_obs::{keys, FullRecorder, NoopRecorder, Recorder};
+use sinr_obs::json::{parse_flat_object, parse_value};
+use sinr_obs::{
+    diff_documents, keys, DiffPolicy, FullRecorder, NoopRecorder, Recorder, SeriesConfig,
+};
 use sinr_radiosim::WakeupSchedule;
 
 fn small_graph(n: usize, side: f64, seed: u64) -> (SinrConfig, UnitDiskGraph) {
@@ -179,6 +181,7 @@ fn identical_seeds_produce_identical_dumps_and_different_seeds_differ() {
     let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
     let dump = |seed: u64| {
         let mut rec = FullRecorder::new();
+        rec.enable_series(SeriesConfig::new(1));
         let out = recorded_run(
             &graph,
             SinrModel::new(cfg),
@@ -188,20 +191,51 @@ fn identical_seeds_produce_identical_dumps_and_different_seeds_differ() {
             &mut rec,
         );
         assert!(out.all_done);
-        (rec.metrics_json(), rec.jsonl_string())
+        (
+            rec.metrics_json(),
+            rec.jsonl_string(),
+            rec.trace_json(),
+            rec.timeseries_json().expect("series was enabled"),
+        )
     };
 
-    let (metrics_a, jsonl_a) = dump(4);
-    let (metrics_b, jsonl_b) = dump(4);
+    let (metrics_a, jsonl_a, trace_a, series_a) = dump(4);
+    let (metrics_b, jsonl_b, trace_b, series_b) = dump(4);
     assert_eq!(
         metrics_a, metrics_b,
         "metrics dump is a function of the seed"
     );
     assert_eq!(jsonl_a, jsonl_b, "event stream is a function of the seed");
+    assert_eq!(trace_a, trace_b, "span trace is a function of the seed");
+    assert_eq!(series_a, series_b, "time series is a function of the seed");
 
-    let (metrics_c, _) = dump(5);
+    let (metrics_c, _, trace_c, _) = dump(5);
     assert_ne!(
         metrics_a, metrics_c,
         "different seeds leave different traces"
+    );
+    assert_ne!(trace_a, trace_c, "span timelines differ across seeds");
+}
+
+#[test]
+fn diffing_a_run_against_itself_finds_nothing() {
+    let (cfg, graph) = small_graph(25, 3.0, 17);
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    let mut rec = FullRecorder::new();
+    let out = recorded_run(
+        &graph,
+        FastSinrModel::new(cfg),
+        params,
+        2,
+        WakeupSchedule::Synchronous,
+        &mut rec,
+    );
+    assert!(out.all_done);
+
+    let doc = parse_value(&rec.metrics_json()).expect("metrics dump parses");
+    let findings = diff_documents(&doc, &doc, &DiffPolicy::empty());
+    assert!(
+        findings.is_empty(),
+        "self-diff must be clean, got {findings:?}"
     );
 }

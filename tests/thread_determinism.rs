@@ -1,7 +1,8 @@
 //! Differential tests for the parallel slot engine: every artifact a run
-//! can produce — the outcome struct, the metrics dump, the event stream —
-//! is byte-identical whether it was computed on 1, 2, or 4 worker
-//! threads, for both the naive and the grid-tiled resolver.
+//! can produce — the outcome struct, the metrics dump, the event stream,
+//! the span trace, the time series — is byte-identical whether it was
+//! computed on 1, 2, or 4 worker threads, for both the naive and the
+//! grid-tiled resolver.
 //!
 //! This is the contract `sinr_pool` exists to uphold (static
 //! partitioning, thread-ordered merges, per-node RNG streams; see
@@ -15,7 +16,7 @@ use sinr_coloring::mw::{run_mw, run_mw_recorded, MwConfig, MwOutcome, MwProbeCon
 use sinr_coloring::params::MwParams;
 use sinr_geometry::{placement, UnitDiskGraph};
 use sinr_model::{FastSinrModel, InterferenceModel, SinrConfig, SinrModel};
-use sinr_obs::FullRecorder;
+use sinr_obs::{FullRecorder, SeriesConfig};
 use sinr_radiosim::WakeupSchedule;
 
 const THREADS: [usize; 3] = [1, 2, 4];
@@ -85,19 +86,21 @@ fn async_wakeup_is_identical_across_thread_counts() {
 }
 
 /// Runs a fully observed coloring and returns every serialized artifact:
-/// the outcome, the metrics-registry dump, and the JSONL event stream.
+/// the outcome, the metrics-registry dump, the JSONL event stream, the
+/// Chrome trace-event timeline, and the per-slot time series.
 fn observed_dump<M: InterferenceModel>(
     graph: &UnitDiskGraph,
     model: M,
     params: MwParams,
     seed: u64,
     threads: usize,
-) -> (MwOutcome, String, String) {
+) -> (MwOutcome, String, String, String, String) {
     let mw = MwConfig::new(params)
         .with_seed(seed)
         .with_threads(threads)
         .with_max_slots(250);
-    let mut rec = FullRecorder::new();
+    let mut rec = FullRecorder::with_ring_capacity(1 << 18);
+    rec.enable_series(SeriesConfig::new(1));
     let out = run_mw_recorded(
         graph,
         model,
@@ -106,7 +109,14 @@ fn observed_dump<M: InterferenceModel>(
         MwProbeConfig::default(),
         &mut rec,
     );
-    (out, rec.metrics_json(), rec.jsonl_string())
+    let series = rec.timeseries_json().expect("series was enabled");
+    (
+        out,
+        rec.metrics_json(),
+        rec.jsonl_string(),
+        rec.trace_json(),
+        series,
+    )
 }
 
 #[test]
@@ -116,20 +126,26 @@ fn observed_artifacts_are_byte_identical_across_thread_counts() {
     let naive = |t: usize| observed_dump(&graph, SinrModel::new(cfg), params, 7, t);
     let fast = |t: usize| observed_dump(&graph, FastSinrModel::new(cfg), params, 7, t);
 
-    let (out_n1, metrics_n1, jsonl_n1) = naive(1);
-    let (out_f1, metrics_f1, jsonl_f1) = fast(1);
-    assert!(out_n1.slots > 0 && out_f1.slots > 0);
+    let base_n = naive(1);
+    let base_f = fast(1);
+    assert!(base_n.0.slots > 0 && base_f.0.slots > 0);
+    assert!(
+        base_n.3.contains("\"traceEvents\":["),
+        "trace is non-trivial"
+    );
+    assert!(base_f.4.contains("\"kind\":\"timeseries\""));
 
     for threads in THREADS {
-        let (out, metrics, jsonl) = naive(threads);
-        assert_eq!(out, out_n1, "naive outcome, threads={threads}");
-        assert_eq!(metrics, metrics_n1, "naive metrics dump, threads={threads}");
-        assert_eq!(jsonl, jsonl_n1, "naive event stream, threads={threads}");
-
-        let (out, metrics, jsonl) = fast(threads);
-        assert_eq!(out, out_f1, "fast outcome, threads={threads}");
-        assert_eq!(metrics, metrics_f1, "fast metrics dump, threads={threads}");
-        assert_eq!(jsonl, jsonl_f1, "fast event stream, threads={threads}");
+        for (label, base, run) in [
+            ("naive", &base_n, naive(threads)),
+            ("fast", &base_f, fast(threads)),
+        ] {
+            assert_eq!(run.0, base.0, "{label} outcome, threads={threads}");
+            assert_eq!(run.1, base.1, "{label} metrics dump, threads={threads}");
+            assert_eq!(run.2, base.2, "{label} event stream, threads={threads}");
+            assert_eq!(run.3, base.3, "{label} trace, threads={threads}");
+            assert_eq!(run.4, base.4, "{label} time series, threads={threads}");
+        }
     }
 }
 
