@@ -21,11 +21,20 @@
 use std::time::Instant;
 
 use sinr_bench::workload::Instance;
-use sinr_coloring::mw::{run_mw, run_mw_observed, run_mw_recorded, MwConfig, MwProbeConfig};
+use sinr_coloring::mw::{
+    run_mw, run_mw_observed, run_mw_profiled, run_mw_recorded, MwConfig, MwProbeConfig,
+};
 use sinr_model::{FastSinrModel, InterferenceModel, SinrModel};
+use sinr_obs::alloc::CountingAlloc;
 use sinr_obs::{FullRecorder, NoopRecorder, Recorder};
 use sinr_pool::Pool;
 use sinr_radiosim::WakeupSchedule;
+
+// Bench targets are binaries, so the counting allocator is sanctioned
+// here (lint L10): every row's `alloc` block is measured in-process, and
+// the library crates under test stay allocator-agnostic.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Quick-mode slot cap (CI smoke); full mode replays the complete run so
 /// the dense contention phases — where resolution cost concentrates — are
@@ -52,6 +61,17 @@ struct ModelNumbers {
     slots_per_sec: f64,
 }
 
+/// Heap traffic of one fixed-seed profiled run (schema v5): the memory
+/// side of the perf trajectory. Steady-state allocations are the gated
+/// figure — complete runs of the fused sequential engine must reach zero.
+struct AllocNumbers {
+    setup_allocs: u64,
+    setup_bytes: u64,
+    warmup_slots: u64,
+    steady_allocs: u64,
+    heap_peak: u64,
+}
+
 struct SizeResult {
     n: usize,
     max_degree: usize,
@@ -67,6 +87,7 @@ struct SizeResult {
     /// Slot cap applied to this row (`None` = complete run). Large-n rows
     /// are always capped; see [`LARGE_SLOTS`].
     slot_cap: Option<u64>,
+    alloc: AllocNumbers,
 }
 
 /// One thread-count measurement at the largest size (schema v3).
@@ -116,7 +137,7 @@ fn capture_slots(inst: &Instance, config: &MwConfig) -> Vec<Vec<usize>> {
         FastSinrModel::new(inst.cfg),
         config,
         WakeupSchedule::Synchronous,
-        |_, view| slots.push(view.transmitters.clone()),
+        |_, view| slots.push(view.transmitters.to_vec()),
     );
     slots
 }
@@ -232,6 +253,23 @@ fn bench_size(n: usize, quick: bool) -> SizeResult {
         ));
     }
 
+    // Heap traffic of the same fixed-seed run under the shipped model.
+    // Profiling reads thread-local cells only, so the outcome is the one
+    // `capture_slots` saw; the counters ride along for free.
+    let (_, prof) = run_mw_profiled(
+        &inst.graph,
+        FastSinrModel::new(inst.cfg),
+        &cfg,
+        WakeupSchedule::Synchronous,
+    );
+    let alloc = AllocNumbers {
+        setup_allocs: prof.setup.allocs,
+        setup_bytes: prof.setup.bytes_allocated,
+        warmup_slots: prof.engine.warmup_slots(),
+        steady_allocs: prof.engine.steady_allocs(),
+        heap_peak: prof.heap_peak,
+    };
+
     SizeResult {
         n,
         max_degree: inst.graph.max_degree(),
@@ -252,6 +290,7 @@ fn bench_size(n: usize, quick: bool) -> SizeResult {
         auto_grid_enabled: auto_model.grid_enabled(),
         fast_path_hit_rate: hit_rate,
         slot_cap: slot_cap(n, quick),
+        alloc,
     }
 }
 
@@ -372,7 +411,7 @@ fn render_json(
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"resolver\",\n");
-    s.push_str("  \"schema_version\": 4,\n");
+    s.push_str("  \"schema_version\": 5,\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str("  \"workload\": \"MW coloring, uniform placement, expected degree 12, synchronous wakeup, seed 1000+n\",\n");
     s.push_str("  \"results\": [\n");
@@ -416,8 +455,17 @@ fn render_json(
             "      \"speedup_resolve\": {speedup_resolve:.2},\n"
         ));
         s.push_str(&format!(
-            "      \"speedup_end_to_end\": {:.2}\n",
+            "      \"speedup_end_to_end\": {:.2},\n",
             speedup_e2e(r)
+        ));
+        s.push_str(&format!(
+            "      \"alloc\": {{ \"setup_allocs\": {}, \"setup_bytes\": {}, \
+             \"warmup_slots\": {}, \"steady_allocs\": {}, \"heap_peak\": {} }}\n",
+            r.alloc.setup_allocs,
+            r.alloc.setup_bytes,
+            r.alloc.warmup_slots,
+            r.alloc.steady_allocs,
+            r.alloc.heap_peak
         ));
         s.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -480,6 +528,10 @@ fn main() {
             r.fast_path_hit_rate
                 .map_or_else(|| "n/a".to_string(), |h| format!("{:.1}%", 100.0 * h)),
         );
+        eprintln!(
+            "  alloc: warmup {} slots   steady {} allocs   heap peak {} bytes",
+            r.alloc.warmup_slots, r.alloc.steady_allocs, r.alloc.heap_peak
+        );
         results.push(r);
     }
 
@@ -538,6 +590,18 @@ fn main() {
             "end-to-end speedup {s:.3} < {e2e_floor} at n={} (auto model regressed)",
             r.n
         );
+        // Dynamic zero-alloc gate: on a complete run the steady window
+        // (final 25% of slots) sits long past the last buffer-growth
+        // record, so any allocation there is a hot-path regression. Capped
+        // rows end inside the dense contention phase where growth records
+        // are still legitimately occurring, so only uncapped rows gate.
+        if r.slot_cap.is_none() {
+            assert_eq!(
+                r.alloc.steady_allocs, 0,
+                "n={}: steady-state slots allocated (zero-alloc hot path regressed)",
+                r.n
+            );
+        }
     }
 
     let json = render_json(&results, &scaling, &overhead, quick);

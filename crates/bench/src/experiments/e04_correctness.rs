@@ -33,11 +33,11 @@ fn audited_run(inst: &Instance, seed: u64) -> Audit {
             if view.newly_done.is_empty() {
                 return;
             }
-            for &v in &view.newly_done {
+            for &v in view.newly_done {
                 colors[v] = MwNode::color(sim.node(v));
             }
             transient +=
-                incremental_independence_violations(&positions, &colors, &view.newly_done, r_t)
+                incremental_independence_violations(&positions, &colors, view.newly_done, r_t)
                     .len();
         },
     );

@@ -6,7 +6,9 @@ use crate::obs::{run_report, warn_truncation, ObsSpec};
 use crate::{err, CliResult};
 use sinr_coloring::distance_d::color_at_distance;
 use sinr_coloring::mis::run_clustering;
-use sinr_coloring::mw::{run_mw, run_mw_recorded, MwConfig, MwOutcome, MwProbeConfig};
+use sinr_coloring::mw::{
+    run_mw, run_mw_profiled, run_mw_recorded, MwAllocProfile, MwConfig, MwOutcome, MwProbeConfig,
+};
 use sinr_coloring::palette::reduce_palette;
 use sinr_coloring::params::MwParams;
 use sinr_coloring::render::{render_svg, RenderOptions};
@@ -45,6 +47,10 @@ COMMANDS:
   trace     --input FILE [--seed S] [--model ...] [--threads N] [--ring CAP]
             run a fully observed MW coloring; emit the span timeline as
             Chrome trace-event JSON on stdout (open in Perfetto)
+  profile   --input FILE [--seed S] [--model ...] [--threads N] [--top K]
+            run the MW coloring under the allocation profiler; emit the
+            profile_report JSON (per-phase heap traffic, warmup/steady
+            classification, top-K allocating slots, struct sizes)
   diff      --baseline FILE --current FILE [--policy FILE]
             structurally compare two JSON artifacts (run reports, metrics
             dumps, bench reports) under per-key tolerances; emit a
@@ -433,6 +439,79 @@ pub fn trace(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult
     }
 }
 
+/// Runs the MW coloring under the allocation profiler for a model named
+/// on the command line — the profiled sibling of [`run_model`].
+fn run_profiled_model(
+    graph: &UnitDiskGraph,
+    model: &str,
+    cfg: SinrConfig,
+    mw_cfg: &MwConfig,
+) -> Result<(MwOutcome, MwAllocProfile), crate::CliError> {
+    let s = WakeupSchedule::Synchronous;
+    match model {
+        "sinr" => Ok(run_mw_profiled(graph, SinrModel::new(cfg), mw_cfg, s)),
+        "sinr-fast" => Ok(run_mw_profiled(graph, FastSinrModel::new(cfg), mw_cfg, s)),
+        "sinr-auto" => Ok(run_mw_profiled(
+            graph,
+            FastSinrModel::auto(cfg, graph),
+            mw_cfg,
+            s,
+        )),
+        "graph" => Ok(run_mw_profiled(graph, GraphModel::new(), mw_cfg, s)),
+        "ideal" => Ok(run_mw_profiled(graph, IdealModel::new(), mw_cfg, s)),
+        other => Err(err(format!("unknown model {other}"))),
+    }
+}
+
+/// `profile`: run the MW coloring under the allocation profiler and emit
+/// the `profile_report` JSON document.
+///
+/// The run itself is byte-identical to an unprofiled `color` run with
+/// the same inputs — profiling only reads allocator counters. The report
+/// is the one artifact allowed to vary across builds and allocators, so
+/// it never mixes into run_report/trace/series outputs.
+pub fn profile(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult {
+    let cfg = physical_config(args)?;
+    let pts = read_positions(args)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let model = args.get("model").unwrap_or("sinr-fast");
+    let top: usize = args.get_parsed("top", 8)?;
+    let threads = thread_count(args)?;
+
+    let graph = UnitDiskGraph::new(pts, cfg.r_t());
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    let mw_cfg = MwConfig::new(params).with_seed(seed).with_threads(threads);
+    let counting = sinr_obs::alloc::is_counting();
+    let (outcome, prof) = run_profiled_model(&graph, model, cfg, &mw_cfg)?;
+
+    if !counting {
+        writeln!(
+            log,
+            "warning: counting allocator not installed — all alloc counters read zero"
+        )?;
+    }
+    writeln!(
+        log,
+        "profiled {} nodes for {} slots; warmup {} slots; steady-state {:.3} allocs/slot; \
+         heap peak {} bytes",
+        graph.len(),
+        outcome.slots,
+        prof.engine.warmup_slots(),
+        prof.engine.steady_allocs_per_slot().unwrap_or(0.0),
+        prof.heap_peak,
+    )?;
+    writeln!(
+        out,
+        "{}",
+        crate::profile::profile_report(model, seed, threads, top, counting, &outcome, &prof)
+    )?;
+    if outcome.all_done {
+        Ok(())
+    } else {
+        Err(err("coloring hit the slot cap"))
+    }
+}
+
 /// `diff`: structurally compare two JSON artifacts under a tolerance
 /// policy; any finding is a regression and fails the command.
 pub fn diff(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult {
@@ -681,6 +760,7 @@ pub fn dispatch(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliRes
         "color" => color(args, out, log),
         "report" => report(args, out, log),
         "trace" => trace(args, out, log),
+        "profile" => profile(args, out, log),
         "diff" => diff(args, out, log),
         "reduce" => reduce(args, out, log),
         "schedule" => schedule(args, out, log),
@@ -1011,6 +1091,66 @@ mod tests {
         assert!(doc.contains("\"obs.events.dropped\""));
         assert!(doc.ends_with('}'));
         assert!(log.contains("0 probe violations"));
+    }
+
+    #[test]
+    fn profile_emits_schema_documented_json() {
+        let f = tmp_positions(20);
+        let (r, out, log) = run(&["profile", "--input", f.path(), "--seed", "2"]);
+        assert!(r.is_ok(), "{log}");
+        let doc = out.trim();
+        assert!(doc.starts_with("{\"schema_version\":2,\"kind\":\"profile_report\","));
+        assert!(doc.contains("\"run\":{\"nodes\":20,\"model\":\"sinr-fast\",\"seed\":2,"));
+        // The test binary installs CountingAlloc (see lib.rs), so the
+        // report must mark itself instrumented and see real traffic.
+        assert!(
+            doc.contains("\"allocator\":{\"counting\":true,\"heap_peak\":"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"mw.setup\":{\"allocs\":"));
+        assert!(doc.contains("\"engine.actions\":{\"allocs\":"));
+        assert!(doc.contains("\"engine.resolve\":{\"allocs\":"));
+        assert!(doc.contains("\"engine.delivery\":{\"allocs\":"));
+        assert!(doc.contains("\"steady\":{\"window\":"));
+        assert!(doc.contains("\"struct_sizes\":{\"MwNode\":"));
+        assert!(doc.ends_with('}'));
+        assert!(log.contains("profiled 20 nodes"));
+        // Setup always allocates (graph clone + node construction).
+        let setup_allocs: u64 = doc
+            .split("\"mw.setup\":{\"allocs\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(setup_allocs > 0, "setup should allocate: {doc}");
+        // Friendly failures: missing input, unknown model.
+        let (r, _, _) = run(&["profile"]);
+        assert!(r.is_err());
+        let (r, _, _) = run(&["profile", "--input", f.path(), "--model", "psychic"]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn profile_does_not_change_the_coloring() {
+        // A profiled run and a plain run are the same run: profiling
+        // reads allocator counters but never steers the engine.
+        let f = tmp_positions(20);
+        let (r1, colors, _) = run(&["color", "--input", f.path(), "--seed", "7"]);
+        assert!(r1.is_ok());
+        let (r2, doc, _) = run(&[
+            "profile",
+            "--input",
+            f.path(),
+            "--seed",
+            "7",
+            "--model",
+            "sinr",
+        ]);
+        assert!(r2.is_ok());
+        let (r3, colors2, _) = run(&["color", "--input", f.path(), "--seed", "7"]);
+        assert!(r3.is_ok());
+        assert_eq!(colors, colors2);
+        assert!(doc.contains("\"all_done\":true"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`io`] — the plain-text position/color file formats.
 //! * [`commands`] — one function per subcommand.
 //! * [`obs`] — the `--obs` sink spec and the machine-readable run report.
+//! * [`profile`] — the `profile_report` renderer (allocation profiling).
 //!
 //! # File formats
 //!
@@ -19,6 +20,14 @@ pub mod args;
 pub mod commands;
 pub mod io;
 pub mod obs;
+pub mod profile;
+
+/// The unit-test binary runs under the counting allocator so the
+/// `profile` subcommand's end-to-end tests observe real counters — the
+/// same installation `src/main.rs` performs for the shipped binary.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: sinr_obs::alloc::CountingAlloc = sinr_obs::alloc::CountingAlloc;
 
 /// Exit status of a subcommand (0 = success).
 pub type CliResult = Result<(), CliError>;

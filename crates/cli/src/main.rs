@@ -3,6 +3,13 @@
 use sinr_cli::args::Args;
 use sinr_cli::commands::{dispatch, USAGE};
 
+/// Count every heap event through the observability allocator so the
+/// `profile` subcommand reports real numbers. The wrapper forwards to
+/// the system allocator with a handful of relaxed counter updates — see
+/// `docs/PERFORMANCE.md` for its measured cost on the other subcommands.
+#[global_allocator]
+static ALLOC: sinr_obs::alloc::CountingAlloc = sinr_obs::alloc::CountingAlloc;
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(raw) {

@@ -26,18 +26,38 @@
 /// assert_eq!(chi(&[3], 5), -3);
 /// ```
 pub fn chi(estimates: &[i64], window: i64) -> i64 {
+    let mut intervals = Vec::with_capacity(estimates.len());
+    chi_scratch(estimates.iter().copied(), window, &mut intervals)
+}
+
+/// [`chi`] with a caller-owned interval buffer: `intervals` is cleared,
+/// filled, and sorted in place, so a caller that reuses one buffer
+/// computes `χ` without allocating once the buffer has grown to its
+/// working size (the MW automaton's reset path does this every
+/// `counter_threshold` slots).
+///
+/// # Panics
+///
+/// Panics if `window` is negative.
+pub fn chi_scratch(
+    estimates: impl IntoIterator<Item = i64>,
+    window: i64,
+    intervals: &mut Vec<(i64, i64)>,
+) -> i64 {
     assert!(window >= 0, "forbidden window must be non-negative");
     // Sort intervals by upper bound, descending; a single downward sweep
     // then finds the maximum admissible value. (Candidate only decreases;
     // an interval processed earlier can never re-contain it — its lower
     // bound would have pushed the candidate below already.)
-    let mut intervals: Vec<(i64, i64)> = estimates
-        .iter()
-        .map(|&d| (d.saturating_sub(window), d.saturating_add(window)))
-        .collect();
+    intervals.clear();
+    intervals.extend(
+        estimates
+            .into_iter()
+            .map(|d| (d.saturating_sub(window), d.saturating_add(window))),
+    );
     intervals.sort_unstable_by_key(|&(_, hi)| std::cmp::Reverse(hi));
     let mut candidate: i64 = 0;
-    for (lo, hi) in intervals {
+    for &(lo, hi) in intervals.iter() {
         if lo <= candidate && candidate <= hi {
             candidate = lo - 1;
         }

@@ -27,6 +27,6 @@ pub use messages::MwMessage;
 pub use node::{MwNode, MwPhase};
 pub use obs::{MwProbeConfig, MwProbes};
 pub use run::{
-    run_mw, run_mw_local_delta, run_mw_observed, run_mw_per_node, run_mw_recorded, MwConfig,
-    MwOutcome,
+    run_mw, run_mw_local_delta, run_mw_observed, run_mw_per_node, run_mw_profiled, run_mw_recorded,
+    MwAllocProfile, MwConfig, MwOutcome,
 };

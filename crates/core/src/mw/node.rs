@@ -1,6 +1,6 @@
 //! The per-node MW automaton: a line-by-line implementation of Figs. 1–3.
 
-use crate::chi::chi;
+use crate::chi::chi_scratch;
 use crate::mw::messages::MwMessage;
 use crate::params::MwParams;
 use sinr_geometry::NodeId;
@@ -100,6 +100,9 @@ pub struct MwNode {
     /// for the *current* level (cleared on every level entry, Fig. 1
     /// line 1).
     estimates: Vec<(NodeId, i64)>,
+    /// Interval buffer reused by every `χ(P_v)` evaluation, so resets in
+    /// a warmed-up node allocate nothing (see [`chi_scratch`]).
+    chi_intervals: Vec<(i64, i64)>,
     /// `L(v)`: the leader this node joined, once covered.
     leader: Option<NodeId>,
     /// The cluster color `tc_v` received from the leader.
@@ -128,6 +131,7 @@ impl MwNode {
             color: None,
             counter: 0,
             estimates: Vec::new(),
+            chi_intervals: Vec::new(),
             leader: None,
             cluster_color: None,
             leader_state: LeaderState::default(),
@@ -137,6 +141,20 @@ impl MwNode {
         };
         node.enter_level(0);
         node
+    }
+
+    /// Preallocates every growable buffer to its degree bound, so a
+    /// warmed-up node never allocates in the hot loop: competitors,
+    /// requesters, and grantees are all neighbors, capping `estimates`,
+    /// the leader queue, and the grant ledger at `degree` entries each.
+    /// Drivers call this with the node's graph degree right after
+    /// construction; skipping it costs rare mid-run allocations, never
+    /// correctness.
+    pub fn reserve(&mut self, degree: usize) {
+        self.estimates.reserve(degree);
+        self.chi_intervals.reserve(degree);
+        self.leader_state.queue.reserve(degree);
+        self.leader_state.granted.reserve(degree);
     }
 
     /// The node's final color, once decided.
@@ -212,7 +230,13 @@ impl MwNode {
     fn enter_colored(&mut self, level: usize) {
         self.color = Some(level);
         self.phase = if level == 0 {
-            self.leader_state = LeaderState::default();
+            // Reset in place: replacing the struct would drop the
+            // capacity [`MwNode::reserve`] set aside for the queue and
+            // the grant ledger.
+            self.leader_state.queue.clear();
+            self.leader_state.granted.clear();
+            self.leader_state.tc = 0;
+            self.leader_state.serving = None;
             MwPhase::Leader
         } else {
             MwPhase::Colored { level }
@@ -236,10 +260,13 @@ impl MwNode {
     }
 
     /// `χ(P_v)` for the current level's reset window (Fig. 1 line 6).
-    fn chi_value(&self, level: usize) -> i64 {
+    fn chi_value(&mut self, level: usize) -> i64 {
         let window = self.params.reset_window(level);
-        let ds: Vec<i64> = self.estimates.iter().map(|&(_, d)| d).collect();
-        chi(&ds, window)
+        chi_scratch(
+            self.estimates.iter().map(|&(_, d)| d),
+            window,
+            &mut self.chi_intervals,
+        )
     }
 
     /// The leader's slot behaviour (Fig. 2, `i = 0`).

@@ -186,7 +186,7 @@ impl MwProbes {
             // Colors are final once decided, so independence can only break
             // the slot a node decides: check each newly decided node against
             // its neighbors every slot (O(deg) amortized)…
-            for &v in &view.newly_done {
+            for &v in view.newly_done {
                 if let Some(c) = sim.nodes()[v].color() {
                     for &w in sim.graph().neighbors(v) {
                         if w != v && sim.nodes()[w].color() == Some(c) {

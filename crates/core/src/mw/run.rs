@@ -6,9 +6,10 @@ use crate::params::MwParams;
 use sinr_geometry::greedy::Coloring;
 use sinr_geometry::UnitDiskGraph;
 use sinr_model::{InterferenceModel, ResolverStats};
+use sinr_obs::alloc::{self, AllocScope, AllocStats};
 use sinr_obs::Recorder;
 use sinr_pool::Pool;
-use sinr_radiosim::engine::RunOutcome;
+use sinr_radiosim::engine::{EngineAllocProfile, RunOutcome};
 use sinr_radiosim::{Simulator, StepView, WakeupSchedule};
 
 /// Run configuration for [`run_mw`].
@@ -239,7 +240,9 @@ where
     let mut sim = Simulator::new(graph.clone(), model, schedule, config.seed, |id| {
         let p = params_of(id);
         p.validate().expect("invalid per-node MW parameters");
-        MwNode::new(id, p)
+        let mut node = MwNode::new(id, p);
+        node.reserve(graph.degree(id));
+        node
     });
     if config.threads > 1 {
         sim.set_pool(&Pool::new(config.threads));
@@ -269,7 +272,9 @@ pub fn run_mw_recorded<M: InterferenceModel>(
     config.params.validate().expect("invalid MW parameters");
     let params = config.params;
     let mut sim = Simulator::new(graph.clone(), model, schedule, config.seed, |id| {
-        MwNode::new(id, params)
+        let mut node = MwNode::new(id, params);
+        node.reserve(graph.degree(id));
+        node
     });
     if config.threads > 1 {
         // The resolver still fans out; the engine's node shards stay
@@ -283,6 +288,74 @@ pub fn run_mw_recorded<M: InterferenceModel>(
     probes.finalize(&sim, rec);
     sim.export_metrics(rec);
     package_outcome(&sim, run)
+}
+
+/// Heap-traffic profile of one [`run_mw_profiled`] run. All counters are
+/// observed through [`sinr_obs::alloc`] and therefore only move when the
+/// binary installs [`CountingAlloc`](sinr_obs::alloc::CountingAlloc) as
+/// its global allocator; in an uninstrumented build every field is zero.
+///
+/// This data deliberately lives **outside** [`MwOutcome`]: outcomes are
+/// compared byte-for-byte across thread counts and build flavors, and
+/// allocation counts are a property of the build, not of the seed.
+#[derive(Debug, Clone, Default)]
+pub struct MwAllocProfile {
+    /// Traffic before slot 0: graph clone, node construction, simulator
+    /// buffers, resolver grid binding.
+    pub setup: AllocStats,
+    /// Per-phase engine attribution plus the per-slot sample buffer.
+    pub engine: EngineAllocProfile,
+    /// Process-wide heap high-water mark, in bytes, read at end of run.
+    pub heap_peak: u64,
+}
+
+/// Per-slot samples are preallocated up front; runs longer than this many
+/// slots keep profiling phase totals but stop sampling per-slot counts
+/// (`engine.dropped_slots` reports how many were cut). 2^20 slots = 8 MiB
+/// of samples, far beyond any practical run of the MW automaton.
+const PROFILE_SAMPLE_CAP: u64 = 1 << 20;
+
+/// Like [`run_mw`], but with the allocation profiler attached: returns
+/// the outcome along with a [`MwAllocProfile`] attributing heap traffic
+/// to setup and to the engine's per-slot phases.
+///
+/// The outcome is **identical** to the one [`run_mw`] produces for the
+/// same inputs — profiling reads allocator counters but never changes
+/// engine behavior — which `tests/thread_determinism.rs` pins.
+///
+/// # Panics
+///
+/// Panics if the parameters fail
+/// [`validate`](crate::params::MwParams::validate).
+pub fn run_mw_profiled<M: InterferenceModel>(
+    graph: &UnitDiskGraph,
+    model: M,
+    config: &MwConfig,
+    schedule: WakeupSchedule,
+) -> (MwOutcome, MwAllocProfile) {
+    config.params.validate().expect("invalid MW parameters");
+    let params = config.params;
+    let mut prof = MwAllocProfile::default();
+    let cap = config.slot_cap();
+    let mut sim = {
+        let _setup = AllocScope::new(&mut prof.setup);
+        let mut sim = Simulator::new(graph.clone(), model, schedule, config.seed, |id| {
+            let mut node = MwNode::new(id, params);
+            node.reserve(graph.degree(id));
+            node
+        });
+        if config.threads > 1 {
+            sim.set_pool(&Pool::new(config.threads));
+        }
+        sim.enable_alloc_profile(cap.min(PROFILE_SAMPLE_CAP) as usize);
+        sim
+    };
+    let run = sim.run_observed(cap, |_, _| {});
+    if let Some(engine) = sim.take_alloc_profile() {
+        prof.engine = *engine;
+    }
+    prof.heap_peak = alloc::heap_peak();
+    (package_outcome(&sim, run), prof)
 }
 
 /// Extracts the coloring, latency figures, and diagnostics from a finished

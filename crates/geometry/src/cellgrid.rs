@@ -84,6 +84,8 @@ pub struct CellGrid {
     xs: Vec<f64>,
     ys: Vec<f64>,
     members: usize,
+    /// Bound-node population of the densest 3×3 cell neighborhood.
+    max_window_pop: usize,
 }
 
 impl CellGrid {
@@ -149,12 +151,37 @@ impl CellGrid {
             xs.push(p.x);
             ys.push(p.y);
         }
+        // Size each bucket for every node that maps to its cell — the
+        // hard membership bound, since a node is inserted at most once.
+        // Total reserved capacity is exactly n entries, and no insert
+        // can ever grow a bucket afterwards.
+        let mut bucket_cap = vec![0usize; cell_count];
+        for &c in &node_cell {
+            bucket_cap[c as usize] += 1;
+        }
+        // The densest 3×3 cell neighborhood, by bound nodes. Callers that
+        // collect potential senders (the Chebyshev ≤ 1 cells around a
+        // receiver) can pre-size their buffers to this hard bound and
+        // never grow them during a scan.
+        let mut max_window_pop = 0usize;
+        for cy in 0..rows {
+            for cx in 0..cols {
+                let mut pop = 0usize;
+                for ny in (cy - 1).max(0)..=(cy + 1).min(rows - 1) {
+                    for nx in (cx - 1).max(0)..=(cx + 1).min(cols - 1) {
+                        pop += bucket_cap[(ny * cols + nx) as usize];
+                    }
+                }
+                max_window_pop = max_window_pop.max(pop);
+            }
+        }
+        let cells: Vec<Vec<CellEntry>> = bucket_cap.into_iter().map(Vec::with_capacity).collect();
         Some(CellGrid {
             cell,
             cols,
             rows,
-            cells: vec![Vec::new(); cell_count],
-            occupied: Vec::new(),
+            cells,
+            occupied: Vec::with_capacity(cell_count.min(n)),
             in_occupied: vec![false; cell_count],
             live_cells: 0,
             node_cell,
@@ -162,7 +189,15 @@ impl CellGrid {
             xs,
             ys,
             members: 0,
+            max_window_pop,
         })
+    }
+
+    /// Nodes of the bound point set in the densest 3×3 cell neighborhood
+    /// — an upper bound on how many members any Chebyshev ≤ 1 window scan
+    /// can yield, fixed at bind time.
+    pub fn max_window_population(&self) -> usize {
+        self.max_window_pop
     }
 
     /// The cell side the grid was bound with.

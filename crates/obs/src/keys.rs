@@ -97,6 +97,59 @@ pub const OBS_SPANS_RECORDED: &str = "obs.spans.recorded";
 /// Spans evicted from the bounded span ring (trace truncation signal).
 pub const OBS_SPANS_DROPPED: &str = "obs.spans.dropped";
 
+/// Allocation-profiler keys (`prof.alloc.*`). These are **profile-only**:
+/// they appear in `profile_report` documents and user-driven exports,
+/// never in the deterministic run_report/trace/series artifacts, because
+/// allocation counts are a property of the build and allocator, not of
+/// the seed. Each scope exports four counters through an
+/// [`AllocKeySet`](crate::alloc::AllocKeySet).
+pub mod prof {
+    use crate::alloc::AllocKeySet;
+
+    /// Traffic attributed to the engine `actions` phase (node automata).
+    pub const PROF_ALLOC_ENGINE_ACTIONS: AllocKeySet = AllocKeySet {
+        allocs: "prof.alloc.engine.actions.allocs",
+        frees: "prof.alloc.engine.actions.frees",
+        bytes_allocated: "prof.alloc.engine.actions.bytes_allocated",
+        bytes_freed: "prof.alloc.engine.actions.bytes_freed",
+    };
+    /// Traffic attributed to the engine `resolve` phase (the SINR
+    /// resolver's delta path).
+    pub const PROF_ALLOC_ENGINE_RESOLVE: AllocKeySet = AllocKeySet {
+        allocs: "prof.alloc.engine.resolve.allocs",
+        frees: "prof.alloc.engine.resolve.frees",
+        bytes_allocated: "prof.alloc.engine.resolve.bytes_allocated",
+        bytes_freed: "prof.alloc.engine.resolve.bytes_freed",
+    };
+    /// Traffic attributed to the engine `delivery` phase (message
+    /// delivery and the MW reception handlers).
+    pub const PROF_ALLOC_ENGINE_DELIVERY: AllocKeySet = AllocKeySet {
+        allocs: "prof.alloc.engine.delivery.allocs",
+        frees: "prof.alloc.engine.delivery.frees",
+        bytes_allocated: "prof.alloc.engine.delivery.bytes_allocated",
+        bytes_freed: "prof.alloc.engine.delivery.bytes_freed",
+    };
+    /// Traffic attributed to MW setup: graph clone, node construction,
+    /// simulator buffers — everything before slot 0.
+    pub const PROF_ALLOC_MW_SETUP: AllocKeySet = AllocKeySet {
+        allocs: "prof.alloc.mw.setup.allocs",
+        frees: "prof.alloc.mw.setup.frees",
+        bytes_allocated: "prof.alloc.mw.setup.bytes_allocated",
+        bytes_freed: "prof.alloc.mw.setup.bytes_freed",
+    };
+
+    /// Heap high-water mark over the profiled run, in bytes (gauge).
+    pub const PROF_ALLOC_HEAP_PEAK: &str = "prof.alloc.heap.peak";
+    /// Slots before the last allocating slot, inclusive — the measured
+    /// warmup length (gauge).
+    pub const PROF_ALLOC_SLOTS_WARMUP: &str = "prof.alloc.slots.warmup";
+    /// Mean allocations per slot over the steady-state window — the final
+    /// quarter of executed slots (gauge; the zero-alloc gate pins it to 0
+    /// for the fused sequential engine).
+    pub const PROF_ALLOC_STEADY_ALLOCS_PER_SLOT: &str = "prof.alloc.steady.allocs_per_slot";
+}
+pub use prof::*;
+
 /// Theorem 3 (TDMA schedule is interference-free): directed links audited.
 pub const PROBE_THM3_LINKS: &str = "probe.thm3.links";
 /// Theorem 3: links that failed to deliver in their scheduled frame.

@@ -22,11 +22,18 @@
 //!   probe violations) held in a bounded ring buffer and exported as JSONL.
 //! * [`Stopwatch`] — the one sanctioned wall-clock type, for *bench
 //!   binaries only*; it never feeds the deterministic path.
+//! * [`CountingAlloc`] / [`AllocScope`] — heap-traffic accounting: a
+//!   counting `#[global_allocator]` wrapper (installed only in bin/test/
+//!   bench crates, lint L10) plus snapshot/scope primitives that
+//!   attribute allocation deltas to phases. Profile-only, like the
+//!   stopwatch: `prof.alloc.*` numbers never enter deterministic
+//!   artifacts.
 //!
 //! Schemas for the JSONL stream, the metrics dump, and the run report are
 //! frozen in `docs/OBS_SCHEMA.md`; the probe→lemma mapping and the naming
 //! scheme live in `docs/OBSERVABILITY.md`.
 
+pub mod alloc;
 pub mod diff;
 pub mod event;
 pub mod json;
@@ -39,6 +46,7 @@ pub mod series;
 pub mod sink;
 pub mod span;
 
+pub use alloc::{AllocKeySet, AllocScope, AllocSnapshot, AllocStats, CountingAlloc};
 pub use diff::{diff_documents, render_diff_report, DiffFinding, DiffPolicy, DiffRule, Tolerance};
 pub use event::ObsEvent;
 pub use metrics::{Histogram, MetricValue, Registry};

@@ -6,6 +6,7 @@ use crate::trace::{Event, Trace};
 use crate::wakeup::WakeupSchedule;
 use sinr_geometry::{NodeId, UnitDiskGraph};
 use sinr_model::{InterferenceModel, ReceptionTable, ResolverStats, TxDelta};
+use sinr_obs::alloc::{self, AllocSnapshot, AllocStats};
 use sinr_obs::span::{names as span_names, SpanRecord, SpanTrack};
 use sinr_obs::{keys, NoopRecorder, Recorder, QUARTERS_PER_SLOT};
 use sinr_pool::{PerThread, Pool};
@@ -36,17 +37,119 @@ impl<M> EngineScratch<M> {
     }
 }
 
-/// Everything that happened in one simulated slot (owned snapshot).
-#[derive(Debug, Clone)]
-pub struct StepView {
+/// Everything that happened in one simulated slot.
+///
+/// Borrows the simulator's reused slot buffers: building a view is free,
+/// and the steady-state loop allocates nothing per slot (previously the
+/// view owned a cloned transmitter list, a fresh table, and a fresh
+/// done-list every slot). Observers needing to keep data past the slot
+/// copy what they need (`view.transmitters.to_vec()`).
+#[derive(Debug, Clone, Copy)]
+pub struct StepView<'a> {
     /// The slot that was just executed.
     pub slot: u64,
-    /// Ids of the nodes that transmitted.
-    pub transmitters: Vec<NodeId>,
+    /// Ids of the nodes that transmitted, ascending.
+    pub transmitters: &'a [NodeId],
     /// The `(receiver, sender)` receptions the interference model granted.
-    pub receptions: ReceptionTable,
+    pub receptions: &'a ReceptionTable,
     /// Nodes that reported `is_done()` for the first time this slot.
-    pub newly_done: Vec<NodeId>,
+    pub newly_done: &'a [NodeId],
+}
+
+/// Per-phase heap-traffic attribution for a profiled run (see
+/// [`Simulator::enable_alloc_profile`]). Counters only move when the
+/// process runs under [`sinr_obs::alloc::CountingAlloc`]; in an
+/// uninstrumented binary every field stays zero.
+#[derive(Debug, Clone, Default)]
+pub struct EngineAllocProfile {
+    /// Traffic during the actions phase (wake-ups + node automata).
+    pub actions: AllocStats,
+    /// Traffic during channel resolution (the resolver's delta path).
+    pub resolve: AllocStats,
+    /// Traffic during delivery, end-of-slot hooks, and termination scans.
+    pub delivery: AllocStats,
+    /// Allocation events per executed slot (all phases plus buffer
+    /// rolling), indexed by slot offset since profiling was enabled. The
+    /// buffer is preallocated to the requested capacity and **never
+    /// grows** — recording must not itself allocate per slot.
+    pub per_slot: Vec<u64>,
+    /// Slots whose per-slot sample was dropped because the preallocated
+    /// buffer was full (0 when the driver sizes it to the slot cap).
+    pub dropped_slots: u64,
+}
+
+impl EngineAllocProfile {
+    fn with_capacity(capacity_slots: usize) -> Self {
+        EngineAllocProfile {
+            per_slot: Vec::with_capacity(capacity_slots),
+            ..EngineAllocProfile::default()
+        }
+    }
+
+    /// Records one phase transition: attributes the traffic since `mark`
+    /// to `phase` and returns the new mark.
+    fn phase_mark(stats: &mut AllocStats, mark: AllocSnapshot) -> AllocSnapshot {
+        let now = alloc::snapshot();
+        stats.add_span(mark, now);
+        now
+    }
+
+    /// Measured warmup length: the index of the last sampled slot that
+    /// performed any allocation, plus one (0 if no sampled slot
+    /// allocated). Slots past this point ran allocation-free.
+    pub fn warmup_slots(&self) -> u64 {
+        self.per_slot
+            .iter()
+            .rposition(|&a| a > 0)
+            .map(|i| i as u64 + 1)
+            .unwrap_or(0)
+    }
+
+    /// The steady-state window: the final quarter of the sampled slots,
+    /// as `(start_index, length)`. Empty for runs shorter than 4 slots.
+    pub fn steady_window(&self) -> (usize, usize) {
+        let len = self.per_slot.len() / 4;
+        (self.per_slot.len() - len, len)
+    }
+
+    /// Total allocation events inside the steady-state window.
+    pub fn steady_allocs(&self) -> u64 {
+        let (start, len) = self.steady_window();
+        self.per_slot[start..start + len].iter().sum()
+    }
+
+    /// Mean allocation events per slot over the steady-state window
+    /// (`None` when the window is empty). The zero-alloc gate pins this
+    /// to exactly 0 for the fused sequential engine.
+    pub fn steady_allocs_per_slot(&self) -> Option<f64> {
+        let (_, len) = self.steady_window();
+        if len == 0 {
+            return None;
+        }
+        Some(self.steady_allocs() as f64 / len as f64)
+    }
+
+    /// The `n` heaviest-allocating sampled slots as `(slot_offset,
+    /// allocs)`, heaviest first (ties broken by earlier slot). Slots with
+    /// zero allocations are never reported.
+    pub fn top_allocating_slots(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut hot: Vec<(u64, u64)> = self
+            .per_slot
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a > 0)
+            .map(|(i, &a)| (i as u64, a))
+            .collect();
+        hot.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        hot.truncate(n);
+        hot
+    }
+
+    /// Sum of the phase-attributed allocation counts (actions + resolve +
+    /// delivery).
+    pub fn phase_allocs(&self) -> u64 {
+        self.actions.allocs + self.resolve.allocs + self.delivery.allocs
+    }
 }
 
 /// Result of [`Simulator::run`].
@@ -107,6 +210,18 @@ pub struct Simulator<P: Protocol, M: InterferenceModel> {
     // its per-thread scratch.
     pool: Pool,
     par: PerThread<EngineScratch<P::Message>>,
+    // The last slot's reception table and newly-done list, reused across
+    // slots (mem::take'd during the step, put back before the view is
+    // built) so the steady-state loop allocates neither.
+    table: ReceptionTable,
+    newly_done: Vec<NodeId>,
+    // Heap-traffic attribution, when enabled. Deliberately *not* routed
+    // through the Recorder: an enabled recorder forces the phased
+    // sequential paths, while allocation profiling must observe the real
+    // fused/parallel path selection. Snapshot reads touch only counters —
+    // never RNG, ordering, or control flow — so enabling this cannot
+    // perturb a deterministic run.
+    alloc_profile: Option<Box<EngineAllocProfile>>,
 }
 
 impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
@@ -120,6 +235,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         mut make_node: impl FnMut(NodeId) -> P,
     ) -> Self {
         let n = graph.len();
+        let max_degree = graph.max_degree();
         let wake = schedule.wake_slots(n, seed);
         let nodes: Vec<P> = (0..n).map(&mut make_node).collect();
         let rngs = (0..n)
@@ -140,21 +256,52 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             done: vec![false; n],
             done_count: 0,
             trace: None,
-            tx_ids: Vec::new(),
+            // Hot-loop buffers are preallocated to their hard bounds (n
+            // transmitters, max-degree receptions per inbox) so the
+            // warmed-up slot loop never grows them.
+            tx_ids: Vec::with_capacity(n),
             is_tx: vec![false; n],
             tx_msg: (0..n).map(|_| None).collect(),
-            inbox: Vec::new(),
-            prev_tx_ids: Vec::new(),
+            inbox: Vec::with_capacity(max_degree),
+            prev_tx_ids: Vec::with_capacity(n),
             prev_is_tx: vec![false; n],
-            started: Vec::new(),
-            stopped: Vec::new(),
+            started: Vec::with_capacity(n),
+            stopped: Vec::with_capacity(n),
             wake_order,
             wake_cursor: 0,
             fused_ok,
             prev_resolver: None,
             pool: Pool::sequential(),
             par: PerThread::new(1, |_| EngineScratch::new()),
+            // Under SINR thresholds β ≥ 1 each node decodes at most one
+            // sender per slot, so n pairs bounds the recycled table on
+            // that path (permissive models may still grow it).
+            table: ReceptionTable::from_pairs(Vec::with_capacity(n)),
+            newly_done: Vec::with_capacity(n),
+            alloc_profile: None,
         }
+    }
+
+    /// Enables per-phase heap-traffic attribution for the next
+    /// `capacity_slots` slots (the per-slot sample buffer is preallocated
+    /// to that length and never grows, so profiling itself stays
+    /// allocation-free per slot). Requires [`sinr_obs::alloc::CountingAlloc`]
+    /// to be installed as the binary's global allocator to read nonzero
+    /// numbers. Independent of the [`Recorder`]: profiled runs keep the
+    /// fused/parallel path selection of unobserved runs.
+    pub fn enable_alloc_profile(&mut self, capacity_slots: usize) {
+        self.alloc_profile = Some(Box::new(EngineAllocProfile::with_capacity(capacity_slots)));
+    }
+
+    /// The accumulated allocation profile, if enabled.
+    pub fn alloc_profile(&self) -> Option<&EngineAllocProfile> {
+        self.alloc_profile.as_deref()
+    }
+
+    /// Takes the allocation profile out of the simulator (disables
+    /// further profiling).
+    pub fn take_alloc_profile(&mut self) -> Option<Box<EngineAllocProfile>> {
+        self.alloc_profile.take()
     }
 
     /// Installs a worker pool for the sharded step phases and forwards it
@@ -233,7 +380,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
     }
 
     /// Executes one slot and returns what happened.
-    pub fn step(&mut self) -> StepView {
+    pub fn step(&mut self) -> StepView<'_> {
         self.step_recorded(&mut NoopRecorder)
     }
 
@@ -241,10 +388,35 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
     /// `rec`. With a disabled recorder (`rec.enabled() == false`) the only
     /// added cost is one virtual call per slot — no event is constructed —
     /// so this *is* the hot path; `step` merely delegates here.
-    pub fn step_recorded(&mut self, rec: &mut dyn Recorder) -> StepView {
+    pub fn step_recorded(&mut self, rec: &mut dyn Recorder) -> StepView<'_> {
+        self.step_impl(rec);
+        self.view()
+    }
+
+    /// A view of the most recently executed slot, borrowing the reused
+    /// slot buffers. Valid until the next `step*` call.
+    fn view(&self) -> StepView<'_> {
+        debug_assert!(self.slot > 0, "no slot executed yet");
+        StepView {
+            slot: self.slot - 1,
+            // The buffers rolled at the end of the step: the slot's
+            // transmitter list now lives in `prev_tx_ids`.
+            transmitters: &self.prev_tx_ids,
+            receptions: &self.table,
+            newly_done: &self.newly_done,
+        }
+    }
+
+    fn step_impl(&mut self, rec: &mut dyn Recorder) {
         let n = self.graph.len();
         let slot = self.slot;
         let obs = rec.enabled();
+
+        // Heap-traffic attribution (when enabled): the profile box is
+        // moved out for the duration of the slot so the phase marks do
+        // not alias the other `&mut self` uses, and restored at the end.
+        let mut prof = self.alloc_profile.take();
+        let prof_start = prof.as_ref().map(|_| alloc::snapshot());
 
         // 1. Wake-ups. A cursor over the wake-sorted id list visits each
         // node exactly once over the whole run instead of scanning all n
@@ -307,6 +479,10 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                 self.stopped.push(t);
             }
         }
+        let mut prof_mark = prof_start;
+        if let (Some(p), Some(mark)) = (prof.as_deref_mut(), prof_mark) {
+            prof_mark = Some(EngineAllocProfile::phase_mark(&mut p.actions, mark));
+        }
 
         // Slot-time spans: each slot subdivides into quarter ticks —
         // actions [0,1), resolve [1,3), delivery [3,4) — so the engine's
@@ -325,16 +501,21 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         // 3. Channel resolution. The start/stop delta is exact by
         // construction, so stateful resolvers can update their persistent
         // indices in O(|delta|); stateless ones ignore it.
-        let table = self.model.resolve_delta(
+        let mut table = std::mem::take(&mut self.table);
+        self.model.resolve_delta_into(
             &self.graph,
             &self.tx_ids,
             TxDelta {
                 started: &self.started,
                 stopped: &self.stopped,
             },
+            &mut table,
         );
         self.stats.transmissions += self.tx_ids.len() as u64;
         self.stats.record_channel_load(self.tx_ids.len());
+        if let (Some(p), Some(mark)) = (prof.as_deref_mut(), prof_mark) {
+            prof_mark = Some(EngineAllocProfile::phase_mark(&mut p.resolve, mark));
+        }
         if obs {
             rec.gauge_set(keys::SIM_SLOT_TRANSMITTERS, self.tx_ids.len() as f64);
             rec.span(
@@ -349,7 +530,8 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
 
         // 4 + 5. Delivery, end-of-slot processing, and termination
         // bookkeeping for every awake node.
-        let mut newly_done = Vec::new();
+        let mut newly_done = std::mem::take(&mut self.newly_done);
+        newly_done.clear();
         if fused {
             self.phase_delivery_fused(slot, &table, &mut newly_done);
         } else {
@@ -370,6 +552,10 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             }
         }
 
+        if let (Some(p), Some(mark)) = (prof.as_deref_mut(), prof_mark) {
+            let _ = EngineAllocProfile::phase_mark(&mut p.delivery, mark);
+        }
+
         if obs {
             let rx = self.stats.receptions.saturating_sub(rx_before);
             rec.span(
@@ -378,8 +564,6 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                     .with_arg("done", count_i64(newly_done.len())),
             );
         }
-
-        let transmitters = self.tx_ids.clone();
 
         // 6. Roll the slot buffers (O(transmitters), not O(n)): this
         // slot's transmitter list and bitmap become the previous-slot pair
@@ -398,12 +582,22 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         self.slot += 1;
         self.stats.slots = self.slot;
 
-        StepView {
-            slot,
-            transmitters,
-            receptions: table,
-            newly_done,
+        // Put the reused slot buffers back for `view()` and the next step.
+        self.table = table;
+        self.newly_done = newly_done;
+
+        if let (Some(p), Some(start)) = (prof.as_deref_mut(), prof_start) {
+            let end = alloc::snapshot();
+            let allocs = end.allocs.wrapping_sub(start.allocs);
+            // `push` within the preallocated capacity never reallocates;
+            // a full buffer drops samples rather than growing.
+            if p.per_slot.len() < p.per_slot.capacity() {
+                p.per_slot.push(allocs);
+            } else {
+                p.dropped_slots += 1;
+            }
         }
+        self.alloc_profile = prof;
     }
 
     /// Diffs the model's cumulative resolver counters against the previous
@@ -724,7 +918,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
     pub fn run_observed(
         &mut self,
         max_slots: u64,
-        mut observe: impl FnMut(&Self, &StepView),
+        mut observe: impl FnMut(&Self, &StepView<'_>),
     ) -> RunOutcome {
         self.run_recorded(max_slots, &mut NoopRecorder, |sim, view, _| {
             observe(sim, view)
@@ -744,7 +938,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         &mut self,
         max_slots: u64,
         rec: &mut dyn Recorder,
-        mut observe: impl FnMut(&Self, &StepView, &mut dyn Recorder),
+        mut observe: impl FnMut(&Self, &StepView<'_>, &mut dyn Recorder),
     ) -> RunOutcome {
         let start = self.slot;
         while self.slot - start < max_slots {
@@ -754,7 +948,10 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                     slots: self.slot - start,
                 };
             }
-            let view = self.step_recorded(rec);
+            self.step_impl(rec);
+            // The view is rebuilt from the shared borrow so the observer
+            // can also see the simulator itself.
+            let view = self.view();
             observe(self, &view, rec);
             // Series sampling happens after the observer so the slot's
             // protocol-level metrics (mw.*, probe.*) are already recorded.

@@ -30,6 +30,28 @@ impl ReceptionTable {
         ReceptionTable { pairs }
     }
 
+    /// Empties the table while keeping its buffer capacity, so a reused
+    /// table never reallocates once it has grown to the slot's working
+    /// size.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+    }
+
+    /// Takes the pair buffer out, leaving the table empty. Paired with
+    /// [`ReceptionTable::set_pairs`], this lets a resolver fill a
+    /// caller-owned table in place without allocating a fresh `Vec` per
+    /// slot (see [`InterferenceModel::resolve_delta_into`]).
+    pub fn take_pairs(&mut self) -> Vec<(NodeId, NodeId)> {
+        std::mem::take(&mut self.pairs)
+    }
+
+    /// Replaces the table contents with `pairs` (sorts them — the same
+    /// contract as [`ReceptionTable::from_pairs`]).
+    pub fn set_pairs(&mut self, mut pairs: Vec<(NodeId, NodeId)>) {
+        pairs.sort_unstable();
+        self.pairs = pairs;
+    }
+
     /// All senders heard by `receiver` this slot, in ascending id order.
     pub fn heard_by(&self, receiver: NodeId) -> &[(NodeId, NodeId)] {
         let start = self.pairs.partition_point(|&(r, _)| r < receiver);
@@ -128,6 +150,24 @@ pub trait InterferenceModel {
         self.resolve(g, transmitting)
     }
 
+    /// Resolves one slot into a caller-owned table, recycling its buffer.
+    ///
+    /// Semantically identical to `*out = self.resolve_delta(g,
+    /// transmitting, delta)` — and that is the default. Stateful
+    /// resolvers override it to refill `out`'s existing allocation, so a
+    /// driver that keeps one table across slots performs zero
+    /// allocations per steady-state slot (the dynamic counterpart of the
+    /// static hot-path rule L8; `tests/alloc_profile.rs` enforces it).
+    fn resolve_delta_into(
+        &self,
+        g: &UnitDiskGraph,
+        transmitting: &[NodeId],
+        delta: TxDelta<'_>,
+        out: &mut ReceptionTable,
+    ) {
+        *out = self.resolve_delta(g, transmitting, delta);
+    }
+
     /// Short model name for reports.
     fn name(&self) -> &'static str;
 
@@ -158,6 +198,16 @@ impl<M: InterferenceModel + ?Sized> InterferenceModel for Box<M> {
         delta: TxDelta<'_>,
     ) -> ReceptionTable {
         (**self).resolve_delta(g, transmitting, delta)
+    }
+
+    fn resolve_delta_into(
+        &self,
+        g: &UnitDiskGraph,
+        transmitting: &[NodeId],
+        delta: TxDelta<'_>,
+        out: &mut ReceptionTable,
+    ) {
+        (**self).resolve_delta_into(g, transmitting, delta, out)
     }
 
     fn name(&self) -> &'static str {

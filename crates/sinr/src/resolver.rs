@@ -557,13 +557,19 @@ impl FastSinrModel {
         self.scratch.borrow_mut().stats = ResolverStats::default();
     }
 
-    /// Shared implementation of `resolve` / `resolve_delta`.
+    /// Shared implementation of `resolve` / `resolve_delta` /
+    /// `resolve_delta_into`: fills `pairs` (cleared first) with the
+    /// slot's receptions in candidate discovery order. The caller owns
+    /// the buffer so a driver that recycles one table performs no
+    /// allocation here once scratch capacities have grown to the
+    /// instance's working size — the module contract above.
     fn resolve_inner(
         &self,
         g: &UnitDiskGraph,
         transmitting: &[NodeId],
         delta: Option<TxDelta<'_>>,
-    ) -> ReceptionTable {
+        pairs: &mut Vec<(NodeId, NodeId)>,
+    ) {
         debug_assert!(
             (g.radius() - self.cfg.r_t()).abs() < 1e-9 * self.cfg.r_t().max(1.0),
             "graph radius {} does not match configured R_T {}",
@@ -584,6 +590,16 @@ impl FastSinrModel {
         if is_tx.len() < n {
             is_tx.resize(n, false);
             candidate_mark.resize(n, false);
+            // At most every node is a candidate; one up-front reservation
+            // keeps the per-slot candidate scan allocation-free no matter
+            // how dense a later slot gets. The per-thread reception
+            // buffers get the same hard bound (one decoded pair per
+            // candidate), so a record-reception slot late in a run never
+            // has to grow them.
+            candidates.reserve(n);
+            for cs in thread.iter_mut() {
+                cs.pairs.reserve(n);
+            }
         }
 
         for &t in transmitting {
@@ -612,12 +628,33 @@ impl FastSinrModel {
         // slots keep the incremental state current.
         let use_grid = k > SMALL_SLOT_EXACT_CUTOFF && gs.grid.is_some();
         if use_grid {
+            // A candidate's sender scan yields at most the bound-node
+            // population of its 3×3 cell window; size every thread's
+            // collection buffer to that bind-time bound once so a
+            // record-density window late in the run cannot grow it.
+            // (`reserve` on an already-sized buffer is a single branch.)
+            if let Some(grid) = &gs.grid {
+                let senders_cap = grid.max_window_population();
+                for cs in thread.iter_mut() {
+                    if cs.sender_buf.capacity() < senders_cap {
+                        cs.sender_buf.reserve(senders_cap);
+                    }
+                }
+            }
             for &c in &gs.stamped {
                 gs.cand_cell_idx[c as usize] = NOT_STAMPED;
             }
             gs.stamped.clear();
-            while gs.near_refs.len() < candidates.len() {
-                gs.near_refs.push(Vec::new());
+            // Safety net only: the pool built at bind time already holds
+            // one list per possibly-stamped cell, and lists are indexed
+            // by stamped order (distinct candidate cells), never by raw
+            // candidate count. A stamped cell collects at most one
+            // reference per cell of its Chebyshev window, so new lists
+            // are sized to that bound and never grow during a pass.
+            let window_cap = (2 * self.near_reach + 1).pow(2) as usize;
+            let lists_needed = candidates.len().min(gs.cand_cell_idx.len());
+            while gs.near_refs.len() < lists_needed {
+                gs.near_refs.push(Vec::with_capacity(window_cap));
             }
             if let Some(grid) = &gs.grid {
                 stamp_candidate_cells(
@@ -653,7 +690,7 @@ impl FastSinrModel {
             k,
         };
 
-        let mut pairs = Vec::new();
+        pairs.clear();
         if self.pool.threads() > 1 && candidates.len() >= PAR_CANDIDATE_CUTOFF {
             // Parallel: static chunks over the candidate list. Every slot
             // begins by resetting all per-thread outputs (chunks at the
@@ -696,8 +733,6 @@ impl FastSinrModel {
         for i in 0..candidates.len() {
             candidate_mark[candidates[i]] = false;
         }
-
-        ReceptionTable::from_pairs(pairs)
     }
 
     /// Brings the persistent grid's membership to the current transmitter
@@ -732,8 +767,26 @@ impl FastSinrModel {
             gs.stamped.clear();
             if let Some(grid) = &gs.grid {
                 let (rows, cols) = grid.dims();
+                let cell_count = (rows * cols) as usize;
                 gs.cand_cell_idx.clear();
-                gs.cand_cell_idx.resize((rows * cols) as usize, NOT_STAMPED);
+                gs.cand_cell_idx.resize(cell_count, NOT_STAMPED);
+                // Build the whole near-reference list pool up front: one
+                // list per possibly-stamped cell (distinct candidate
+                // cells, ≤ min(n, cells)), each sized to its Chebyshev
+                // window bound. Together with the `stamped` reservation
+                // this makes every later stamping pass allocation-free —
+                // candidate-count records late in a run would otherwise
+                // be the last allocating slots.
+                let window_cap = (2 * self.near_reach + 1).pow(2) as usize;
+                let lists = positions.len().min(cell_count);
+                gs.prev_tx.reserve(positions.len());
+                gs.stamped.reserve(cell_count);
+                gs.near_refs
+                    .resize_with(lists, || Vec::with_capacity(window_cap));
+                for list in &mut gs.near_refs {
+                    let shortfall = window_cap.saturating_sub(list.capacity());
+                    list.reserve(shortfall);
+                }
             }
         }
         let Some(grid) = &mut gs.grid else {
@@ -827,7 +880,9 @@ impl FastSinrModel {
 
 impl InterferenceModel for FastSinrModel {
     fn resolve(&self, g: &UnitDiskGraph, transmitting: &[NodeId]) -> ReceptionTable {
-        self.resolve_inner(g, transmitting, None)
+        let mut pairs = Vec::new();
+        self.resolve_inner(g, transmitting, None, &mut pairs);
+        ReceptionTable::from_pairs(pairs)
     }
 
     fn resolve_delta(
@@ -836,7 +891,24 @@ impl InterferenceModel for FastSinrModel {
         transmitting: &[NodeId],
         delta: TxDelta<'_>,
     ) -> ReceptionTable {
-        self.resolve_inner(g, transmitting, Some(delta))
+        let mut pairs = Vec::new();
+        self.resolve_inner(g, transmitting, Some(delta), &mut pairs);
+        ReceptionTable::from_pairs(pairs)
+    }
+
+    fn resolve_delta_into(
+        &self,
+        g: &UnitDiskGraph,
+        transmitting: &[NodeId],
+        delta: TxDelta<'_>,
+        out: &mut ReceptionTable,
+    ) {
+        // Recycle the caller's buffer: once it has grown to the slot
+        // working set, a steady-state slot allocates nothing (in-place
+        // `sort_unstable` inside `set_pairs` included).
+        let mut pairs = out.take_pairs();
+        self.resolve_inner(g, transmitting, Some(delta), &mut pairs);
+        out.set_pairs(pairs);
     }
 
     fn name(&self) -> &'static str {

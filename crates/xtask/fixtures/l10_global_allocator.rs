@@ -1,0 +1,15 @@
+//! fixture: crates/radiosim/src/fixture.rs
+//! L10 — allocator hooks belong in binaries, not library crates.
+
+use std::alloc::System; //~ L10
+
+#[global_allocator] //~ L10
+static ALLOC: System = System;
+
+fn direct_alloc() {
+    let layout = core::alloc::Layout::new::<u64>();
+    unsafe {
+        let p = std::alloc::alloc(layout); //~ L10
+        std::alloc::dealloc(p, layout); //~ L10
+    }
+}

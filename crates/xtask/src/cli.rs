@@ -71,9 +71,9 @@ pub fn run(args: &[String]) -> Result<bool, String> {
             }
             "--update-ratchet" => opts.update_ratchet = true,
             "--explain" => {
-                let id = it.next().ok_or("--explain requires a lint id (L1…L9)")?;
+                let id = it.next().ok_or("--explain requires a lint id (L1…L10)")?;
                 let text = rules::explain(id)
-                    .ok_or_else(|| format!("unknown lint `{id}` (expected L1…L9)"))?;
+                    .ok_or_else(|| format!("unknown lint `{id}` (expected L1…L10)"))?;
                 println!("{text}");
                 return Ok(true);
             }

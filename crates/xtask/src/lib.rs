@@ -9,7 +9,7 @@
 //!
 //! * [`lexer`] — byte-offset-preserving masking, `#[cfg(test)]` regions,
 //!   and the brace-matched item tree (`fn`/`impl`/`mod` spans).
-//! * [`lints`] — the lint implementations L1–L9 over masked source.
+//! * [`lints`] — the lint implementations L1–L10 over masked source.
 //! * [`rules`] — the rule catalog (id, title, rationale, fix): the single
 //!   source of truth for `--explain`, SARIF metadata, and the docs.
 //! * [`allowlist`] — vetted exceptions (`xtask-lint.toml`).

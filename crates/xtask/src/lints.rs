@@ -1,4 +1,4 @@
-//! The repo-specific lints L1–L9 (see `docs/LINTING.md`).
+//! The repo-specific lints L1–L10 (see `docs/LINTING.md`).
 //!
 //! All lints operate on *masked* source (comments and literal contents
 //! blanked — see [`crate::lexer`]) so tokens inside strings and docs never
@@ -11,7 +11,7 @@ use crate::lexer::{col_of, find_test_regions, item_tree, line_of, mask_non_code,
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Lint identifier: `"L1"` … `"L9"`.
+    /// Lint identifier: `"L1"` … `"L10"`.
     pub lint: &'static str,
     /// Workspace-relative path (forward slashes).
     pub file: String,
@@ -108,6 +108,16 @@ const L9_CASTS: [&str; 3] = ["as usize", "as u64", "as i64"];
 /// The audited home for checked float→int conversions: the one file that
 /// may spell out `expr as i64` etc. on float expressions (exempt from L9).
 pub const CAST_HOME: &str = "crates/geometry/src/cast.rs";
+
+/// Allocator hooks banned in library crates (L10): installing a
+/// `#[global_allocator]` in a library forces it on every downstream
+/// binary, and direct `std::alloc` calls bypass the counting wrapper's
+/// per-phase attribution.
+const L10_TOKENS: [&str; 2] = ["global_allocator", "std::alloc"];
+
+/// The one library file allowed to touch `std::alloc` directly (L10):
+/// the counting allocator implementation itself.
+pub const ALLOC_HOME: &str = "crates/obs/src/alloc.rs";
 
 /// Methods whose receiver/result is evidently floating-point; a cast of
 /// `x.method() as usize` with one of these is an L9 finding.
@@ -788,6 +798,35 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
                      sinr_geometry::cast::floor_{target}/ceil_{target} (debug-asserted, \
                      documented saturation) instead"
                 ))
+            },
+            &mut out,
+        );
+    }
+
+    // L10 — allocator hooks only in binaries: a library-side
+    // `#[global_allocator]` would force the counting allocator on every
+    // downstream binary, and direct `std::alloc` use bypasses the
+    // per-phase attribution that makes the heap ledger trustworthy. The
+    // allocator implementation itself (ALLOC_HOME) is the one exemption.
+    if in_lib_crate(path) && path != ALLOC_HOME {
+        let scans: Vec<TokenScan> = L10_TOKENS
+            .iter()
+            .map(|&token| TokenScan {
+                token,
+                boundary: ident_boundary,
+            })
+            .collect();
+        ctx.scan(
+            &scans,
+            "L10",
+            &|t| {
+                format!(
+                    "allocator hook `{t}` in library code: install \
+                     sinr_obs::alloc::CountingAlloc only in a binary or bench \
+                     target, and observe the heap through its \
+                     snapshot()/AllocScope API (the allocator implementation \
+                     lives solely in crates/obs/src/alloc.rs)"
+                )
             },
             &mut out,
         );

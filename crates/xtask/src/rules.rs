@@ -8,7 +8,7 @@
 /// One lint's metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rule {
-    /// Stable identifier: `"L1"` … `"L9"`.
+    /// Stable identifier: `"L1"` … `"L10"`.
     pub id: &'static str,
     /// One-line name, quoted verbatim in `docs/LINTING.md`.
     pub title: &'static str,
@@ -19,7 +19,7 @@ pub struct Rule {
 }
 
 /// Every lint the engine knows, in id order.
-pub const RULES: [Rule; 9] = [
+pub const RULES: [Rule; 10] = [
     Rule {
         id: "L1",
         title: "no unseeded RNG",
@@ -118,9 +118,22 @@ pub const RULES: [Rule; 9] = [
               out-of-range values, release builds keep the documented \
               saturating behavior.",
     },
+    Rule {
+        id: "L10",
+        title: "allocator hooks only in binaries",
+        rationale: "A `#[global_allocator]` in a library crate forces the \
+                    counting allocator on every downstream binary — profiled \
+                    and production alike — and direct std::alloc calls bypass \
+                    the per-phase attribution entirely, so the heap ledger \
+                    stops meaning what the profile reports claim.",
+        fix: "Install sinr_obs::alloc::CountingAlloc only in a binary or bench \
+              target; the allocator implementation itself lives solely in \
+              crates/obs/src/alloc.rs, and library code observes the heap \
+              through its snapshot()/AllocScope API.",
+    },
 ];
 
-/// Looks up a rule by id (`"L1"` … `"L9"`).
+/// Looks up a rule by id (`"L1"` … `"L10"`).
 pub fn rule(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
 }
@@ -140,7 +153,7 @@ mod tests {
 
     #[test]
     fn catalog_is_complete_and_ordered() {
-        assert_eq!(RULES.len(), 9);
+        assert_eq!(RULES.len(), 10);
         for (i, r) in RULES.iter().enumerate() {
             assert_eq!(r.id, format!("L{}", i + 1));
             assert!(!r.title.is_empty() && !r.rationale.is_empty() && !r.fix.is_empty());

@@ -1,0 +1,57 @@
+//! Struct-size ratchets for the per-node hot-path types.
+//!
+//! Memory traffic on the hot path is proportional to the bytes the
+//! per-slot loops touch, and those bytes are dominated by a handful of
+//! structs with one instance (or one message) per node. A field added to
+//! `MwNode` costs `n × alignment` bytes of cache footprint at every
+//! slot; this ratchet makes that cost a visible, deliberate decision
+//! instead of an accident.
+//!
+//! To grow a budget: justify the new field in the PR description, update
+//! the constant here, and refresh the measured table in
+//! `docs/PERFORMANCE.md` (§ Memory traffic).
+
+use std::mem::size_of;
+
+use sinr_coloring::mw::{MwMessage, MwNode, MwPhase};
+use sinr_model::ReceptionTable;
+use sinr_radiosim::StepView;
+
+/// Committed budget for the per-node protocol state. Measured 344 bytes
+/// (x86-64) after the chi scratch buffer moved into the node so that
+/// steady-state slots stopped allocating — 24 bytes of `Vec` header
+/// bought zero allocator calls per slot.
+const MW_NODE_BUDGET: usize = 344;
+
+/// Committed budget for the wire message — one per reception per slot.
+const MW_MESSAGE_BUDGET: usize = 24;
+
+#[test]
+fn mw_node_stays_within_its_size_budget() {
+    let size = size_of::<MwNode>();
+    assert!(
+        size <= MW_NODE_BUDGET,
+        "MwNode grew to {size} bytes (budget {MW_NODE_BUDGET}); every node \
+         carries one, so justify the field and update the ratchet + \
+         docs/PERFORMANCE.md"
+    );
+}
+
+#[test]
+fn mw_message_stays_within_its_size_budget() {
+    let size = size_of::<MwMessage>();
+    assert!(
+        size <= MW_MESSAGE_BUDGET,
+        "MwMessage grew to {size} bytes (budget {MW_MESSAGE_BUDGET}); \
+         messages are copied into every receiver's inbox each slot"
+    );
+}
+
+#[test]
+fn hot_path_views_stay_word_scale() {
+    // The borrowed step view and the recycled reception table are copied
+    // or passed by value on every slot; they must stay a few words each.
+    assert!(size_of::<StepView<'_>>() <= 64);
+    assert!(size_of::<ReceptionTable>() <= 32);
+    assert!(size_of::<MwPhase>() <= 24);
+}

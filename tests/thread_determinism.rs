@@ -12,12 +12,21 @@
 //! (resolver goes parallel), while n = 40 stays on the sequential paths
 //! so the gating itself is exercised too.
 
-use sinr_coloring::mw::{run_mw, run_mw_recorded, MwConfig, MwOutcome, MwProbeConfig};
+use sinr_coloring::mw::{
+    run_mw, run_mw_profiled, run_mw_recorded, MwConfig, MwOutcome, MwProbeConfig,
+};
 use sinr_coloring::params::MwParams;
 use sinr_geometry::{placement, UnitDiskGraph};
 use sinr_model::{FastSinrModel, InterferenceModel, SinrConfig, SinrModel};
+use sinr_obs::alloc::{self, CountingAlloc};
 use sinr_obs::{FullRecorder, SeriesConfig};
 use sinr_radiosim::WakeupSchedule;
+
+// Counting is active for this whole test binary, so the profiling case
+// below exercises the real configuration: live allocator hooks while
+// the determinism contracts are being asserted.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const THREADS: [usize; 3] = [1, 2, 4];
 
@@ -146,6 +155,43 @@ fn observed_artifacts_are_byte_identical_across_thread_counts() {
             assert_eq!(run.3, base.3, "{label} trace, threads={threads}");
             assert_eq!(run.4, base.4, "{label} time series, threads={threads}");
         }
+    }
+}
+
+/// Allocation profiling must be a pure observer: `run_mw_profiled`
+/// returns the byte-for-byte same outcome as `run_mw` at every thread
+/// count, with the counting allocator live. The profile itself is a
+/// build property, not a seed property — it rides *next to* the outcome
+/// precisely so this equality can hold.
+#[test]
+fn profiling_does_not_perturb_outcomes_at_any_thread_count() {
+    assert!(alloc::is_counting(), "counting allocator is installed");
+    let (cfg, graph, params) = instance(300, 8.0, 23);
+    for threads in THREADS {
+        let mw = MwConfig::new(params)
+            .with_seed(7)
+            .with_threads(threads)
+            .with_max_slots(250);
+        let plain = run_mw(
+            &graph,
+            FastSinrModel::new(cfg),
+            &mw,
+            WakeupSchedule::Synchronous,
+        );
+        let (profiled, prof) = run_mw_profiled(
+            &graph,
+            FastSinrModel::new(cfg),
+            &mw,
+            WakeupSchedule::Synchronous,
+        );
+        assert_eq!(
+            plain, profiled,
+            "profiling changed the run, threads={threads}"
+        );
+        assert!(
+            prof.setup.allocs > 0,
+            "profile saw the setup traffic, threads={threads}"
+        );
     }
 }
 
