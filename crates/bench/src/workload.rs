@@ -94,7 +94,7 @@ pub fn resolver_hit_rate(outs: &[MwOutcome]) -> Option<f64> {
 /// [`sinr_pool::set_global_threads`], e.g. via `--threads` on the
 /// experiments binary); with 1 thread the seeds simply run inline.
 pub fn par_seeds<T: Send>(seeds: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    sinr_pool::global().map_indexed(seeds as usize, |i| f(i as u64))
+    sinr_pool::global().par_seeds(0..seeds, f)
 }
 
 #[cfg(test)]

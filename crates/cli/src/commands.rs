@@ -38,8 +38,11 @@ COMMANDS:
   info      --input FILE [--alpha A --beta B --rho R]
             print graph statistics for a placement
   color     --input FILE [--seed S] [--model sinr|sinr-fast|sinr-auto|graph|ideal]
-            [--distance D] [--threads N] [--obs SPEC]
-            run the MW coloring; emit 'node color' per line on stdout
+            [--distance D] [--threads N] [--obs SPEC] [--seeds A..B]
+            run the MW coloring; emit 'node color' per line on stdout.
+            --seeds A..B batches one run per seed in the half-open range
+            across the worker pool (graph built once; output is '# seed N'
+            blocks in seed order, identical at any --threads)
   report    --input FILE [--seed S] [--model sinr|sinr-fast|sinr-auto|graph|ideal]
             [--threads N] [--thm1-stride K] [--ring CAP] [--obs SPEC]
             run a fully observed MW coloring; emit the machine-readable
@@ -273,8 +276,115 @@ fn obs_mode(args: &Args, spec: Option<&ObsSpec>) -> Result<RunMode, crate::CliEr
     })
 }
 
+/// Parses a `--seeds` range spec `A..B` (half-open, `A < B`).
+fn parse_seed_range(spec: &str) -> Result<std::ops::Range<u64>, crate::CliError> {
+    let bad = || err(format!("--seeds expects a range A..B, got {spec:?}"));
+    let (a, b) = spec.split_once("..").ok_or_else(bad)?;
+    let start: u64 = a.trim().parse().map_err(|_| bad())?;
+    let end: u64 = b.trim().parse().map_err(|_| bad())?;
+    if start >= end {
+        return Err(err(format!(
+            "--seeds range {spec} is empty (need start < end)"
+        )));
+    }
+    Ok(start..end)
+}
+
+/// `color --seeds A..B`: run the MW coloring once per seed in the
+/// half-open range, fanned out across `--threads` workers.
+///
+/// The placement, unit-disk graph, and derived parameters are built once
+/// and shared by every run — the per-seed closure only pays for the
+/// coloring itself. Each run executes single-threaded (parallelism is
+/// across seeds, not within a slot) and results merge in ascending seed
+/// order, so the concatenated output is byte-identical to a sequential
+/// `for seed in A..B { color --seed seed }` loop at any thread count.
+fn color_seeds(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult {
+    let seeds = parse_seed_range(args.require("seeds")?)?;
+    if args.get("seed").is_some() {
+        return Err(err("--seeds and --seed are mutually exclusive"));
+    }
+    if args.get("obs").is_some() {
+        return Err(err(
+            "--obs is not supported with --seeds; observe one seed at a time",
+        ));
+    }
+    let distance: f64 = args.get_parsed("distance", 1.0)?;
+    if (distance - 1.0).abs() > 1e-12 {
+        return Err(err("--distance > 1 is not supported with --seeds"));
+    }
+    // Validate the model name before the fan-out so a typo fails fast
+    // instead of once per seed.
+    let model = args.get("model").unwrap_or("sinr");
+    if !matches!(
+        model,
+        "sinr" | "sinr-fast" | "sinr-auto" | "graph" | "ideal"
+    ) {
+        return Err(err(format!("unknown model {model}")));
+    }
+
+    let cfg = physical_config(args)?;
+    let pts = read_positions(args)?;
+    let graph = UnitDiskGraph::new(pts.clone(), cfg.r_t());
+    let params = MwParams::practical(&cfg, graph.len(), graph.max_degree());
+    let pool = sinr_pool::Pool::new(thread_count(args)?);
+
+    let results = pool.par_seeds(seeds, |seed| -> Result<_, String> {
+        let mw_cfg = MwConfig::new(params).with_seed(seed);
+        let (outcome, _) = run_model(&graph, model, cfg, &mw_cfg, RunMode::Plain)
+            .map_err(|e| format!("seed {seed}: {e}"))?;
+        let colors = outcome
+            .coloring
+            .ok_or_else(|| format!("seed {seed}: coloring hit the slot cap"))?
+            .as_slice()
+            .to_vec();
+        let violations = distance_violations(&pts, &colors, cfg.r_t()).len();
+        let block = format!("# seed {seed}\n{}", format_assignment(&colors));
+        let line = format!(
+            "seed {seed}: colored {} nodes in {} slots; {} distinct colors; {} violations",
+            graph.len(),
+            outcome.slots,
+            colors
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            violations
+        );
+        Ok((block, line, violations))
+    });
+
+    let mut total_violations = 0usize;
+    let mut first_err = None;
+    for res in results {
+        match res {
+            Ok((block, line, violations)) => {
+                out.write_all(block.as_bytes())?;
+                writeln!(log, "{line}")?;
+                total_violations += violations;
+            }
+            Err(msg) => {
+                if first_err.is_none() {
+                    first_err = Some(err(msg));
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    if total_violations > 0 {
+        return Err(err(format!(
+            "{total_violations} coloring violations across seeds"
+        )));
+    }
+    Ok(())
+}
+
 /// `color`: run the MW coloring and emit the assignment.
 pub fn color(args: &Args, out: &mut dyn Write, log: &mut dyn Write) -> CliResult {
+    if args.get("seeds").is_some() {
+        return color_seeds(args, out, log);
+    }
     let cfg = physical_config(args)?;
     let pts = read_positions(args)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
@@ -871,6 +981,80 @@ mod tests {
         let colors = crate::io::parse_assignment(&out, 25).unwrap();
         assert_eq!(colors.len(), 25);
         assert!(log.contains("0 violations"));
+    }
+
+    #[test]
+    fn color_seeds_concatenates_per_seed_blocks_in_order() {
+        let f = tmp_positions(25);
+        let (r, out, log) = run(&["color", "--input", f.path(), "--seeds", "2..5"]);
+        assert!(r.is_ok(), "{log}");
+        // One block per seed, in ascending seed order, each a complete
+        // assignment identical to the corresponding single-seed run.
+        let mut rest = out.as_str();
+        for seed in 2..5u64 {
+            let header = format!("# seed {seed}\n");
+            assert!(rest.starts_with(&header), "expected {header:?} in {rest:?}");
+            rest = &rest[header.len()..];
+            let block_len = rest.find("# seed").unwrap_or(rest.len());
+            let (block, tail) = rest.split_at(block_len);
+            let (r1, single, _) = run(&["color", "--input", f.path(), "--seed", &seed.to_string()]);
+            assert!(r1.is_ok());
+            assert_eq!(block, single, "seed {seed} block differs");
+            rest = tail;
+        }
+        assert!(rest.is_empty());
+        for seed in 2..5u64 {
+            assert!(log.contains(&format!("seed {seed}: colored 25 nodes")));
+        }
+    }
+
+    #[test]
+    fn color_seeds_output_is_thread_invariant() {
+        let f = tmp_positions(20);
+        let (r1, base, log) = run(&[
+            "color",
+            "--input",
+            f.path(),
+            "--seeds",
+            "0..4",
+            "--threads",
+            "1",
+        ]);
+        assert!(r1.is_ok(), "{log}");
+        for threads in ["2", "4"] {
+            let (r, out, log_t) = run(&[
+                "color",
+                "--input",
+                f.path(),
+                "--seeds",
+                "0..4",
+                "--threads",
+                threads,
+            ]);
+            assert!(r.is_ok());
+            assert_eq!(out, base, "--threads {threads} changed the output");
+            assert_eq!(log_t, log, "--threads {threads} changed the log");
+        }
+    }
+
+    #[test]
+    fn color_seeds_rejects_conflicting_flags_and_bad_ranges() {
+        let f = tmp_positions(10);
+        for extra in [
+            ["--seed", "1"].as_slice(),
+            ["--obs", "stderr"].as_slice(),
+            ["--distance", "2"].as_slice(),
+            ["--model", "donut"].as_slice(),
+        ] {
+            let mut tokens = vec!["color", "--input", f.path(), "--seeds", "0..2"];
+            tokens.extend_from_slice(extra);
+            let (r, _, _) = run(&tokens);
+            assert!(r.is_err(), "expected rejection with {extra:?}");
+        }
+        for bad in ["3", "5..5", "7..2", "a..b"] {
+            let (r, _, _) = run(&["color", "--input", f.path(), "--seeds", bad]);
+            assert!(r.is_err(), "expected rejection of --seeds {bad}");
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod obs;
 pub mod run;
 
 pub use messages::MwMessage;
-pub use node::{MwNode, MwPhase};
+pub use node::{MwCold, MwNode, MwPhase, MwPhaseKind};
 pub use obs::{MwProbeConfig, MwProbes};
 pub use run::{
     run_mw, run_mw_local_delta, run_mw_observed, run_mw_per_node, run_mw_profiled, run_mw_recorded,

@@ -1,4 +1,10 @@
 //! The per-node MW automaton: a line-by-line implementation of Figs. 1–3.
+//!
+//! The struct is split hot/cold for the slot engine's sake: the fields a
+//! slot actually touches (`phase`, `counter`, `estimates`, the cached
+//! threshold) live inline in [`MwNode`], while leader bookkeeping and
+//! diagnostics that only move on phase transitions sit behind one `Box`
+//! in [`MwCold`]. `tests/struct_sizes.rs` ratchets both sizes.
 
 use crate::chi::chi_scratch;
 use crate::mw::messages::MwMessage;
@@ -6,6 +12,28 @@ use crate::params::MwParams;
 use sinr_geometry::NodeId;
 use sinr_radiosim::{Action, NodeCtx, Protocol, SlotRng};
 use std::collections::VecDeque;
+
+/// The state class of an [`MwPhase`], as a dense 1-byte enum.
+///
+/// Used wherever only the *kind* of phase matters — per-phase slot
+/// accounting, observability snapshots, the engine's SoA columns. The
+/// discriminants match [`MwPhase::kind_index`] and stay niche-friendly:
+/// `Option<MwPhaseKind>` is still one byte (checked in
+/// `tests/struct_sizes.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MwPhaseKind {
+    /// `A_i` listen loop.
+    Listen = 0,
+    /// `A_i` counter race.
+    Compete = 1,
+    /// `R`: requesting a cluster color.
+    Request = 2,
+    /// `C_0`: cluster leader.
+    Leader = 3,
+    /// `C_i`, `i > 0`: colored announcer.
+    Colored = 4,
+}
 
 /// Which state class the node currently occupies.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,16 +75,21 @@ impl MwPhase {
         }
     }
 
+    /// The state class, stripped of its payload.
+    pub fn kind(&self) -> MwPhaseKind {
+        match self {
+            MwPhase::Listen { .. } => MwPhaseKind::Listen,
+            MwPhase::Compete { .. } => MwPhaseKind::Compete,
+            MwPhase::Request { .. } => MwPhaseKind::Request,
+            MwPhase::Leader => MwPhaseKind::Leader,
+            MwPhase::Colored { .. } => MwPhaseKind::Colored,
+        }
+    }
+
     /// A stable index into per-phase accounting arrays (see
     /// [`MwNode::phase_slots`]).
     pub fn kind_index(&self) -> usize {
-        match self {
-            MwPhase::Listen { .. } => 0,
-            MwPhase::Compete { .. } => 1,
-            MwPhase::Request { .. } => 2,
-            MwPhase::Leader => 3,
-            MwPhase::Colored { .. } => 4,
-        }
+        self.kind() as usize
     }
 
     /// Human-readable names matching [`MwPhase::kind_index`].
@@ -82,6 +115,33 @@ struct LeaderState {
     granted: Vec<(NodeId, usize)>,
 }
 
+/// The cold half of [`MwNode`]: state the hot loop never streams.
+///
+/// Everything here is read or written only on phase transitions, inside
+/// the leader's serve loop, or by diagnostics — never in the common
+/// listen/compete slot. Boxing it keeps the struct the fused engine
+/// passes stream per slot at cache-line scale.
+#[derive(Debug, Clone, Default)]
+pub struct MwCold {
+    /// Interval buffer reused by every `χ(P_v)` evaluation, so resets in
+    /// a warmed-up node allocate nothing (see [`chi_scratch`]).
+    chi_intervals: Vec<(i64, i64)>,
+    /// `L(v)`: the leader this node joined, once covered.
+    leader: Option<NodeId>,
+    /// The cluster color `tc_v` received from the leader.
+    cluster_color: Option<usize>,
+    /// Leader-side state, present iff `phase == Leader`.
+    leader_state: LeaderState,
+    /// Number of `A_i` levels entered (diagnostics; Lemma 4 bounds it).
+    levels_entered: u32,
+    /// Number of `χ` resets performed (diagnostics).
+    resets: u32,
+    /// Slots spent in each phase kind (indexed by `MwPhase::kind_index`),
+    /// excluding the slots still pending in
+    /// `MwNode::phase_slots_pending`.
+    phase_slots: [u64; 5],
+}
+
 /// The MW automaton for one node.
 ///
 /// Implements [`Protocol`]; drive it with the
@@ -96,31 +156,28 @@ pub struct MwNode {
     color: Option<usize>,
     /// Counter `c_v` (meaningful in `Compete`).
     counter: i64,
+    /// `⌈σΔ ln n⌉`, cached from [`MwParams::counter_threshold`] at
+    /// construction: the compete arm compares against it every slot, and
+    /// recomputing the ceil-of-product there costs more than the compare.
+    counter_threshold: i64,
+    /// Slots attributed to the *current* phase kind but not yet flushed
+    /// into `MwCold::phase_slots` (flushed by [`MwNode::set_phase`] on
+    /// every kind transition). Keeps the hot loop's accounting to one
+    /// inline increment instead of an indexed store behind the `Box`.
+    phase_slots_pending: u64,
     /// `P_v` with the local copies `d_v(w)`: competitor counter estimates
     /// for the *current* level (cleared on every level entry, Fig. 1
     /// line 1).
     estimates: Vec<(NodeId, i64)>,
-    /// Interval buffer reused by every `χ(P_v)` evaluation, so resets in
-    /// a warmed-up node allocate nothing (see [`chi_scratch`]).
-    chi_intervals: Vec<(i64, i64)>,
-    /// `L(v)`: the leader this node joined, once covered.
-    leader: Option<NodeId>,
-    /// The cluster color `tc_v` received from the leader.
-    cluster_color: Option<usize>,
-    /// Leader-side state, present iff `phase == Leader`.
-    leader_state: LeaderState,
-    /// Number of `A_i` levels entered (diagnostics; Lemma 4 bounds it).
-    levels_entered: u32,
-    /// Number of `χ` resets performed (diagnostics).
-    resets: u32,
-    /// Slots spent in each phase kind (indexed by `MwPhase::kind_index`).
-    phase_slots: [u64; 5],
+    /// Everything the hot loop never touches; see [`MwCold`].
+    cold: Box<MwCold>,
 }
 
 impl MwNode {
     /// Creates the automaton for node `id` with the given parameters.
     /// The node starts in `A_0` on wake-up.
     pub fn new(id: NodeId, params: MwParams) -> Self {
+        let counter_threshold = params.counter_threshold();
         let mut node = MwNode {
             id,
             params,
@@ -130,14 +187,10 @@ impl MwNode {
             },
             color: None,
             counter: 0,
+            counter_threshold,
+            phase_slots_pending: 0,
             estimates: Vec::new(),
-            chi_intervals: Vec::new(),
-            leader: None,
-            cluster_color: None,
-            leader_state: LeaderState::default(),
-            levels_entered: 0,
-            resets: 0,
-            phase_slots: [0; 5],
+            cold: Box::default(),
         };
         node.enter_level(0);
         node
@@ -152,9 +205,9 @@ impl MwNode {
     /// correctness.
     pub fn reserve(&mut self, degree: usize) {
         self.estimates.reserve(degree);
-        self.chi_intervals.reserve(degree);
-        self.leader_state.queue.reserve(degree);
-        self.leader_state.granted.reserve(degree);
+        self.cold.chi_intervals.reserve(degree);
+        self.cold.leader_state.queue.reserve(degree);
+        self.cold.leader_state.granted.reserve(degree);
     }
 
     /// The node's final color, once decided.
@@ -169,23 +222,23 @@ impl MwNode {
 
     /// The leader `L(v)` this node joined, if any.
     pub fn leader(&self) -> Option<NodeId> {
-        self.leader
+        self.cold.leader
     }
 
     /// The cluster color `tc_v` granted by the leader, if any.
     pub fn cluster_color(&self) -> Option<usize> {
-        self.cluster_color
+        self.cold.cluster_color
     }
 
     /// How many `A_i` levels this node has entered (Lemma 4 bounds the
     /// levels *above* the granted one by `φ(2R_T)`).
     pub fn levels_entered(&self) -> u32 {
-        self.levels_entered
+        self.cold.levels_entered
     }
 
     /// How many times the node reset its counter to `χ(P_v)`.
     pub fn resets(&self) -> u32 {
-        self.resets
+        self.cold.resets
     }
 
     /// The current competition counter `c_v` (meaningful while the node is
@@ -199,7 +252,9 @@ impl MwNode {
     /// [`MwPhase::kind_index`] / named by [`MwPhase::KIND_NAMES`] —
     /// the decomposition of the node's running time.
     pub fn phase_slots(&self) -> [u64; 5] {
-        self.phase_slots
+        let mut out = self.cold.phase_slots;
+        out[self.phase.kind_index()] += self.phase_slots_pending;
+        out
     }
 
     /// The send probability of this node in its current phase: `q_ℓ` for
@@ -213,34 +268,49 @@ impl MwNode {
         }
     }
 
+    /// Replaces the phase, flushing the pending slot count into the cold
+    /// accounting array when the phase *kind* changes. Every transition
+    /// must go through here (or keep the kind) for
+    /// [`MwNode::phase_slots`] to stay exact.
+    fn set_phase(&mut self, phase: MwPhase) {
+        let old = self.phase.kind_index();
+        if old != phase.kind_index() {
+            self.cold.phase_slots[old] += self.phase_slots_pending;
+            self.phase_slots_pending = 0;
+        }
+        self.phase = phase;
+    }
+
     /// Enters state `A_level` (Fig. 1 line 1): clear `P_v`, start the
     /// listen loop of `⌈ηΔ ln n⌉` slots.
     fn enter_level(&mut self, level: usize) {
         self.estimates.clear();
         self.counter = 0;
-        self.levels_entered += 1;
-        self.phase = MwPhase::Listen {
+        self.cold.levels_entered += 1;
+        self.set_phase(MwPhase::Listen {
             level,
             remaining: self.params.listen_slots(),
-        };
+        });
     }
 
     /// Becomes colored with `level` (Fig. 2 line 1): `C_0` ⇒ leader,
     /// `C_i` ⇒ colored announcer.
     fn enter_colored(&mut self, level: usize) {
         self.color = Some(level);
-        self.phase = if level == 0 {
+        let phase = if level == 0 {
             // Reset in place: replacing the struct would drop the
             // capacity [`MwNode::reserve`] set aside for the queue and
             // the grant ledger.
-            self.leader_state.queue.clear();
-            self.leader_state.granted.clear();
-            self.leader_state.tc = 0;
-            self.leader_state.serving = None;
+            let st = &mut self.cold.leader_state;
+            st.queue.clear();
+            st.granted.clear();
+            st.tc = 0;
+            st.serving = None;
             MwPhase::Leader
         } else {
             MwPhase::Colored { level }
         };
+        self.set_phase(phase);
     }
 
     /// `d_v(w) := d_v(w) + 1` for each `w ∈ P_v` (Fig. 1 lines 3 and 9).
@@ -265,13 +335,13 @@ impl MwNode {
         chi_scratch(
             self.estimates.iter().map(|&(_, d)| d),
             window,
-            &mut self.chi_intervals,
+            &mut self.cold.chi_intervals,
         )
     }
 
     /// The leader's slot behaviour (Fig. 2, `i = 0`).
-    fn leader_begin_slot(&mut self, rng: &mut dyn SlotRng) -> Action<MwMessage> {
-        let st = &mut self.leader_state;
+    fn leader_begin_slot<R: SlotRng + ?Sized>(&mut self, rng: &mut R) -> Action<MwMessage> {
+        let st = &mut self.cold.leader_state;
         if st.serving.is_none() {
             if let Some(&front) = st.queue.front() {
                 // Fig. 2 lines 11–13: tc := tc + 1; serve the first
@@ -321,8 +391,12 @@ impl MwNode {
 impl Protocol for MwNode {
     type Message = MwMessage;
 
-    fn begin_slot(&mut self, _ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<MwMessage> {
-        self.phase_slots[self.phase.kind_index()] += 1;
+    fn begin_slot<R: SlotRng + ?Sized>(
+        &mut self,
+        _ctx: &NodeCtx,
+        rng: &mut R,
+    ) -> Action<MwMessage> {
+        self.phase_slots_pending += 1;
         match self.phase {
             MwPhase::Listen { .. } => {
                 // Fig. 1 line 3: advance all local counter copies. The node
@@ -335,7 +409,7 @@ impl Protocol for MwNode {
                 self.counter += 1;
                 self.bump_estimates();
                 // Fig. 1 line 10: threshold reached -> enter C_level.
-                if self.counter >= self.params.counter_threshold() {
+                if self.counter >= self.counter_threshold {
                     self.enter_colored(level);
                     // The node acts as a C_level member from this very
                     // slot (Fig. 2 starts immediately).
@@ -389,8 +463,8 @@ impl Protocol for MwNode {
                         // Fig. 1 line 5: covered -> A_suc (R for level 0,
                         // A_{level+1} otherwise).
                         if level == 0 {
-                            self.leader = Some(w);
-                            self.phase = MwPhase::Request { leader: w };
+                            self.cold.leader = Some(w);
+                            self.set_phase(MwPhase::Request { leader: w });
                         } else {
                             self.enter_level(level + 1);
                         }
@@ -412,7 +486,7 @@ impl Protocol for MwNode {
                 let remaining = remaining - 1;
                 if remaining == 0 {
                     self.counter = self.chi_value(level);
-                    self.phase = MwPhase::Compete { level };
+                    self.set_phase(MwPhase::Compete { level });
                 } else {
                     self.phase = MwPhase::Listen { level, remaining };
                 }
@@ -422,8 +496,8 @@ impl Protocol for MwNode {
                     if msg.announces_color(level) {
                         // Fig. 1 line 12.
                         if level == 0 {
-                            self.leader = Some(w);
-                            self.phase = MwPhase::Request { leader: w };
+                            self.cold.leader = Some(w);
+                            self.set_phase(MwPhase::Request { leader: w });
                         } else {
                             self.enter_level(level + 1);
                         }
@@ -439,7 +513,7 @@ impl Protocol for MwNode {
                             self.record_estimate(w, c_w);
                             if (self.counter - c_w).abs() <= self.params.reset_window(level) {
                                 self.counter = self.chi_value(level);
-                                self.resets += 1;
+                                self.cold.resets += 1;
                             }
                         }
                     }
@@ -451,7 +525,7 @@ impl Protocol for MwNode {
                         // Fig. 3 lines 3–4: a grant from my leader
                         // addressed to me.
                         if w == leader && to == self.id {
-                            self.cluster_color = Some(tc);
+                            self.cold.cluster_color = Some(tc);
                             self.enter_level(tc * self.params.spread);
                             return;
                         }
@@ -462,8 +536,8 @@ impl Protocol for MwNode {
                 for &(w, msg) in received {
                     if let MwMessage::Request { leader } = msg {
                         // Fig. 2 line 7: enqueue unseen requesters.
-                        if leader == self.id && !self.leader_state.queue.contains(&w) {
-                            self.leader_state.queue.push_back(w);
+                        if leader == self.id && !self.cold.leader_state.queue.contains(&w) {
+                            self.cold.leader_state.queue.push_back(w);
                         }
                     }
                 }
@@ -474,6 +548,15 @@ impl Protocol for MwNode {
 
     fn is_done(&self) -> bool {
         self.color.is_some()
+    }
+
+    fn empty_end_slot_is_noop(&self) -> bool {
+        // Only the listen loop does real work on an empty inbox (the
+        // countdown of Fig. 1 lines 2–5 advances every slot); every other
+        // phase's end_slot just scans `received`, so with nothing received
+        // the engine may skip the callback outright. This is what lets the
+        // fused delivery pass ignore the colored/leader long tail.
+        !matches!(self.phase, MwPhase::Listen { .. })
     }
 }
 
@@ -585,7 +668,7 @@ mod tests {
         let p = params();
         let mut node = MwNode::new(5, p);
         node.phase = MwPhase::Request { leader: 9 };
-        node.leader = Some(9);
+        node.cold.leader = Some(9);
         let mut rng = FixedRng(false);
         // Grant from another leader to me: ignored.
         let _ = node.begin_slot(&ctx(5, 0), &mut rng);
@@ -711,7 +794,7 @@ mod tests {
                 (4, MwMessage::Request { leader: 9 }),
             ],
         );
-        assert_eq!(node.leader_state.queue.len(), 2);
+        assert_eq!(node.cold.leader_state.queue.len(), 2);
         // First grant window: tc = 1 for node 4, lasting response_slots.
         for s in 0..p.response_slots() {
             let a = node.begin_slot(&ctx(9, 1 + s), &mut rng_tx);
@@ -724,7 +807,7 @@ mod tests {
         // Requests received for a node already in the queue are dropped;
         // the front is still being served.
         node.end_slot(&ctx(9, 99), &[(7, MwMessage::Request { leader: 9 })]);
-        assert_eq!(node.leader_state.queue.len(), 1);
+        assert_eq!(node.cold.leader_state.queue.len(), 1);
     }
 
     #[test]
@@ -771,7 +854,7 @@ mod tests {
         assert_eq!(a, Action::Transmit(MwMessage::ColorTaken { level: 0 }));
         // Foreign requests are ignored.
         node.end_slot(&ctx(9, 0), &[(4, MwMessage::Request { leader: 8 })]);
-        assert!(node.leader_state.queue.is_empty());
+        assert!(node.cold.leader_state.queue.is_empty());
     }
 
     #[test]
@@ -845,5 +928,24 @@ mod tests {
             node.end_slot(&ctx(0, s), &[]);
         }
         assert_eq!(node.estimates[0], (3, 54));
+    }
+
+    #[test]
+    fn phase_slot_accounting_survives_transitions() {
+        // The pending counter flushes on kind changes; the observable
+        // decomposition must match a per-slot tally regardless of when
+        // it is queried.
+        let p = params();
+        let mut node = MwNode::new(0, p);
+        let mut rng = FixedRng(false);
+        let listen = p.listen_slots();
+        for s in 0..listen + 3 {
+            let _ = node.begin_slot(&ctx(0, s), &mut rng);
+            node.end_slot(&ctx(0, s), &[]);
+        }
+        let slots = node.phase_slots();
+        assert_eq!(slots[MwPhaseKind::Listen as usize], listen);
+        assert_eq!(slots[MwPhaseKind::Compete as usize], 3);
+        assert_eq!(slots.iter().sum::<u64>(), listen + 3);
     }
 }

@@ -42,7 +42,7 @@ impl LocalBroadcastNode {
 impl Protocol for LocalBroadcastNode {
     type Message = NodeId;
 
-    fn begin_slot(&mut self, ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<NodeId> {
+    fn begin_slot<R: SlotRng + ?Sized>(&mut self, ctx: &NodeCtx, rng: &mut R) -> Action<NodeId> {
         if ctx.local_slot < self.duration && rng.chance(self.probability) {
             Action::Transmit(ctx.id)
         } else {

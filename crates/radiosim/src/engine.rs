@@ -17,6 +17,126 @@ use sinr_rng::SeedableRng;
 /// node-step work it splits, so small instances always step sequentially.
 pub const PAR_NODE_CUTOFF: usize = 256;
 
+/// One node's slot-critical status bits, packed into a single byte.
+///
+/// The engine keeps one `Vec<NodeFlags>` — a dense structure-of-arrays
+/// column — instead of separate `Vec<bool>`s for done/tx/prev-tx plus
+/// per-slot `wake`/`is_active` probes. The fused passes then decide
+/// "does this node need work?" from one byte load per node instead of
+/// touching three bool arrays, the wake table, and a virtual call.
+/// `tests/struct_sizes.rs` pins the size to 1 byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeFlags(u8);
+
+impl NodeFlags {
+    /// The node's wake slot has passed (mirror of `wake[v] <= slot`,
+    /// set once by the wake cursor).
+    const AWAKE: u8 = 1;
+    /// Cached `Protocol::is_active()`; only trusted while the simulator's
+    /// `flags_active_valid` is set (the fused passes maintain it, the
+    /// phased/parallel passes invalidate it).
+    const ACTIVE: u8 = 1 << 1;
+    /// The node has reported `is_done()` (mirror of the old done bitmap).
+    const DONE: u8 = 1 << 2;
+    /// The node transmits in the slot being executed.
+    const TX: u8 = 1 << 3;
+    /// The node transmitted in the previous slot (delta baseline).
+    const PREV_TX: u8 = 1 << 4;
+    /// Cached `Protocol::empty_end_slot_is_noop()`: an empty-inbox
+    /// `end_slot` would do nothing in the node's current state, so the
+    /// fused delivery pass may skip the callback (and the node-state
+    /// cache traffic) entirely when nothing was received. Maintained
+    /// under the same validity regime as ACTIVE.
+    const IDLE_END: u8 = 1 << 5;
+    /// The node reported done during this slot's fused action pass; the
+    /// delivery pass folds it into `newly_done` at its ascending-id
+    /// turn. Never survives past the slot that set it.
+    const JUST_DONE: u8 = 1 << 6;
+
+    /// Both awake and (cached) active — the fused action/delivery gate.
+    const RUNNABLE: u8 = Self::AWAKE | Self::ACTIVE;
+
+    /// Whether the wake slot has passed.
+    pub fn awake(self) -> bool {
+        self.0 & Self::AWAKE != 0
+    }
+
+    /// The cached activity bit (see [`NodeFlags::set_active`]).
+    pub fn active(self) -> bool {
+        self.0 & Self::ACTIVE != 0
+    }
+
+    /// Whether the node has been recorded as done.
+    pub fn done(self) -> bool {
+        self.0 & Self::DONE != 0
+    }
+
+    /// Whether the node transmits this slot.
+    pub fn tx(self) -> bool {
+        self.0 & Self::TX != 0
+    }
+
+    /// Whether the node transmitted last slot.
+    pub fn prev_tx(self) -> bool {
+        self.0 & Self::PREV_TX != 0
+    }
+
+    /// The cached empty-inbox-`end_slot`-is-a-no-op bit (see
+    /// [`NodeFlags::IDLE_END`]).
+    pub fn idle_end(self) -> bool {
+        self.0 & Self::IDLE_END != 0
+    }
+
+    fn just_done(self) -> bool {
+        self.0 & Self::JUST_DONE != 0
+    }
+
+    fn runnable(self) -> bool {
+        self.0 & Self::RUNNABLE == Self::RUNNABLE
+    }
+
+    fn insert(&mut self, bits: u8) {
+        self.0 |= bits;
+    }
+
+    fn remove(&mut self, bits: u8) {
+        self.0 &= !bits;
+    }
+
+    fn set_active(&mut self, active: bool) {
+        if active {
+            self.insert(Self::ACTIVE);
+        } else {
+            self.remove(Self::ACTIVE);
+        }
+    }
+
+    fn set_idle_end(&mut self, idle: bool) {
+        if idle {
+            self.insert(Self::IDLE_END);
+        } else {
+            self.remove(Self::IDLE_END);
+        }
+    }
+
+    /// SWAR test over eight packed flag bytes at once: a nonzero lane
+    /// marks a node the fused delivery pass must visit even with an
+    /// empty inbox — a deferred JUST_DONE flush, an awake active node
+    /// whose empty `end_slot` is not a no-op, or an awake inactive node
+    /// still owed the done poll. Sleeping nodes and the done idle tail
+    /// produce zero lanes, so a zero word lets the pass hop eight nodes
+    /// on a single load.
+    fn needs_visit_word(w: u64) -> u64 {
+        const LANES: u64 = 0x0101_0101_0101_0101;
+        let aw = w & LANES;
+        let ac = (w >> 1) & LANES;
+        let dn = (w >> 2) & LANES;
+        let id = (w >> 5) & LANES;
+        let jd = (w >> 6) & LANES;
+        jd | (aw & ac & (id ^ LANES)) | (aw & (ac ^ LANES) & (dn ^ LANES))
+    }
+}
+
 /// Per-thread working state for the sharded node-step phases.
 struct EngineScratch<M> {
     /// Transmitter ids found by this thread's chunk, in ascending order.
@@ -175,21 +295,27 @@ pub struct Simulator<P: Protocol, M: InterferenceModel> {
     rngs: Vec<StdRng>,
     slot: u64,
     stats: SimStats,
-    done: Vec<bool>,
+    // The SoA status column: awake/active/done/tx/prev-tx, one byte per
+    // node (see [`NodeFlags`]). Replaces three `Vec<bool>`s and the hot
+    // loops' per-node `wake`/`is_active` probes.
+    flags: Vec<NodeFlags>,
+    // Whether the ACTIVE bits in `flags` reflect `is_active()`: the fused
+    // passes keep them fresh after every protocol callback; the phased
+    // and parallel passes (which query `is_active()` live) clear this,
+    // and the next fused slot rebuilds the column in one O(n) pass.
+    flags_active_valid: bool,
     done_count: usize,
     trace: Option<Trace>,
     // Dense per-slot buffers, reused across slots so the steady-state hot
     // loop performs no allocation (previously a fresh HashMap + Vecs per
     // slot).
     tx_ids: Vec<NodeId>,
-    is_tx: Vec<bool>,
     tx_msg: Vec<Option<P::Message>>,
     inbox: Vec<(NodeId, P::Message)>,
-    // Previous slot's transmitter set (list + bitmap), rolled at the end
-    // of every slot; together with the current set it yields the
-    // start/stop delta handed to stateful resolvers for free.
+    // Previous slot's transmitter list, rolled at the end of every slot;
+    // together with the current set (and the TX/PREV_TX flag bits) it
+    // yields the start/stop delta handed to stateful resolvers for free.
     prev_tx_ids: Vec<NodeId>,
-    prev_is_tx: Vec<bool>,
     started: Vec<NodeId>,
     stopped: Vec<NodeId>,
     // Node ids sorted by (wake slot, id): a cursor over this list replaces
@@ -245,6 +371,15 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         let mut wake_order: Vec<NodeId> = (0..n).collect();
         wake_order.sort_by_key(|&v| wake[v]); // stable: ascending id per slot
         let fused_ok = nodes.iter().all(|nd| !nd.is_done());
+        let flags = nodes
+            .iter()
+            .map(|nd| {
+                let mut f = NodeFlags::default();
+                f.set_active(nd.is_active());
+                f.set_idle_end(nd.empty_end_slot_is_noop());
+                f
+            })
+            .collect();
         Simulator {
             graph,
             model,
@@ -253,18 +388,17 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             rngs,
             slot: 0,
             stats,
-            done: vec![false; n],
+            flags,
+            flags_active_valid: true,
             done_count: 0,
             trace: None,
             // Hot-loop buffers are preallocated to their hard bounds (n
             // transmitters, max-degree receptions per inbox) so the
             // warmed-up slot loop never grows them.
             tx_ids: Vec::with_capacity(n),
-            is_tx: vec![false; n],
             tx_msg: (0..n).map(|_| None).collect(),
             inbox: Vec::with_capacity(max_degree),
             prev_tx_ids: Vec::with_capacity(n),
-            prev_is_tx: vec![false; n],
             started: Vec::with_capacity(n),
             stopped: Vec::with_capacity(n),
             wake_order,
@@ -364,7 +498,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
 
     /// Whether every node has decided.
     pub fn all_done(&self) -> bool {
-        self.done_count == self.done.len()
+        self.done_count == self.flags.len()
     }
 
     fn ctx(&self, v: NodeId) -> NodeCtx {
@@ -431,6 +565,11 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             self.wake_cursor += 1;
             let ctx = self.ctx(v);
             self.nodes[v].on_wake(&ctx);
+            self.flags[v].insert(NodeFlags::AWAKE);
+            let active = self.nodes[v].is_active();
+            self.flags[v].set_active(active);
+            let idle = self.nodes[v].empty_end_slot_is_noop();
+            self.flags[v].set_idle_end(idle);
             if let Some(t) = &mut self.trace {
                 t.push(slot, Event::Wake(v));
             }
@@ -458,24 +597,24 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
             self.phase_actions(slot, par_step, obs, rec);
             self.started.clear();
             for &t in &self.tx_ids {
-                if !self.prev_is_tx[t] {
+                if !self.flags[t].prev_tx() {
                     self.started.push(t);
                 }
             }
             for &t in &self.tx_ids {
                 self.stats.tx_slots[t] += 1;
             }
-            // Activity accounting (listen status is derived from the
-            // `is_tx` bitmap: awake ∧ active ∧ ¬transmitting).
+            // Activity accounting (listen status is derived from the TX
+            // flag bit: awake ∧ active ∧ ¬transmitting).
             for v in 0..n {
-                if self.is_awake(v) && self.nodes[v].is_active() && !self.is_tx[v] {
+                if self.is_awake(v) && self.nodes[v].is_active() && !self.flags[v].tx() {
                     self.stats.listen_slots[v] += 1;
                 }
             }
         }
         self.stopped.clear();
         for &t in &self.prev_tx_ids {
-            if !self.is_tx[t] {
+            if !self.flags[t].tx() {
                 self.stopped.push(t);
             }
         }
@@ -537,8 +676,8 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         } else {
             self.phase_delivery(slot, par_step, obs, &table, rec);
             for v in 0..n {
-                if !self.done[v] && self.nodes[v].is_done() {
-                    self.done[v] = true;
+                if !self.flags[v].done() && self.nodes[v].is_done() {
+                    self.flags[v].insert(NodeFlags::DONE);
                     self.done_count += 1;
                     self.stats.done_slot[v] = Some(slot);
                     newly_done.push(v);
@@ -566,18 +705,21 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         }
 
         // 6. Roll the slot buffers (O(transmitters), not O(n)): this
-        // slot's transmitter list and bitmap become the previous-slot pair
-        // the next delta is computed against, and the freshly cleared pair
-        // becomes the next slot's working buffers. Resolver statistics are
-        // read once at end of run, not snapshotted per slot.
+        // slot's transmitter list becomes the previous-slot list the next
+        // delta is computed against, and the TX bits migrate to PREV_TX.
+        // Order matters for nodes transmitting in both slots: their
+        // PREV_TX is cleared by the first loop and re-set by the second.
+        // Resolver statistics are read once at end of run, not
+        // snapshotted per slot.
         for &t in &self.prev_tx_ids {
-            self.prev_is_tx[t] = false;
+            self.flags[t].remove(NodeFlags::PREV_TX);
         }
         for &t in &self.tx_ids {
             self.tx_msg[t] = None;
+            self.flags[t].insert(NodeFlags::PREV_TX);
+            self.flags[t].remove(NodeFlags::TX);
         }
         std::mem::swap(&mut self.prev_tx_ids, &mut self.tx_ids);
-        std::mem::swap(&mut self.prev_is_tx, &mut self.is_tx);
 
         self.slot += 1;
         self.stats.slots = self.slot;
@@ -657,14 +799,29 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
     /// Fused slot phases 2 + 3a: one sequential pass decides every awake
     /// active node's action, maintains the transmit buffers and the
     /// `started` delta, and accounts tx/listen activity — replacing three
-    /// O(n) scans of the phased path with one.
+    /// O(n) scans of the phased path with one. The awake∧active gate is
+    /// one byte load from the [`NodeFlags`] column per node; the ACTIVE
+    /// bits are refreshed after every callback so the column stays exact.
     // lint:hot — per-node action loop, runs every slot for every node
     fn phase_actions_fused(&mut self, slot: u64) {
         let n = self.graph.len();
+        if !self.flags_active_valid {
+            // A phased or parallel slot ran since the last fused one and
+            // bypassed the flag maintenance; rebuild the ACTIVE and
+            // IDLE_END columns.
+            for v in 0..n {
+                let active = self.nodes[v].is_active();
+                self.flags[v].set_active(active);
+                let idle = self.nodes[v].empty_end_slot_is_noop();
+                self.flags[v].set_idle_end(idle);
+            }
+            self.flags_active_valid = true;
+        }
         self.tx_ids.clear();
         self.started.clear();
         for v in 0..n {
-            if self.wake[v] > slot || !self.nodes[v].is_active() {
+            let f = self.flags[v];
+            if !f.runnable() {
                 continue;
             }
             let ctx = NodeCtx {
@@ -673,25 +830,44 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                 local_slot: slot - self.wake[v],
             };
             let mut rng = RandSlotRng(&mut self.rngs[v]);
-            match self.nodes[v].begin_slot(&ctx, &mut rng) {
+            let listened = match self.nodes[v].begin_slot(&ctx, &mut rng) {
                 Action::Transmit(msg) => {
                     self.tx_ids.push(v);
-                    self.is_tx[v] = true;
+                    self.flags[v].insert(NodeFlags::TX);
                     self.tx_msg[v] = Some(msg);
-                    if !self.prev_is_tx[v] {
+                    if !f.prev_tx() {
                         self.started.push(v);
                     }
                     self.stats.tx_slots[v] += 1;
+                    false
                 }
-                // Re-checked after begin_slot so a node that deactivates
-                // inside the callback is not billed a listen slot, exactly
-                // like the phased accounting pass that runs post-actions.
-                Action::Listen => {
-                    if self.nodes[v].is_active() {
-                        self.stats.listen_slots[v] += 1;
-                    }
-                }
+                Action::Listen => true,
+            };
+            // Activity is re-checked after begin_slot so a node that
+            // deactivates inside the callback is not billed a listen
+            // slot, exactly like the phased accounting pass that runs
+            // post-actions.
+            let active = self.nodes[v].is_active();
+            if listened && active {
+                self.stats.listen_slots[v] += 1;
             }
+            let idle = self.nodes[v].empty_end_slot_is_noop();
+            let mut fl = self.flags[v];
+            fl.set_active(active);
+            fl.set_idle_end(idle);
+            // Done transitions that happen inside begin_slot (MW nodes
+            // color themselves there) are caught here, while the node's
+            // state is still cache-hot — but only for nodes the delivery
+            // pass may idle-skip; non-idle nodes run end_slot anyway and
+            // are re-checked there, like the phased path. JUST_DONE
+            // defers the `newly_done` entry to the delivery pass so the
+            // list stays ascending like the phased path's.
+            if idle && !fl.done() && self.nodes[v].is_done() {
+                fl.insert(NodeFlags::DONE | NodeFlags::JUST_DONE);
+                self.done_count += 1;
+                self.stats.done_slot[v] = Some(slot);
+            }
+            self.flags[v] = fl;
         }
     }
 
@@ -701,7 +877,12 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
     ///
     /// Sleeping nodes are skipped wholesale — sound because the fused path
     /// is gated on `fused_ok` (no node starts done, and a node's `is_done`
-    /// cannot change before its first callback).
+    /// cannot change before its first callback). Nodes whose cached
+    /// IDLE_END bit says an empty-inbox `end_slot` is a no-op are skipped
+    /// too when nothing was received: no callback runs, so neither their
+    /// activity nor their done state can have moved since the action pass
+    /// refreshed both, and the pass touches only their flag byte — O(n)
+    /// in flag bytes but O(receivers + listeners) in node-state traffic.
     // lint:hot — per-node delivery loop, runs every slot for every node
     fn phase_delivery_fused(
         &mut self,
@@ -713,38 +894,81 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
         let pairs = table.pairs();
         let mut p = 0usize;
         let mut inbox = std::mem::take(&mut self.inbox);
-        for v in 0..n {
-            if self.wake[v] > slot {
-                continue;
+        let mut v = 0usize;
+        while v < n {
+            // Eight-node hop: when no byte in the next flag word needs a
+            // visit and no reception targets the window, skip it on one
+            // u64 load — the colored long tail costs one word test per
+            // eight nodes instead of eight flag loads and branches.
+            if v + 8 <= n && (p >= pairs.len() || pairs[p].0 >= v + 8) {
+                let c = &self.flags[v..v + 8];
+                let w = u64::from_le_bytes([
+                    c[0].0, c[1].0, c[2].0, c[3].0, c[4].0, c[5].0, c[6].0, c[7].0,
+                ]);
+                if NodeFlags::needs_visit_word(w) == 0 {
+                    v += 8;
+                    continue;
+                }
             }
-            if self.nodes[v].is_active() {
+            let lim = (v + 8).min(n);
+            while v < lim {
+                let f = self.flags[v];
+                if !f.awake() {
+                    v += 1;
+                    continue;
+                }
                 // Receptions granted to sleeping or inactive receivers are
                 // dropped undelivered and uncounted, as in the phased loop.
                 while p < pairs.len() && pairs[p].0 < v {
                     p += 1;
                 }
-                inbox.clear();
-                while p < pairs.len() && pairs[p].0 == v {
-                    let sender = pairs[p].1;
-                    let msg = self.tx_msg[sender]
-                        .as_ref()
-                        .expect("reception from a node that transmitted");
-                    inbox.push((sender, msg.clone()));
-                    p += 1;
+                let has_rx = p < pairs.len() && pairs[p].0 == v;
+                if f.active() && (has_rx || !f.idle_end()) {
+                    inbox.clear();
+                    while p < pairs.len() && pairs[p].0 == v {
+                        let sender = pairs[p].1;
+                        let msg = self.tx_msg[sender]
+                            .as_ref()
+                            .expect("reception from a node that transmitted");
+                        inbox.push((sender, msg.clone()));
+                        p += 1;
+                    }
+                    self.stats.receptions += inbox.len() as u64;
+                    let ctx = NodeCtx {
+                        id: v,
+                        global_slot: slot,
+                        local_slot: slot - self.wake[v],
+                    };
+                    self.nodes[v].end_slot(&ctx, &inbox);
+                    let active = self.nodes[v].is_active();
+                    let idle = self.nodes[v].empty_end_slot_is_noop();
+                    let mut fl = self.flags[v];
+                    fl.set_active(active);
+                    fl.set_idle_end(idle);
+                    if !f.done() && self.nodes[v].is_done() {
+                        fl.insert(NodeFlags::DONE);
+                        self.done_count += 1;
+                        self.stats.done_slot[v] = Some(slot);
+                        newly_done.push(v);
+                    }
+                    self.flags[v] = fl;
+                } else if !f.active() && !f.done() && self.nodes[v].is_done() {
+                    // Awake-but-inactive nodes ran no callback this slot,
+                    // but the phased loop still polls them, so keep that
+                    // check for protocols whose nodes go silent before
+                    // reporting done. Active idle-skipped nodes need no
+                    // poll at all: their done state cannot have moved
+                    // since the action pass checked it.
+                    self.flags[v].insert(NodeFlags::DONE);
+                    self.done_count += 1;
+                    self.stats.done_slot[v] = Some(slot);
+                    newly_done.push(v);
                 }
-                self.stats.receptions += inbox.len() as u64;
-                let ctx = NodeCtx {
-                    id: v,
-                    global_slot: slot,
-                    local_slot: slot - self.wake[v],
-                };
-                self.nodes[v].end_slot(&ctx, &inbox);
-            }
-            if !self.done[v] && self.nodes[v].is_done() {
-                self.done[v] = true;
-                self.done_count += 1;
-                self.stats.done_slot[v] = Some(slot);
-                newly_done.push(v);
+                if f.just_done() {
+                    self.flags[v].remove(NodeFlags::JUST_DONE);
+                    newly_done.push(v);
+                }
+                v += 1;
             }
         }
         self.inbox = inbox;
@@ -756,6 +980,9 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
     // lint:hot — per-node action loop, runs every slot for every node
     fn phase_actions(&mut self, slot: u64, par_step: bool, obs: bool, rec: &mut dyn Recorder) {
         let n = self.graph.len();
+        // This path queries `is_active()` live and never writes the
+        // ACTIVE bits; the next fused slot must rebuild the column.
+        self.flags_active_valid = false;
         self.tx_ids.clear();
         if par_step {
             // Each thread steps a static contiguous chunk of nodes; every
@@ -795,7 +1022,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                 self.tx_ids.append(&mut sc.tx);
             }
             for &t in &self.tx_ids {
-                self.is_tx[t] = true;
+                self.flags[t].insert(NodeFlags::TX);
             }
         } else {
             for v in 0..n {
@@ -804,7 +1031,7 @@ impl<P: Protocol, M: InterferenceModel> Simulator<P, M> {
                     let mut rng = RandSlotRng(&mut self.rngs[v]);
                     if let Action::Transmit(msg) = self.nodes[v].begin_slot(&ctx, &mut rng) {
                         self.tx_ids.push(v);
-                        self.is_tx[v] = true;
+                        self.flags[v].insert(NodeFlags::TX);
                         self.tx_msg[v] = Some(msg);
                         if let Some(t) = &mut self.trace {
                             t.push(slot, Event::Transmit(v));
@@ -1008,7 +1235,11 @@ mod tests {
 
     impl Protocol for OneShot {
         type Message = NodeId;
-        fn begin_slot(&mut self, ctx: &NodeCtx, _rng: &mut dyn SlotRng) -> Action<NodeId> {
+        fn begin_slot<R: SlotRng + ?Sized>(
+            &mut self,
+            ctx: &NodeCtx,
+            _rng: &mut R,
+        ) -> Action<NodeId> {
             if ctx.local_slot == self.fire_at && !self.fired {
                 self.fired = true;
                 Action::Transmit(ctx.id)
@@ -1096,7 +1327,11 @@ mod tests {
         }
         impl Protocol for Probe {
             type Message = ();
-            fn begin_slot(&mut self, ctx: &NodeCtx, _rng: &mut dyn SlotRng) -> Action<()> {
+            fn begin_slot<R: SlotRng + ?Sized>(
+                &mut self,
+                ctx: &NodeCtx,
+                _rng: &mut R,
+            ) -> Action<()> {
                 self.saw.push((ctx.global_slot, ctx.local_slot));
                 Action::Listen
             }
@@ -1127,7 +1362,11 @@ mod tests {
         }
         impl Protocol for Rnd {
             type Message = u32;
-            fn begin_slot(&mut self, _ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<u32> {
+            fn begin_slot<R: SlotRng + ?Sized>(
+                &mut self,
+                _ctx: &NodeCtx,
+                rng: &mut R,
+            ) -> Action<u32> {
                 if rng.chance(0.3) {
                     self.txs += 1;
                     Action::Transmit(self.txs)
@@ -1163,7 +1402,7 @@ mod tests {
         struct Never;
         impl Protocol for Never {
             type Message = ();
-            fn begin_slot(&mut self, _: &NodeCtx, _: &mut dyn SlotRng) -> Action<()> {
+            fn begin_slot<R: SlotRng + ?Sized>(&mut self, _: &NodeCtx, _: &mut R) -> Action<()> {
                 Action::Listen
             }
             fn end_slot(&mut self, _: &NodeCtx, _: &[(NodeId, ())]) {}
@@ -1243,7 +1482,11 @@ mod tests {
         }
         impl Protocol for Rnd {
             type Message = u32;
-            fn begin_slot(&mut self, _ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<u32> {
+            fn begin_slot<R: SlotRng + ?Sized>(
+                &mut self,
+                _ctx: &NodeCtx,
+                rng: &mut R,
+            ) -> Action<u32> {
                 if rng.chance(0.2) {
                     self.txs += 1;
                     Action::Transmit(self.txs)

@@ -34,7 +34,7 @@
 //!
 //! impl Protocol for Gossip {
 //!     type Message = usize;
-//!     fn begin_slot(&mut self, ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<usize> {
+//!     fn begin_slot<R: SlotRng + ?Sized>(&mut self, ctx: &NodeCtx, rng: &mut R) -> Action<usize> {
 //!         if rng.chance(0.5) { Action::Transmit(ctx.id) } else { Action::Listen }
 //!     }
 //!     fn end_slot(&mut self, _ctx: &NodeCtx, received: &[(usize, usize)]) {
@@ -59,7 +59,7 @@ pub mod stats;
 pub mod trace;
 pub mod wakeup;
 
-pub use engine::{RunOutcome, Simulator, StepView};
+pub use engine::{NodeFlags, RunOutcome, Simulator, StepView};
 pub use protocol::{Action, NodeCtx, Protocol, SlotRng};
 pub use stats::SimStats;
 pub use wakeup::WakeupSchedule;

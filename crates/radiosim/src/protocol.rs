@@ -99,7 +99,16 @@ pub trait Protocol: Send {
 
     /// Decides this slot's action. Called exactly once per slot while the
     /// node is awake and not yet done.
-    fn begin_slot(&mut self, ctx: &NodeCtx, rng: &mut dyn SlotRng) -> Action<Self::Message>;
+    ///
+    /// Generic over the RNG so the engine's hot loop monomorphizes to the
+    /// concrete `RandSlotRng<&mut StdRng>` — no indirect call per awake
+    /// node per slot. `?Sized` keeps `&mut dyn SlotRng` working for tests
+    /// that substitute scripted sequences.
+    fn begin_slot<R: SlotRng + ?Sized>(
+        &mut self,
+        ctx: &NodeCtx,
+        rng: &mut R,
+    ) -> Action<Self::Message>;
 
     /// Consumes this slot's receptions: `(sender, message)` pairs, empty if
     /// nothing was decoded (or the node transmitted). Called after every
@@ -117,6 +126,19 @@ pub trait Protocol: Send {
     /// the engine skip them entirely.
     fn is_active(&self) -> bool {
         true
+    }
+
+    /// Whether `end_slot` with an *empty* reception list would be a no-op
+    /// in the node's current state. The fused sequential engine skips the
+    /// whole end-of-slot callback for nodes that report `true` and
+    /// received nothing, turning the delivery pass from a full node-state
+    /// sweep into a one-byte flag scan for them — decisive for
+    /// long-tailed protocols like MW, whose color classes spend most of
+    /// the run announcing with nothing to process. Defaults to `false`
+    /// (never skip), which preserves exact behaviour for protocols that
+    /// do per-slot work in `end_slot` even without receptions.
+    fn empty_end_slot_is_noop(&self) -> bool {
+        false
     }
 }
 

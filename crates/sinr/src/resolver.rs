@@ -377,7 +377,12 @@ fn resolve_candidate(ctx: &SlotCtx<'_>, u: NodeId, cs: &mut ChunkScratch) {
             .sum();
         let mut best: Option<(f64, NodeId)> = None;
         for &v in ctx.transmitting {
-            if ctx.g.are_adjacent(u, v) {
+            // UDG adjacency is by construction exactly `dist² ≤ R_T²`
+            // (same squared-distance expression the graph builder uses),
+            // so test the geometry directly — the positions are already
+            // streaming through cache from the sum above — instead of
+            // binary-searching the adjacency list per transmitter.
+            if v != u && positions[v].distance_squared(pu) <= ctx.adjacency_r2 {
                 let s = sinr_from_total(ctx.cfg, pu, positions[v], total);
                 if s >= ctx.beta && best.is_none_or(|(bs, _)| s > bs) {
                     best = Some((s, v));

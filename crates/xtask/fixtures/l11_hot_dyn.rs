@@ -1,0 +1,28 @@
+//! fixture: crates/sinr/src/fixture.rs
+//! L11 — `dyn` coercions inside `// lint:hot` bodies; trait-object
+//! parameters in signatures and cold items stay clean.
+
+// lint:hot
+fn hot_erases(rng: &mut StdRng, out: &mut [u64]) {
+    let erased: &mut dyn SlotRng = rng; //~ L11
+    out[0] = erased.pick(7);
+    dispatch(rng as &dyn Roller); //~ L11
+}
+
+// lint:hot
+fn hot_receives(rec: &mut dyn Recorder, out: &mut [u64]) {
+    // The `dyn` in the signature above is legal: the erasure happened in
+    // a cold caller. Only the body is scanned.
+    out[0] = rec.len() as u64;
+}
+
+// lint:hot
+fn hot_lookalikes(dynamic: u64, anodyne: u64) -> u64 {
+    // Identifier lookalikes must not trip the boundary check.
+    let dyns = dynamic + anodyne;
+    dyns
+}
+
+fn cold_erase(rng: &mut StdRng) -> Box<dyn SlotRng> {
+    Box::new(RandSlotRng(rng.clone()))
+}

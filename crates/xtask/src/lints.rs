@@ -778,6 +778,46 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         }
         // A hot impl block containing a hot fn would double-report; the
         // final sort+dedup below collapses identical (lint, line, col).
+
+        // L11 — `// lint:hot` items must use static dispatch. The scan
+        // covers item *bodies* only, so trait-object parameters in the
+        // signature (e.g. `rec: &mut dyn Recorder`) stay legal: the cost
+        // being banned is a fresh `dyn` coercion — an indirect call per
+        // node per slot that also blocks inlining — not receiving an
+        // already-erased reference from a cold caller.
+        for item in items.iter().filter(|i| i.hot) {
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            let mut from = open;
+            while let Some(rel) = ctx.masked[from..close].find("dyn") {
+                let at = from + rel;
+                from = at + 1;
+                if !ident_boundary(&ctx.masked, at, 3) {
+                    continue;
+                }
+                let line = line_of(&ctx.masked, at);
+                if in_test_region(&ctx.regions, line) {
+                    continue;
+                }
+                out.push(Violation {
+                    lint: "L11",
+                    file: path.to_string(),
+                    line,
+                    col: col_of(&ctx.masked, at),
+                    message: format!(
+                        "dynamic dispatch in hot item `{}`: a `dyn` coercion \
+                         inside a `// lint:hot` region turns a per-slot inner \
+                         loop into indirect calls the compiler cannot inline; \
+                         make the callee generic over the trait (static \
+                         dispatch, monomorphized per caller) or hoist the \
+                         type-erased call to a cold path",
+                        item.name
+                    ),
+                    snippet: line_text(src, line),
+                });
+            }
+        }
     }
 
     // L9 — float→int casts route through the audited checked helpers in
@@ -1094,6 +1134,45 @@ fn scan() {\n\
         // But a marker comment with trailing prose still counts.
         let src = "// lint:hot — resolver inner loop\nfn hot() {\n    let v = Vec::new();\n}\n";
         assert_eq!(lints_of(LIB, src), vec![("L8", 3)]);
+    }
+
+    #[test]
+    fn l11_flags_dyn_in_hot_bodies_only() {
+        // A coercion inside a hot body trips.
+        let src = "\
+// lint:hot\n\
+fn hot(rng: &mut StdRng) {\n\
+    let erased: &mut dyn SlotRng = rng;\n\
+    erased.pick(3);\n\
+}\n";
+        assert_eq!(lints_of(LIB, src), vec![("L11", 3)]);
+        // A trait-object *parameter* is legal: the signature is outside
+        // the body span, and the erasure happened in a cold caller.
+        let src = "\
+// lint:hot\n\
+fn hot(rec: &mut dyn Recorder) {\n\
+    rec.event(1);\n\
+}\n";
+        assert!(lints_of(LIB, src).is_empty(), "{:?}", lints_of(LIB, src));
+        // Cold items may erase freely.
+        let src = "fn cold(rng: &mut StdRng) -> Box<dyn SlotRng> { Box::new(rng) }\n";
+        let hits: Vec<_> = lints_of(LIB, src)
+            .into_iter()
+            .filter(|(l, _)| *l == "L11")
+            .collect();
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn l11_lookalikes_and_comments_do_not_trip() {
+        let src = "\
+// lint:hot\n\
+fn hot(dynamic: u64, anodyne: u64) -> u64 {\n\
+    // mentioning dyn in a comment is fine\n\
+    let dyns = dynamic + anodyne;\n\
+    dyns\n\
+}\n";
+        assert!(lints_of(LIB, src).is_empty(), "{:?}", lints_of(LIB, src));
     }
 
     #[test]

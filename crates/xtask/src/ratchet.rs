@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_ids_duplicates_and_garbage() {
-        assert!(Ratchet::parse("L11 = 0\n").is_err());
+        assert!(Ratchet::parse("L12 = 0\n").is_err());
         assert!(Ratchet::parse("L2 = 1\nL2 = 2\n").is_err());
         assert!(Ratchet::parse("L2 = many\n").is_err());
         assert!(Ratchet::parse("L2: 1\n").is_err());

@@ -8,7 +8,7 @@
 /// One lint's metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rule {
-    /// Stable identifier: `"L1"` … `"L10"`.
+    /// Stable identifier: `"L1"` … `"L11"`.
     pub id: &'static str,
     /// One-line name, quoted verbatim in `docs/LINTING.md`.
     pub title: &'static str,
@@ -19,7 +19,7 @@ pub struct Rule {
 }
 
 /// Every lint the engine knows, in id order.
-pub const RULES: [Rule; 10] = [
+pub const RULES: [Rule; 11] = [
     Rule {
         id: "L1",
         title: "no unseeded RNG",
@@ -131,9 +131,23 @@ pub const RULES: [Rule; 10] = [
               crates/obs/src/alloc.rs, and library code observes the heap \
               through its snapshot()/AllocScope API.",
     },
+    Rule {
+        id: "L11",
+        title: "hot paths use static dispatch",
+        rationale: "A `dyn` coercion inside a `// lint:hot` item puts an \
+                    indirect call in a per-slot inner loop — one vtable jump \
+                    per node per slot that the compiler cannot inline or \
+                    specialize, which is exactly the cost the generic \
+                    `Protocol::begin_slot<R: SlotRng>` redesign removed.",
+        fix: "Make the callee generic over the trait so each call site \
+              monomorphizes (static dispatch); trait-object *parameters* \
+              received from a cold caller are fine — the ban is on erasing \
+              a type inside the hot body. Hoist unavoidable dynamic calls \
+              to a cold path.",
+    },
 ];
 
-/// Looks up a rule by id (`"L1"` … `"L10"`).
+/// Looks up a rule by id (`"L1"` … `"L11"`).
 pub fn rule(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
 }
@@ -153,7 +167,7 @@ mod tests {
 
     #[test]
     fn catalog_is_complete_and_ordered() {
-        assert_eq!(RULES.len(), 10);
+        assert_eq!(RULES.len(), 11);
         for (i, r) in RULES.iter().enumerate() {
             assert_eq!(r.id, format!("L{}", i + 1));
             assert!(!r.title.is_empty() && !r.rationale.is_empty() && !r.fix.is_empty());

@@ -195,6 +195,34 @@ fn profiling_does_not_perturb_outcomes_at_any_thread_count() {
     }
 }
 
+/// Batched seed fan-out: `Pool::par_seeds` must return, at every thread
+/// count, exactly what a sequential `for seed in range` loop produces —
+/// same outcomes, same order. This is the contract the bench harness and
+/// `sinrcolor color --seeds A..B` both lean on to amortize instance
+/// setup while keeping outputs byte-identical.
+#[test]
+fn batched_seed_fanout_matches_sequential_loop() {
+    let (cfg, graph, params) = instance(120, 5.0, 41);
+    let run_one = |seed: u64| {
+        let mw = MwConfig::new(params).with_seed(seed).with_max_slots(250);
+        run_mw(
+            &graph,
+            FastSinrModel::auto(cfg, &graph),
+            &mw,
+            WakeupSchedule::Synchronous,
+        )
+    };
+    let sequential: Vec<MwOutcome> = (3..9u64).map(run_one).collect();
+    for threads in THREADS {
+        let pool = sinr_pool::Pool::new(threads);
+        let batched = pool.par_seeds(3..9, run_one);
+        assert_eq!(batched.len(), sequential.len());
+        for (i, (a, b)) in sequential.iter().zip(&batched).enumerate() {
+            assert_eq!(a, b, "seed {} differs at threads={threads}", 3 + i as u64);
+        }
+    }
+}
+
 #[test]
 fn auto_model_matches_naive_on_both_sides_of_the_grid_threshold() {
     // n = 40 disables the grid, n = 300 still disables it (< 512), so
